@@ -1,0 +1,226 @@
+package noc
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/flit"
+	"repro/internal/network"
+	"repro/internal/router"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// Ablation benchmarks for the design choices DESIGN.md calls out. Each
+// reports the measured effect as custom benchmark metrics, so
+// `go test -bench Ablation -benchtime 1x` doubles as an ablation report.
+
+// BenchmarkAblationSpeculativeVA measures §2.3's latency optimization:
+// virtual-channel allocation in parallel with switch arbitration saves one
+// cycle per hop on head flits.
+func BenchmarkAblationSpeculativeVA(b *testing.B) {
+	run := func(nonspec bool) float64 {
+		p := core.DefaultRunParams()
+		p.Rate = 0.05
+		p.NonSpeculative = nonspec
+		p.WarmupCycles, p.MeasureCycles = 500, 2000
+		res, err := core.Run(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res.AvgLatency
+	}
+	var spec, nonspec float64
+	for i := 0; i < b.N; i++ {
+		spec = run(false)
+		nonspec = run(true)
+	}
+	b.ReportMetric(spec, "lat-speculative-cyc")
+	b.ReportMetric(nonspec, "lat-sequential-cyc")
+	b.ReportMetric(nonspec-spec, "cycles-saved")
+}
+
+// BenchmarkAblationWorkConserving measures strict vs work-conserving
+// reservation slots: strict TDM wastes unclaimed reserved slots, lowering
+// dynamic throughput when reservations are dense.
+func BenchmarkAblationWorkConserving(b *testing.B) {
+	run := func(workConserving bool) (float64, float64) {
+		topo, err := topology.NewFoldedTorus(4, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rc := router.DefaultConfig(0)
+		rc.ReservedVC = 7
+		rc.ResPeriod = 4 // dense tables: half the slots on doubly-booked links
+		rc.WorkConserving = workConserving
+		n, err := network.New(network.Config{Topo: topo, Router: rc, Seed: 5, Warmup: 300})
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Reserve several flows but leave them idle: the slots are booked
+		// and unclaimed, the §2.6 worst case for strict TDM. Flows whose
+		// slots collide on shared links simply fail to book, as a real
+		// scheduler's attempt would.
+		booked := 0
+		for i, pair := range [][2]int{{0, 10}, {15, 5}, {3, 9}, {12, 6}, {1, 11}, {14, 4}} {
+			if _, err := n.ReserveFlow(pair[0], pair[1], i+1, i%4); err == nil {
+				booked++
+			}
+		}
+		if booked < 3 {
+			b.Fatalf("only %d flows booked", booked)
+		}
+		n.Recorder().MeasureUntil = 2300
+		for tile := 0; tile < topo.NumTiles(); tile++ {
+			g := traffic.NewGenerator(tile, traffic.Uniform{Tiles: 16}, 0.8, 2, flit.VCMask(0x77), 3)
+			g.StopAt = 2300
+			n.AttachClient(tile, g)
+		}
+		n.Run(2300)
+		rec := n.Recorder()
+		return float64(rec.WindowFlits) / 2000 / 16, rec.PacketLatency.Mean()
+	}
+	var strictTp, strictLat, wcTp, wcLat float64
+	for i := 0; i < b.N; i++ {
+		strictTp, strictLat = run(false)
+		wcTp, wcLat = run(true)
+	}
+	b.ReportMetric(strictTp, "strict-flits/node/cyc")
+	b.ReportMetric(wcTp, "workconserving-flits/node/cyc")
+	b.ReportMetric(strictLat, "strict-lat-cyc")
+	b.ReportMetric(wcLat, "workconserving-lat-cyc")
+}
+
+// BenchmarkAblationElasticLinks measures the ref-[4] buffer saving: a
+// single-VC stream over 1-flit buffers, credited vs elastic.
+func BenchmarkAblationElasticLinks(b *testing.B) {
+	run := func(elastic bool) float64 {
+		topo, err := topology.NewMesh(4, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rc := router.DefaultConfig(0)
+		rc.BufFlits = 1
+		n, err := network.New(network.Config{Topo: topo, Router: rc, ElasticLinks: elastic, Seed: 7, Warmup: 100})
+		if err != nil {
+			b.Fatal(err)
+		}
+		n.Recorder().MeasureUntil = 2100
+		n.AttachClient(3, network.ClientFunc(func(now int64, p *network.Port) { p.Deliveries() }))
+		n.AttachClient(0, network.ClientFunc(func(now int64, p *network.Port) {
+			if now < 2100 {
+				_, _ = p.Send(3, []byte{1}, flit.MaskFor(0), 0)
+			}
+		}))
+		n.Run(2100)
+		return float64(n.Recorder().WindowFlits) / 2000
+	}
+	var credited, elastic float64
+	for i := 0; i < b.N; i++ {
+		credited = run(false)
+		elastic = run(true)
+	}
+	b.ReportMetric(credited, "credited-flits/cyc")
+	b.ReportMetric(elastic, "elastic-flits/cyc")
+}
+
+// BenchmarkAblationCutThrough compares wormhole and virtual cut-through
+// flow control with 4-flit packets at moderate load: cut-through keeps
+// blocked packets out of intermediate routers, which shows up in the tail
+// latency.
+func BenchmarkAblationCutThrough(b *testing.B) {
+	run := func(vct bool) (float64, int64) {
+		p := core.DefaultRunParams()
+		p.Topology = "mesh"
+		p.K = 8
+		p.Rate = 0.35
+		p.FlitsPerPacket = 4
+		p.CutThrough = vct
+		p.WarmupCycles, p.MeasureCycles = 500, 1500
+		res, err := core.Run(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res.AvgLatency, res.P99Latency
+	}
+	var whAvg, vctAvg float64
+	var whP99, vctP99 int64
+	for i := 0; i < b.N; i++ {
+		whAvg, whP99 = run(false)
+		vctAvg, vctP99 = run(true)
+	}
+	b.ReportMetric(whAvg, "wormhole-avg-cyc")
+	b.ReportMetric(float64(whP99), "wormhole-p99-cyc")
+	b.ReportMetric(vctAvg, "vct-avg-cyc")
+	b.ReportMetric(float64(vctP99), "vct-p99-cyc")
+}
+
+// BenchmarkAblationAdaptiveRouting reports the E19 headline as a single
+// metric pair: transpose saturation under DOR vs west-first adaptivity.
+func BenchmarkAblationAdaptiveRouting(b *testing.B) {
+	run := func(adaptive bool) float64 {
+		p := core.DefaultRunParams()
+		p.Topology = "mesh"
+		p.K = 8
+		p.Pattern = "transpose"
+		p.Rate = 0.5
+		p.FlitsPerPacket = 2
+		p.Adaptive = adaptive
+		p.WarmupCycles, p.MeasureCycles = 500, 1500
+		res, err := core.Run(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res.AcceptedFlits
+	}
+	var dor, adaptive float64
+	for i := 0; i < b.N; i++ {
+		dor = run(false)
+		adaptive = run(true)
+	}
+	b.ReportMetric(dor, "dor-accepted")
+	b.ReportMetric(adaptive, "adaptive-accepted")
+}
+
+// BenchmarkAblationTorusTieBreak measures the balanced half-ring tie-break
+// against always-positive routing... indirectly: it reports the saturation
+// throughput of the torus, which collapses if ties all load one direction.
+func BenchmarkAblationTorusTieBreak(b *testing.B) {
+	var sat float64
+	for i := 0; i < b.N; i++ {
+		p := core.DefaultRunParams()
+		p.K = 8
+		p.Rate = 0.9
+		p.WarmupCycles, p.MeasureCycles = 500, 1500
+		res, err := core.Run(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sat = res.AcceptedFlits
+	}
+	b.ReportMetric(sat, "torus-accepted@0.9")
+}
+
+// BenchmarkAblationBufferDepth sweeps the §3.2 buffer budget on the
+// baseline torus and reports latency at a moderate load for 1/2/4/8-flit
+// buffers.
+func BenchmarkAblationBufferDepth(b *testing.B) {
+	lat := map[int]float64{}
+	for i := 0; i < b.N; i++ {
+		for _, buf := range []int{1, 2, 4, 8} {
+			p := core.DefaultRunParams()
+			p.BufFlits = buf
+			p.Rate = 0.5
+			p.FlitsPerPacket = 4
+			p.WarmupCycles, p.MeasureCycles = 500, 1500
+			res, err := core.Run(p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			lat[buf] = res.AvgLatency
+		}
+	}
+	for _, buf := range []int{1, 2, 4, 8} {
+		b.ReportMetric(lat[buf], "lat-buf"+string(rune('0'+buf))+"-cyc")
+	}
+}

@@ -1,0 +1,141 @@
+package noc
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/flit"
+	"repro/internal/link"
+	"repro/internal/network"
+	"repro/internal/route"
+	"repro/internal/router"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// One benchmark per experiment row in DESIGN.md. Each iteration regenerates
+// the experiment's table in quick mode; run `go test -bench E3 -v` to see a
+// single experiment, or cmd/nocbench for the full paper-vs-measured report.
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, err := core.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		tbl, err := e.Run(true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tbl.Rows) == 0 {
+			b.Fatalf("%s produced no rows", id)
+		}
+	}
+}
+
+func BenchmarkE1Baseline(b *testing.B)         { benchExperiment(b, "E1") }
+func BenchmarkE2Area(b *testing.B)             { benchExperiment(b, "E2") }
+func BenchmarkE3Power(b *testing.B)            { benchExperiment(b, "E3") }
+func BenchmarkE4LoadLatency(b *testing.B)      { benchExperiment(b, "E4") }
+func BenchmarkE5FlowControl(b *testing.B)      { benchExperiment(b, "E5") }
+func BenchmarkE6Circuits(b *testing.B)         { benchExperiment(b, "E6") }
+func BenchmarkE7LogicalWire(b *testing.B)      { benchExperiment(b, "E7") }
+func BenchmarkE8Reservation(b *testing.B)      { benchExperiment(b, "E8") }
+func BenchmarkE9DutyFactor(b *testing.B)       { benchExperiment(b, "E9") }
+func BenchmarkE10Partition(b *testing.B)       { benchExperiment(b, "E10") }
+func BenchmarkE11Fault(b *testing.B)           { benchExperiment(b, "E11") }
+func BenchmarkE12Bus(b *testing.B)             { benchExperiment(b, "E12") }
+func BenchmarkE13Serdes(b *testing.B)          { benchExperiment(b, "E13") }
+func BenchmarkE14Interface(b *testing.B)       { benchExperiment(b, "E14") }
+func BenchmarkE15Registers(b *testing.B)       { benchExperiment(b, "E15") }
+func BenchmarkE16TimingClosure(b *testing.B)   { benchExperiment(b, "E16") }
+func BenchmarkE17Compaction(b *testing.B)      { benchExperiment(b, "E17") }
+func BenchmarkE18TopologyScaling(b *testing.B) { benchExperiment(b, "E18") }
+func BenchmarkE19Adaptive(b *testing.B)        { benchExperiment(b, "E19") }
+
+// Simulator microbenchmarks: the cost of the cycle loop itself.
+
+// BenchmarkNetworkCycle measures simulated cycles per second on the
+// paper's 16-tile baseline under 30% uniform load.
+func BenchmarkNetworkCycle(b *testing.B) {
+	topo, err := topology.NewFoldedTorus(4, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n, err := network.New(network.Config{Topo: topo, Router: router.DefaultConfig(0), Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for tile := 0; tile < topo.NumTiles(); tile++ {
+		n.AttachClient(tile, traffic.NewGenerator(tile, traffic.Uniform{Tiles: 16}, 0.3, 2, flit.VCMask(0xFF), 1))
+	}
+	b.ResetTimer()
+	n.Run(int64(b.N))
+}
+
+// BenchmarkNetworkCycle64 is the same loop on an 8x8 torus.
+func BenchmarkNetworkCycle64(b *testing.B) {
+	topo, err := topology.NewFoldedTorus(8, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n, err := network.New(network.Config{Topo: topo, Router: router.DefaultConfig(0), Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for tile := 0; tile < topo.NumTiles(); tile++ {
+		n.AttachClient(tile, traffic.NewGenerator(tile, traffic.Uniform{Tiles: 64}, 0.3, 2, flit.VCMask(0xFF), 1))
+	}
+	b.ResetTimer()
+	n.Run(int64(b.N))
+}
+
+// BenchmarkRouteCompute measures the source-route encoder (the paper's
+// client-local destination-to-route translation).
+func BenchmarkRouteCompute(b *testing.B) {
+	topo, err := topology.NewFoldedTorus(8, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src := i % 64
+		dst := (i*31 + 17) % 64
+		if dst == src {
+			dst = (dst + 1) % 64
+		}
+		if _, err := route.Compute(topo, src, dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkECCRoundTrip measures SECDED encode+decode of a full 256-bit
+// payload.
+func BenchmarkECCRoundTrip(b *testing.B) {
+	data := make([]byte, 32)
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := link.ECCEncode(data, 256)
+		if _, res := w.Decode(); res != link.ECCClean {
+			b.Fatal("unexpected ECC result")
+		}
+	}
+}
+
+// BenchmarkPacketSegmentation measures flit segmentation and reassembly of
+// a 1 KiB payload.
+func BenchmarkPacketSegmentation(b *testing.B) {
+	payload := make([]byte, 1024)
+	for i := 0; i < b.N; i++ {
+		p := &flit.Packet{ID: uint64(i), Payload: payload}
+		fl := p.Flits()
+		if _, err := flit.Reassemble(fl); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,53 @@
+// Command nocbench regenerates the paper-reproduction experiments E1–E19
+// (see DESIGN.md for the index). Each experiment prints the paper's claim
+// next to the measured value.
+//
+//	nocbench              # run everything
+//	nocbench -run E3      # one experiment
+//	nocbench -quick       # shorter measurement windows
+//	nocbench -markdown    # emit Markdown (the source of EXPERIMENTS.md)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+)
+
+func main() {
+	var (
+		runID    = flag.String("run", "", "run a single experiment (E1..E19)")
+		quick    = flag.Bool("quick", false, "shorter measurement windows")
+		markdown = flag.Bool("markdown", false, "emit Markdown tables")
+	)
+	flag.Parse()
+
+	experiments := core.All()
+	if *runID != "" {
+		e, err := core.ByID(*runID)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nocbench:", err)
+			os.Exit(1)
+		}
+		experiments = []core.Experiment{e}
+	}
+	failed := 0
+	for _, e := range experiments {
+		tbl, err := e.Run(*quick)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nocbench: %s: %v\n", e.ID, err)
+			failed++
+			continue
+		}
+		if *markdown {
+			fmt.Print(tbl.Markdown())
+		} else {
+			fmt.Println(tbl.Format())
+		}
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,200 @@
+// Command nocsim runs one on-chip network simulation from command-line
+// flags and prints the measured latency, throughput, utilization, and
+// energy. It is the ad-hoc exploration tool; cmd/nocbench regenerates the
+// paper's experiments.
+//
+// Examples:
+//
+//	nocsim -topo torus -k 4 -pattern uniform -rate 0.3
+//	nocsim -topo mesh -k 8 -pattern transpose -rate 0.2 -flits 4
+//	nocsim -print-layout -topo torus -k 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/flit"
+	"repro/internal/network"
+	"repro/internal/router"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+func main() {
+	var (
+		topoName = flag.String("topo", "torus", "topology: torus or mesh")
+		k        = flag.Int("k", 4, "radix (k x k tiles)")
+		pattern  = flag.String("pattern", "uniform", "traffic: uniform, transpose, bitcomp, shuffle, tornado, neighbor")
+		rate     = flag.Float64("rate", 0.2, "offered load, flits/cycle/node")
+		flits    = flag.Int("flits", 1, "flits per packet")
+		vcs      = flag.Int("vcs", 8, "virtual channels")
+		buf      = flag.Int("buf", 4, "flit buffers per VC")
+		mode     = flag.String("mode", "vc", "flow control: vc, drop, deflect, elastic, vct")
+		adaptive = flag.Bool("adaptive", false, "west-first adaptive routing (mesh only)")
+		serdes   = flag.Int("serdes", 1, "link cycles per flit (narrow links)")
+		nonspec  = flag.Bool("nonspec", false, "disable speculative VC allocation")
+		warmup   = flag.Int64("warmup", 1000, "warmup cycles")
+		measure  = flag.Int64("measure", 4000, "measurement cycles")
+		seed     = flag.Int64("seed", 1, "random seed")
+		layout   = flag.Bool("print-layout", false, "print the tile placement (Fig. 1) and exit")
+		trace    = flag.String("trace", "", "replay a trace file (cycle src dst bytes [class]) instead of synthetic traffic")
+		heatmap  = flag.Bool("heatmap", false, "print a per-tile link duty-factor heatmap after the run")
+	)
+	flag.Parse()
+
+	if *layout {
+		topo, err := core.BuildTopology(*topoName, *k)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(topology.Layout(topo))
+		fmt.Println(topology.Analyze(topo).String())
+		rc := router.DefaultConfig(0)
+		rc.NumVCs = *vcs
+		rc.BufFlits = *buf
+		if r, err := router.New(rc); err == nil {
+			fmt.Println()
+			fmt.Print(r.Describe())
+		}
+		return
+	}
+
+	p := core.DefaultRunParams()
+	p.Topology = *topoName
+	p.K = *k
+	p.Pattern = *pattern
+	p.Rate = *rate
+	p.FlitsPerPacket = *flits
+	p.NumVCs = *vcs
+	p.BufFlits = *buf
+	p.SerdesCycles = *serdes
+	p.NonSpeculative = *nonspec
+	p.WarmupCycles = *warmup
+	p.MeasureCycles = *measure
+	p.Seed = *seed
+	p.Metered = true
+	switch *mode {
+	case "vc":
+	case "drop":
+		p.Mode = router.ModeDrop
+		p.FlitsPerPacket = 1
+	case "deflect":
+		p.Deflect = true
+		p.FlitsPerPacket = 1
+	case "elastic":
+		p.ElasticLinks = true
+	case "vct":
+		p.CutThrough = true
+	default:
+		fatal(fmt.Errorf("unknown mode %q", *mode))
+	}
+	p.Adaptive = *adaptive
+
+	if *trace != "" {
+		if err := runTrace(p, *trace, *heatmap); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	res, err := core.Run(p)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("topology          %s-%dx%d, %s traffic, %d-flit packets\n",
+		p.Topology, p.K, p.K, p.Pattern, p.FlitsPerPacket)
+	fmt.Printf("offered           %.3f flits/cycle/node\n", res.OfferedFlits)
+	fmt.Printf("accepted          %.3f flits/cycle/node\n", res.AcceptedFlits)
+	fmt.Printf("packets delivered %d\n", res.DeliveredPackets)
+	fmt.Printf("latency           avg %.1f  p50 %d  p99 %d  max %d cycles\n",
+		res.AvgLatency, res.P50Latency, res.P99Latency, res.MaxLatency)
+	fmt.Printf("network latency   avg %.1f cycles (injection to delivery)\n", res.AvgNetLat)
+	fmt.Printf("link utilization  mean %.1f%%  max %.1f%%\n",
+		100*res.LinkUtilMean, 100*res.LinkUtilMax)
+	if res.DroppedPackets > 0 {
+		fmt.Printf("dropped packets   %d\n", res.DroppedPackets)
+	}
+	if res.EnergyPerFlit > 0 {
+		fmt.Printf("energy            %.3g J/flit (hop %.3g J + wire %.3g J total)\n",
+			res.EnergyPerFlit, res.HopEnergyJ, res.WireEnergyJ)
+	}
+	if *heatmap {
+		// Re-run with the same parameters to expose the network for the
+		// heatmap (core.Run owns its network); cheap at these sizes.
+		n, _, err := core.BuildNetwork(p)
+		if err != nil {
+			fatal(err)
+		}
+		attachGenerators(n, p)
+		n.Run(p.WarmupCycles + p.MeasureCycles)
+		fmt.Print(n.Heatmap())
+	}
+}
+
+// attachGenerators mirrors core.Run's traffic setup for the heatmap rerun.
+func attachGenerators(n *network.Network, p core.RunParams) {
+	pattern, err := traffic.ByName(p.Pattern, p.K, p.K)
+	if err != nil {
+		fatal(err)
+	}
+	mask := flit.VCMask(0xFF)
+	for tile := 0; tile < n.Topology().NumTiles(); tile++ {
+		g := traffic.NewGenerator(tile, pattern, p.Rate, p.FlitsPerPacket, mask, p.Seed)
+		g.StopAt = p.WarmupCycles + p.MeasureCycles
+		n.AttachClient(tile, g)
+	}
+}
+
+// runTrace replays a trace file through the configured network and prints
+// delivery statistics.
+func runTrace(p core.RunParams, path string, heatmap bool) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	events, err := traffic.ParseTrace(f)
+	if err != nil {
+		return err
+	}
+	p.WarmupCycles = 0 // a replayed trace is measured in full
+	n, _, err := core.BuildNetwork(p)
+	if err != nil {
+		return err
+	}
+	tiles := n.Topology().NumTiles()
+	srcs, err := traffic.SplitByTile(events, tiles, flit.VCMask(0xFF))
+	if err != nil {
+		return err
+	}
+	for tile, src := range srcs {
+		n.AttachClient(tile, src)
+	}
+	horizon := int64(0)
+	for _, e := range events {
+		if e.Cycle > horizon {
+			horizon = e.Cycle
+		}
+	}
+	n.Run(horizon + 1)
+	if !n.Drain(1_000_000) {
+		return fmt.Errorf("trace did not drain (occupancy %d)", n.Occupancy())
+	}
+	rec := n.Recorder()
+	fmt.Printf("trace             %s: %d events over %d cycles\n", path, len(events), horizon+1)
+	fmt.Printf("packets delivered %d (of %d generated)\n", rec.DeliveredPackets, rec.Generated)
+	fmt.Printf("latency           %s\n", rec.PacketLatency.String())
+	fmt.Printf("finished at cycle %d\n", n.Kernel().Now())
+	if heatmap {
+		fmt.Print(n.Heatmap())
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "nocsim:", err)
+	os.Exit(1)
+}

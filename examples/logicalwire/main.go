@@ -1,0 +1,74 @@
+// logicalwire demonstrates the §2.2 layering example: a bundle of eight
+// wires on tile 0 behaves as if directly connected to tile 10. Client
+// logic monitors the bundle; on any change it injects a single-flit packet
+// whose 16-bit payload carries the wire state and the bundle identity, and
+// the far end updates its outputs.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	noc "repro"
+	"repro/internal/flit"
+	"repro/internal/protocol"
+	"repro/internal/traffic"
+)
+
+func main() {
+	topo, err := noc.NewFoldedTorus(4, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rc := noc.DefaultRouterConfig(0)
+	rc.PriorityVCs = noc.MaskFor(7) // wire updates ride a priority class
+	n, err := noc.NewNetwork(noc.NetworkConfig{Topo: topo, Router: rc, Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const src, dst = 0, 10
+	sender := &protocol.WireSender{
+		Bundle: protocol.WireBundle{ID: 7},
+		Dst:    dst,
+		Mask:   noc.MaskFor(7),
+		Class:  9,
+	}
+	recv := protocol.NewWireReceiver()
+
+	// Drive a walking-ones pattern onto the bundle, a new value every 40
+	// cycles, while the rest of the chip generates background traffic.
+	var driven []byte
+	n.AttachClient(src, noc.ClientFunc(func(now int64, p *noc.Port) {
+		if now%40 == 0 && now < 1600 {
+			v := byte(1) << uint((now/40)%8)
+			sender.Set(v, now)
+			driven = append(driven, v)
+		}
+		sender.Tick(now, p)
+	}))
+	n.AttachClient(dst, recv)
+	for tile := 0; tile < topo.NumTiles(); tile++ {
+		if tile == src || tile == dst {
+			continue
+		}
+		g := traffic.NewGenerator(tile, traffic.Uniform{Tiles: topo.NumTiles()}, 0.3, 4, flit.VCMask(0x77), 5)
+		g.StopAt = 1600
+		n.AttachClient(tile, g)
+	}
+
+	n.Run(2000)
+
+	state, ok := recv.Output(7)
+	fmt.Printf("drove %d values; receiver saw %d updates; final state %08b (ok=%v)\n",
+		len(driven), recv.Updates, state, ok)
+	fmt.Printf("change-to-update latency: p50 %d, p99 %d, max %d cycles (%.1f ns at 2 GHz)\n",
+		recv.Latency.Median(), recv.Latency.P99(), recv.Latency.Max(),
+		float64(recv.Latency.Median())*0.5)
+	if state != driven[len(driven)-1] {
+		log.Fatalf("final wire state %08b does not match last driven value %08b",
+			state, driven[len(driven)-1])
+	}
+	fmt.Println("\nthe logical wires tracked the driven bundle across a loaded network,")
+	fmt.Println("at a fixed small pipeline delay — the §2.2 'logical wire' service.")
+}

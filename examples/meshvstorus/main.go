@@ -1,0 +1,66 @@
+// meshvstorus walks through the §3.1 topology trade-off: the folded torus
+// doubles the mesh's wire demand and bisection bandwidth, costs a little
+// more power per flit (under 15% with the real fold geometry), and
+// sustains much higher throughput under uniform load.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	noc "repro"
+	"repro/internal/core"
+	"repro/internal/topology"
+)
+
+func main() {
+	mesh, err := noc.NewMesh(8, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	torus, err := noc.NewFoldedTorus(8, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("static analysis (8x8):")
+	ma, ta := topology.Analyze(mesh), topology.Analyze(torus)
+	fmt.Printf("  %s\n  %s\n", ma, ta)
+	fmt.Printf("  torus/mesh: wire demand %.1fx, bisection %.1fx, hops %.2fx\n\n",
+		ta.WireDemand/ma.WireDemand,
+		float64(ta.BisectionChannels)/float64(ma.BisectionChannels),
+		ta.AvgHops/ma.AvgHops)
+
+	model := core.PaperPowerModel()
+	cmp, err := model.CompareExact(4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("per-flit energy at the paper's 16-tile scale:\n  %s\n\n", cmp)
+
+	fmt.Println("load-latency under uniform traffic (8x8, 4-flit packets):")
+	fmt.Printf("  %-8s  %-22s  %-22s\n", "offered", "mesh lat/accepted", "torus lat/accepted")
+	base := noc.DefaultRunParams()
+	base.K = 8
+	base.FlitsPerPacket = 4
+	base.WarmupCycles, base.MeasureCycles = 500, 2000
+	for _, rate := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
+		row := make(map[string]noc.RunResult)
+		for _, topoName := range []string{"mesh", "torus"} {
+			p := base
+			p.Topology = topoName
+			p.Rate = rate
+			res, err := noc.Run(p)
+			if err != nil {
+				log.Fatal(err)
+			}
+			row[topoName] = res
+		}
+		fmt.Printf("  %-8.2f  %6.1f cyc / %.3f      %6.1f cyc / %.3f\n",
+			rate,
+			row["mesh"].AvgLatency, row["mesh"].AcceptedFlits,
+			row["torus"].AvgLatency, row["torus"].AcceptedFlits)
+	}
+	fmt.Println("\nthe torus saturates well above the mesh — the doubled bisection the")
+	fmt.Println("paper buys with its extra wire — while costing <15% more energy per flit.")
+}

@@ -1,0 +1,101 @@
+// mpegstream reproduces the motivating workload of §2.6: "a flow of video
+// data from a camera input to an MPEG encoder is entirely static and
+// requires high-bandwidth with predictable delay. Such static traffic must
+// share the network with dynamic traffic, such as processor memory
+// references."
+//
+// A camera tile streams one flit every 8 cycles to an encoder tile over
+// reservation-register slots; a processor tile hammers a memory tile with
+// random reads and writes; every other tile adds random background load.
+// The program reports that the reserved video stream keeps exactly zero
+// delivery jitter while the dynamic memory traffic sees variable latency.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	noc "repro"
+	"repro/internal/flit"
+	"repro/internal/protocol"
+	"repro/internal/traffic"
+)
+
+func main() {
+	const (
+		camera  = 0
+		encoder = 10
+		cpu     = 3
+		memory  = 12
+		period  = 8
+		flow    = 1
+		horizon = 8000
+	)
+
+	topo, err := noc.NewFoldedTorus(4, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rc := noc.DefaultRouterConfig(0)
+	rc.ReservedVC = 7 // the "special virtual channel" for static traffic
+	rc.ResPeriod = period
+	n, err := noc.NewNetwork(noc.NetworkConfig{Topo: topo, Router: rc, Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Lay out the static route and book a slot on every hop (§2.6: "when
+	// the system is configured, routes are laid out for all of the static
+	// traffic and reservations are made for each link of each route").
+	hops, err := n.ReserveFlow(camera, encoder, flow, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("reserved a %d-hop route from camera (tile %d) to encoder (tile %d), one slot per %d cycles\n",
+		hops, camera, encoder, period)
+
+	// Camera: one flit per period, on the reserved slots.
+	cam := &traffic.StreamSource{
+		Tile: camera, Dst: encoder, Period: period, Flow: flow,
+		Reserved: true, StopAt: horizon - 500,
+	}
+	n.AttachClient(camera, cam)
+	n.AttachClient(encoder, noc.ClientFunc(func(now int64, p *noc.Port) { p.Deliveries() }))
+
+	// Processor and memory: unpredictable dynamic traffic.
+	proc := protocol.NewProcessor(memory, flit.VCMask(0x77), 7)
+	proc.StopAt = horizon - 500
+	n.AttachClient(cpu, proc)
+	n.AttachClient(memory, protocol.NewMemory(flit.VCMask(0x77)))
+
+	// Background load on the remaining tiles.
+	for tile := 0; tile < topo.NumTiles(); tile++ {
+		switch tile {
+		case camera, encoder, cpu, memory:
+			continue
+		}
+		g := traffic.NewGenerator(tile, traffic.Uniform{Tiles: topo.NumTiles()}, 0.35, 4, flit.VCMask(0x77), 9)
+		g.StopAt = horizon - 500
+		n.AttachClient(tile, g)
+	}
+
+	n.Run(horizon)
+
+	rec := n.Recorder()
+	videoLat := rec.FlowLatency(flow)
+	fmt.Printf("\nvideo stream:   %4d flits, latency %d cycles on every packet, jitter %d cycles\n",
+		videoLat.Count(), videoLat.Median(), rec.FlowJitter(flow))
+	ia := rec.FlowInterArrival(flow)
+	fmt.Printf("                inter-arrival p50/max = %d/%d cycles (period %d)\n",
+		ia.Median(), ia.Max(), period)
+	fmt.Printf("memory traffic: %4d transactions, round-trip p50/p99/max = %d/%d/%d cycles\n",
+		proc.Completed, proc.RTT.Median(), proc.RTT.P99(), proc.RTT.Max())
+	if proc.Mismatches != 0 {
+		log.Fatalf("memory consistency violated: %d mismatches", proc.Mismatches)
+	}
+	if j := rec.FlowJitter(flow); j != 0 {
+		log.Fatalf("reserved video stream jittered by %d cycles", j)
+	}
+	fmt.Println("\nthe pre-scheduled stream crossed the loaded network with zero jitter;")
+	fmt.Println("the dynamic memory references arbitrated for the remaining link cycles.")
+}

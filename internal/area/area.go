@@ -1,0 +1,187 @@
+// Package area implements the router area model of Section 2.4 of the
+// paper: the network logic along each tile edge is dominated by buffer
+// storage, plus a few thousand gates of control logic and the driver and
+// receiver circuits for the link wires. At the paper's parameters (eight
+// virtual channels, four flits of buffering each, ~300 bits per flit) the
+// router occupies a strip under 50 µm wide along each 3 mm tile edge, for a
+// total overhead of 0.59 mm², 6.6% of a 3 mm × 3 mm tile.
+//
+// The model also accounts for the top-level wiring budget: of the tracks
+// crossing each tile edge on the top two metal layers, the network consumes
+// about 3000 for differential signals and shields (§2.4).
+package area
+
+import (
+	"fmt"
+	"math"
+)
+
+// Params are the inputs of the area model. All areas are in µm² and
+// lengths in mm unless noted.
+type Params struct {
+	TileMM float64 // tile edge length (3.0)
+
+	VCs        int // virtual channels per input controller (8)
+	FlitsPerVC int // flits of buffering per VC (4)
+	FlitBits   int // bits per flit including overhead (~300)
+
+	// Per-edge link width in signal bits (data + control in one direction;
+	// both directions cross each edge).
+	LinkBits int
+
+	BitCellUM2    float64 // buffer storage area per bit
+	LogicGates    int     // control logic per edge ("a few thousand gates")
+	GateUM2       float64 // area per gate
+	XcvrUM2PerBit float64 // driver+receiver area per link bit (both directions)
+
+	EdgesPerTile int // 4: the router is distributed along all four edges
+
+	// Wiring budget (per tile edge).
+	TracksPerLayer  int     // minimum-pitch tracks per metal layer (6000)
+	NetworkLayers   int     // metal layers the network may use (2)
+	AvailableFrac   float64 // fraction of those tracks available to the network
+	WiresPerSignal  float64 // physical wires per signal: 2 (differential) + shields
+	LinksCrossing   int     // unidirectional links crossing one tile edge (4 in the folded torus: two rings' worth)
+	SpareBitsPerLnk int     // spare wires per link for fault steering (§2.5)
+}
+
+// Paper returns the model inputs for the paper's example network. The
+// storage, gate, and transceiver densities are calibrated so the paper's
+// configuration reproduces its own headline numbers (≈0.59 mm², 6.6%,
+// ≈10⁴ buffer bits per edge, ≈3000 tracks); the model then extrapolates to
+// other configurations (buffer sweeps, VC sweeps) with those densities
+// fixed.
+func Paper() Params {
+	return Params{
+		TileMM:          3.0,
+		VCs:             8,
+		FlitsPerVC:      4,
+		FlitBits:        300,
+		LinkBits:        300,
+		BitCellUM2:      12.5,
+		LogicGates:      4000,
+		GateUM2:         4.0,
+		XcvrUM2PerBit:   22.0,
+		EdgesPerTile:    4,
+		TracksPerLayer:  6000,
+		NetworkLayers:   2,
+		AvailableFrac:   0.5,
+		WiresPerSignal:  2.5, // differential pair + one shield per two pairs
+		LinksCrossing:   4,
+		SpareBitsPerLnk: 1,
+	}
+}
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	switch {
+	case p.TileMM <= 0:
+		return fmt.Errorf("area: tile %v mm", p.TileMM)
+	case p.VCs < 1 || p.FlitsPerVC < 1 || p.FlitBits < 1:
+		return fmt.Errorf("area: buffer shape %dvc x %dflit x %db", p.VCs, p.FlitsPerVC, p.FlitBits)
+	case p.EdgesPerTile < 1:
+		return fmt.Errorf("area: %d edges per tile", p.EdgesPerTile)
+	}
+	return nil
+}
+
+// BufferBitsPerEdge reports the input-controller buffer storage along one
+// tile edge. §2.4: "the total buffer requirement is about 10⁴ bits along
+// each edge of the tile."
+func (p Params) BufferBitsPerEdge() int {
+	return p.VCs * p.FlitsPerVC * p.FlitBits
+}
+
+// EdgeAreaUM2 reports the area of the router strip along one edge, µm².
+func (p Params) EdgeAreaUM2() float64 {
+	buffer := float64(p.BufferBitsPerEdge()) * p.BitCellUM2
+	logic := float64(p.LogicGates) * p.GateUM2
+	// Each edge hosts the transceivers for one input and one output link.
+	xcvr := float64(2*(p.LinkBits+p.SpareBitsPerLnk)) * p.XcvrUM2PerBit
+	return buffer + logic + xcvr
+}
+
+// EdgeStripWidthUM reports the width of the per-edge router strip in µm.
+// §2.4 estimates "less than 50 µm wide by 3 mm long".
+func (p Params) EdgeStripWidthUM() float64 {
+	return p.EdgeAreaUM2() / (p.TileMM * 1000)
+}
+
+// RouterAreaMM2 reports the total router area per tile in mm². §2.4: "a
+// total overhead of 0.59 mm²".
+func (p Params) RouterAreaMM2() float64 {
+	return float64(p.EdgesPerTile) * p.EdgeAreaUM2() / 1e6
+}
+
+// TileAreaMM2 reports the tile area in mm².
+func (p Params) TileAreaMM2() float64 { return p.TileMM * p.TileMM }
+
+// OverheadFraction reports router area as a fraction of tile area. The
+// paper's headline: 6.6%.
+func (p Params) OverheadFraction() float64 {
+	return p.RouterAreaMM2() / p.TileAreaMM2()
+}
+
+// WiringTracksUsed reports the top-metal tracks the network consumes per
+// tile edge: every link crossing the edge needs WiresPerSignal physical
+// wires per signal bit (differential plus shields), plus spares.
+// §2.4: "about 3000 of the 6000 available wiring tracks".
+func (p Params) WiringTracksUsed() int {
+	signals := p.LinksCrossing * (p.LinkBits + p.SpareBitsPerLnk)
+	return int(math.Ceil(float64(signals) * p.WiresPerSignal))
+}
+
+// WiringTracksAvailable reports the tracks available to the network per
+// tile edge across its metal layers.
+func (p Params) WiringTracksAvailable() int {
+	return int(float64(p.TracksPerLayer*p.NetworkLayers) * p.AvailableFrac)
+}
+
+// WiringFraction reports the used fraction of the available tracks.
+func (p Params) WiringFraction() float64 {
+	avail := p.WiringTracksAvailable()
+	if avail == 0 {
+		return 0
+	}
+	return float64(p.WiringTracksUsed()) / float64(avail)
+}
+
+// WithBuffers returns a copy of the parameters with a different buffer
+// shape, for the §3.2 buffer/area trade-off sweeps.
+func (p Params) WithBuffers(vcs, flitsPerVC int) Params {
+	p.VCs, p.FlitsPerVC = vcs, flitsPerVC
+	return p
+}
+
+// Report is a one-stop summary of the model outputs.
+type Report struct {
+	BufferBitsPerEdge int
+	EdgeStripWidthUM  float64
+	RouterAreaMM2     float64
+	OverheadFraction  float64
+	TracksUsed        int
+	TracksAvailable   int
+}
+
+// Evaluate runs the model.
+func Evaluate(p Params) (Report, error) {
+	if err := p.Validate(); err != nil {
+		return Report{}, err
+	}
+	return Report{
+		BufferBitsPerEdge: p.BufferBitsPerEdge(),
+		EdgeStripWidthUM:  p.EdgeStripWidthUM(),
+		RouterAreaMM2:     p.RouterAreaMM2(),
+		OverheadFraction:  p.OverheadFraction(),
+		TracksUsed:        p.WiringTracksUsed(),
+		TracksAvailable:   p.WiringTracksAvailable(),
+	}, nil
+}
+
+// String renders the report.
+func (r Report) String() string {
+	return fmt.Sprintf(
+		"buffer=%db/edge strip=%.1fµm router=%.3fmm² overhead=%.2f%% tracks=%d/%d",
+		r.BufferBitsPerEdge, r.EdgeStripWidthUM, r.RouterAreaMM2,
+		100*r.OverheadFraction, r.TracksUsed, r.TracksAvailable)
+}

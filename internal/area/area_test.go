@@ -1,0 +1,98 @@
+package area
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestPaperHeadlineNumbers(t *testing.T) {
+	r, err := Evaluate(Paper())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §2.4: "the total buffer requirement is about 10⁴ bits along each
+	// edge of the tile" (8 VCs × 4 flits × ~300b = 9600).
+	if r.BufferBitsPerEdge != 9600 {
+		t.Errorf("buffer bits/edge = %d, want 9600", r.BufferBitsPerEdge)
+	}
+	// "an area less than 50µm wide by 3mm long along each edge".
+	if r.EdgeStripWidthUM <= 0 || r.EdgeStripWidthUM >= 50 {
+		t.Errorf("edge strip width = %.1fµm, want (0, 50)", r.EdgeStripWidthUM)
+	}
+	// "a total overhead of 0.59mm²".
+	if math.Abs(r.RouterAreaMM2-0.59) > 0.02 {
+		t.Errorf("router area = %.3fmm², want ≈0.59", r.RouterAreaMM2)
+	}
+	// "or 6.6% of the tile area".
+	if math.Abs(r.OverheadFraction-0.066) > 0.002 {
+		t.Errorf("overhead = %.4f, want ≈0.066", r.OverheadFraction)
+	}
+	// "about 3000 of the 6000 available wiring tracks".
+	if r.TracksAvailable != 6000 {
+		t.Errorf("tracks available = %d, want 6000", r.TracksAvailable)
+	}
+	if r.TracksUsed < 2800 || r.TracksUsed > 3200 {
+		t.Errorf("tracks used = %d, want ≈3000", r.TracksUsed)
+	}
+}
+
+func TestAreaScalesWithBuffers(t *testing.T) {
+	// §3.2: "Buffer space in an on-chip router directly impacts the area
+	// overhead of the network."
+	base := Paper()
+	small := base.WithBuffers(8, 1)
+	big := base.WithBuffers(8, 8)
+	if !(small.OverheadFraction() < base.OverheadFraction() &&
+		base.OverheadFraction() < big.OverheadFraction()) {
+		t.Fatalf("overhead not monotone in buffering: %v %v %v",
+			small.OverheadFraction(), base.OverheadFraction(), big.OverheadFraction())
+	}
+	// The area is buffer-dominated: deleting 3/4 of the buffers must cut
+	// the router area by more than a third.
+	if small.RouterAreaMM2() > 0.67*base.RouterAreaMM2() {
+		t.Errorf("area not buffer-dominated: 1-flit %v vs 4-flit %v",
+			small.RouterAreaMM2(), base.RouterAreaMM2())
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := Paper()
+	bad.TileMM = 0
+	if _, err := Evaluate(bad); err == nil {
+		t.Error("zero tile accepted")
+	}
+	bad = Paper()
+	bad.VCs = 0
+	if _, err := Evaluate(bad); err == nil {
+		t.Error("zero VCs accepted")
+	}
+	bad = Paper()
+	bad.EdgesPerTile = 0
+	if _, err := Evaluate(bad); err == nil {
+		t.Error("zero edges accepted")
+	}
+}
+
+func TestWiringFraction(t *testing.T) {
+	p := Paper()
+	f := p.WiringFraction()
+	if f < 0.45 || f > 0.55 {
+		t.Fatalf("wiring fraction = %v, want ≈0.5", f)
+	}
+	p.AvailableFrac = 0
+	p.TracksPerLayer = 0
+	if p.WiringFraction() != 0 {
+		t.Fatal("zero-availability fraction not 0")
+	}
+}
+
+func TestReportString(t *testing.T) {
+	r, _ := Evaluate(Paper())
+	s := r.String()
+	for _, want := range []string{"overhead", "tracks", "9600"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report %q missing %q", s, want)
+		}
+	}
+}

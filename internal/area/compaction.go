@@ -1,0 +1,121 @@
+package area
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Floorplanning model for §4.3: "fixing the size of a tile can potentially
+// waste die area if client modules only occupy a fraction of their tile's
+// area. ... For a high-volume part, die area can be reduced by compacting
+// the tiles. An optimal compaction may require moving client modules so
+// that all of the big (small) clients are in the same row or column."
+//
+// Clients are square-ish modules with given areas. Three floorplans are
+// compared:
+//
+//   - FixedTiles: every tile is sized for the largest client (the paper's
+//     uniform-grid baseline — simple, reusable, wasteful);
+//   - CompactedRows: clients are sorted by height and packed into rows of
+//     k, so each row is only as tall as its tallest member (the paper's
+//     compaction);
+//   - SumArea: the lower bound, Σ client areas (no packing loss).
+
+// Client is one module to place.
+type Client struct {
+	Name   string
+	AreaMM float64 // module area in mm²
+}
+
+// side reports the module's edge length assuming a square aspect.
+func (c Client) side() float64 { return math.Sqrt(c.AreaMM) }
+
+// Floorplan is one placement's outcome.
+type Floorplan struct {
+	Name      string
+	DieMM2    float64
+	ClientMM2 float64
+	// Utilization is client area over die area.
+	Utilization float64
+}
+
+// FixedTiles computes the uniform-grid floorplan for a k×k network: every
+// tile's side equals the largest client's side (plus the per-tile network
+// strip, §2.4).
+func FixedTiles(clients []Client, k int, networkStripMM float64) (Floorplan, error) {
+	if err := validateClients(clients, k); err != nil {
+		return Floorplan{}, err
+	}
+	maxSide := 0.0
+	total := 0.0
+	for _, c := range clients {
+		if s := c.side(); s > maxSide {
+			maxSide = s
+		}
+		total += c.AreaMM
+	}
+	tile := maxSide + networkStripMM
+	die := float64(k) * tile * float64(k) * tile
+	return Floorplan{
+		Name: "fixed tiles", DieMM2: die, ClientMM2: total,
+		Utilization: total / die,
+	}, nil
+}
+
+// CompactedRows computes the §4.3 compaction: clients sorted by height and
+// packed k per row, each row as tall as its tallest client; the die width
+// is the widest row.
+func CompactedRows(clients []Client, k int, networkStripMM float64) (Floorplan, error) {
+	if err := validateClients(clients, k); err != nil {
+		return Floorplan{}, err
+	}
+	sorted := append([]Client(nil), clients...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].side() > sorted[j].side() })
+	var height, width, total float64
+	for row := 0; row < k; row++ {
+		rowClients := sorted[row*k : (row+1)*k]
+		rowH := 0.0
+		rowW := 0.0
+		for _, c := range rowClients {
+			if s := c.side(); s > rowH {
+				rowH = s
+			}
+			rowW += c.side() + networkStripMM
+			total += c.AreaMM
+		}
+		height += rowH + networkStripMM
+		if rowW > width {
+			width = rowW
+		}
+	}
+	die := height * width
+	return Floorplan{
+		Name: "compacted rows", DieMM2: die, ClientMM2: total,
+		Utilization: total / die,
+	}, nil
+}
+
+// SumArea reports the packing lower bound.
+func SumArea(clients []Client) Floorplan {
+	total := 0.0
+	for _, c := range clients {
+		total += c.AreaMM
+	}
+	return Floorplan{Name: "sum of clients", DieMM2: total, ClientMM2: total, Utilization: 1}
+}
+
+func validateClients(clients []Client, k int) error {
+	if k < 1 {
+		return fmt.Errorf("area: radix %d", k)
+	}
+	if len(clients) != k*k {
+		return fmt.Errorf("area: %d clients for a %dx%d grid", len(clients), k, k)
+	}
+	for _, c := range clients {
+		if c.AreaMM <= 0 {
+			return fmt.Errorf("area: client %q has area %v", c.Name, c.AreaMM)
+		}
+	}
+	return nil
+}

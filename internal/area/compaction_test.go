@@ -1,0 +1,90 @@
+package area
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func mixedClients(k int, seed int64) []Client {
+	rng := rand.New(rand.NewSource(seed))
+	clients := make([]Client, k*k)
+	for i := range clients {
+		// A realistic SoC mix: a few big cores, many small peripherals.
+		switch {
+		case i%8 == 0:
+			clients[i] = Client{Name: "cpu", AreaMM: 7 + rng.Float64()*2}
+		case i%3 == 0:
+			clients[i] = Client{Name: "dsp", AreaMM: 3 + rng.Float64()}
+		default:
+			clients[i] = Client{Name: "periph", AreaMM: 0.5 + rng.Float64()}
+		}
+	}
+	return clients
+}
+
+func TestFixedTilesWastesArea(t *testing.T) {
+	// §4.3: "fixing the size of a tile can potentially waste die area if
+	// client modules only occupy a fraction of their tile's area."
+	clients := mixedClients(4, 1)
+	fixed, err := FixedTiles(clients, 4, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fixed.Utilization > 0.5 {
+		t.Fatalf("mixed clients on fixed tiles: utilization %v unexpectedly high", fixed.Utilization)
+	}
+	if fixed.DieMM2 <= fixed.ClientMM2 {
+		t.Fatal("die not larger than client area")
+	}
+}
+
+func TestCompactionRecoversArea(t *testing.T) {
+	// §4.3: "die area can be reduced by compacting the tiles."
+	clients := mixedClients(4, 2)
+	fixed, err := FixedTiles(clients, 4, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compact, err := CompactedRows(clients, 4, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if compact.DieMM2 >= fixed.DieMM2 {
+		t.Fatalf("compaction did not shrink the die: %v vs %v", compact.DieMM2, fixed.DieMM2)
+	}
+	lower := SumArea(clients)
+	if compact.DieMM2 < lower.DieMM2 {
+		t.Fatalf("compacted die %v below the packing lower bound %v", compact.DieMM2, lower.DieMM2)
+	}
+	if compact.Utilization <= fixed.Utilization {
+		t.Fatal("utilization did not improve")
+	}
+}
+
+func TestUniformClientsNothingToCompact(t *testing.T) {
+	clients := make([]Client, 16)
+	for i := range clients {
+		clients[i] = Client{Name: "same", AreaMM: 4}
+	}
+	fixed, _ := FixedTiles(clients, 4, 0)
+	compact, _ := CompactedRows(clients, 4, 0)
+	if math.Abs(fixed.DieMM2-compact.DieMM2) > 1e-9 {
+		t.Fatalf("identical clients should tie: %v vs %v", fixed.DieMM2, compact.DieMM2)
+	}
+	if math.Abs(fixed.Utilization-1) > 1e-9 {
+		t.Fatalf("identical clients should fill the die: %v", fixed.Utilization)
+	}
+}
+
+func TestCompactionValidation(t *testing.T) {
+	if _, err := FixedTiles(make([]Client, 5), 4, 0); err == nil {
+		t.Error("wrong client count accepted")
+	}
+	if _, err := CompactedRows([]Client{{AreaMM: -1}}, 1, 0); err == nil {
+		t.Error("negative area accepted")
+	}
+	if _, err := FixedTiles(nil, 0, 0); err == nil {
+		t.Error("zero radix accepted")
+	}
+}

@@ -1,0 +1,169 @@
+// Package bus models the shared on-chip bus the paper calls "a degenerate
+// form of a network" (§1): one arbitrated transaction at a time, full
+// connectivity, no concurrency. It is the baseline for the E12 experiment —
+// "networks are generally preferable to such buses because they have higher
+// bandwidth and support multiple concurrent communications."
+//
+// The model is cycle-accurate in the same sense as the network simulator: a
+// round-robin arbiter grants the bus, a transaction occupies it for
+// ceil(bits/width) cycles plus the arbitration overhead, and per-client
+// queues absorb backpressure.
+package bus
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// Config parameterizes the bus.
+type Config struct {
+	Clients   int
+	WidthBits int // data wires
+	ArbCycles int // arbitration/turnaround overhead per transaction
+}
+
+// DefaultConfig matches the network comparison: as many wires as one
+// network channel (256 data bits) shared by all 16 tiles.
+func DefaultConfig() Config {
+	return Config{Clients: 16, WidthBits: 256, ArbCycles: 1}
+}
+
+// Txn is one bus transaction.
+type Txn struct {
+	Src, Dst int
+	Bits     int
+	Birth    int64
+}
+
+// Bus is the shared interconnect.
+type Bus struct {
+	cfg     Config
+	queues  [][]*Txn
+	arbNext int
+
+	busyUntil int64
+	current   *Txn
+	now       int64
+
+	// Deliver, when set, receives completed transactions.
+	Deliver func(t *Txn, now int64)
+
+	Latency   *stats.Hist
+	Offered   int64
+	Completed int64
+	Util      stats.Counter
+}
+
+// New returns a bus.
+func New(cfg Config) (*Bus, error) {
+	if cfg.Clients < 1 || cfg.WidthBits < 1 {
+		return nil, fmt.Errorf("bus: invalid config %+v", cfg)
+	}
+	if cfg.ArbCycles < 0 {
+		cfg.ArbCycles = 0
+	}
+	return &Bus{
+		cfg:     cfg,
+		queues:  make([][]*Txn, cfg.Clients),
+		Latency: stats.NewHist(4096),
+	}, nil
+}
+
+// Config reports the bus configuration.
+func (b *Bus) Config() Config { return b.cfg }
+
+// Now reports the current cycle.
+func (b *Bus) Now() int64 { return b.now }
+
+// Offer enqueues a transaction at its source client.
+func (b *Bus) Offer(src, dst, bits int) error {
+	if src < 0 || src >= b.cfg.Clients || dst < 0 || dst >= b.cfg.Clients {
+		return fmt.Errorf("bus: client out of range (%d->%d)", src, dst)
+	}
+	if bits < 1 {
+		bits = 1
+	}
+	b.queues[src] = append(b.queues[src], &Txn{Src: src, Dst: dst, Bits: bits, Birth: b.now})
+	b.Offered++
+	return nil
+}
+
+// OccupancyCycles reports how long a transaction holds the bus.
+func (b *Bus) OccupancyCycles(bits int) int64 {
+	beats := int64((bits + b.cfg.WidthBits - 1) / b.cfg.WidthBits)
+	return beats + int64(b.cfg.ArbCycles)
+}
+
+// Step advances the bus one cycle.
+func (b *Bus) Step() {
+	busy := b.now < b.busyUntil
+	if busy {
+		b.Util.Tick(1)
+	} else {
+		b.Util.Tick(0)
+		if b.current != nil {
+			// Transaction completed at the start of this cycle.
+			done := b.current
+			b.current = nil
+			b.Completed++
+			b.Latency.Add(b.now - done.Birth)
+			if b.Deliver != nil {
+				b.Deliver(done, b.now)
+			}
+		}
+		// Round-robin arbitration over client queues.
+		for i := 0; i < b.cfg.Clients; i++ {
+			c := (b.arbNext + i) % b.cfg.Clients
+			if len(b.queues[c]) == 0 {
+				continue
+			}
+			t := b.queues[c][0]
+			b.queues[c] = b.queues[c][1:]
+			b.current = t
+			b.busyUntil = b.now + b.OccupancyCycles(t.Bits)
+			b.arbNext = (c + 1) % b.cfg.Clients
+			b.Util.AddEvents(1) // count the grant cycle as busy
+			break
+		}
+	}
+	b.now++
+}
+
+// Run advances n cycles.
+func (b *Bus) Run(n int64) {
+	for i := int64(0); i < n; i++ {
+		b.Step()
+	}
+}
+
+// Pending reports queued plus in-flight transactions.
+func (b *Bus) Pending() int {
+	n := 0
+	for _, q := range b.queues {
+		n += len(q)
+	}
+	if b.current != nil {
+		n++
+	}
+	return n
+}
+
+// Drain runs until all offered transactions complete or the budget is
+// exhausted, reporting success.
+func (b *Bus) Drain(budget int64) bool {
+	for i := int64(0); i < budget; i++ {
+		if b.Pending() == 0 {
+			return true
+		}
+		b.Step()
+	}
+	return b.Pending() == 0
+}
+
+// PeakThroughputBits reports the theoretical ceiling in bits per cycle:
+// the bus serializes everyone, so it is simply the width divided by the
+// per-transaction overhead factor.
+func (b *Bus) PeakThroughputBits(txnBits int) float64 {
+	return float64(txnBits) / float64(b.OccupancyCycles(txnBits))
+}

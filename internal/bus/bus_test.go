@@ -1,0 +1,159 @@
+package bus
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{Clients: 0, WidthBits: 8}); err == nil {
+		t.Error("zero clients accepted")
+	}
+	if _, err := New(Config{Clients: 2, WidthBits: 0}); err == nil {
+		t.Error("zero width accepted")
+	}
+	b, err := New(Config{Clients: 2, WidthBits: 8, ArbCycles: -5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Config().ArbCycles != 0 {
+		t.Error("negative arb cycles not clamped")
+	}
+}
+
+func TestOccupancy(t *testing.T) {
+	b, _ := New(Config{Clients: 2, WidthBits: 256, ArbCycles: 1})
+	if got := b.OccupancyCycles(256); got != 2 {
+		t.Errorf("256b occupancy = %d, want 2", got)
+	}
+	if got := b.OccupancyCycles(257); got != 3 {
+		t.Errorf("257b occupancy = %d, want 3", got)
+	}
+	if got := b.OccupancyCycles(1); got != 2 {
+		t.Errorf("1b occupancy = %d, want 2", got)
+	}
+}
+
+func TestSingleTransaction(t *testing.T) {
+	b, _ := New(Config{Clients: 4, WidthBits: 64, ArbCycles: 1})
+	var deliveredAt int64 = -1
+	b.Deliver = func(txn *Txn, now int64) {
+		if txn.Src != 1 || txn.Dst != 2 {
+			t.Errorf("wrong txn delivered: %+v", txn)
+		}
+		deliveredAt = now
+	}
+	if err := b.Offer(1, 2, 128); err != nil {
+		t.Fatal(err)
+	}
+	b.Run(10)
+	// Offered at cycle 0, granted at cycle 0, occupies 2+1 cycles,
+	// completes at cycle 3.
+	if deliveredAt != 3 {
+		t.Fatalf("delivered at %d, want 3", deliveredAt)
+	}
+	if b.Latency.Max() != 3 {
+		t.Fatalf("latency = %d", b.Latency.Max())
+	}
+}
+
+func TestOfferValidation(t *testing.T) {
+	b, _ := New(Config{Clients: 2, WidthBits: 8})
+	if err := b.Offer(0, 5, 8); err == nil {
+		t.Error("out-of-range destination accepted")
+	}
+	if err := b.Offer(9, 0, 8); err == nil {
+		t.Error("out-of-range source accepted")
+	}
+}
+
+func TestSerializationOnlyOneTxnAtATime(t *testing.T) {
+	b, _ := New(Config{Clients: 4, WidthBits: 256, ArbCycles: 1})
+	order := []int{}
+	b.Deliver = func(txn *Txn, now int64) { order = append(order, txn.Src) }
+	for src := 0; src < 4; src++ {
+		_ = b.Offer(src, (src+1)%4, 256)
+	}
+	b.Run(20)
+	if len(order) != 4 {
+		t.Fatalf("delivered %d", len(order))
+	}
+	// Completion times are spaced by the occupancy (2 cycles).
+	if b.Latency.Max()-b.Latency.Quantile(0) < 4 {
+		t.Fatalf("bus is not serializing: latencies %v", b.Latency)
+	}
+}
+
+func TestRoundRobinFairness(t *testing.T) {
+	b, _ := New(Config{Clients: 4, WidthBits: 256, ArbCycles: 0})
+	counts := map[int]int{}
+	b.Deliver = func(txn *Txn, now int64) { counts[txn.Src]++ }
+	// Saturate: every client always has work.
+	for cycle := int64(0); cycle < 1000; cycle++ {
+		for src := 0; src < 4; src++ {
+			if cycle%2 == 0 {
+				_ = b.Offer(src, (src+1)%4, 256)
+			}
+		}
+		b.Step()
+	}
+	b.Drain(10000)
+	min, max := 1<<30, 0
+	for src := 0; src < 4; src++ {
+		if counts[src] < min {
+			min = counts[src]
+		}
+		if counts[src] > max {
+			max = counts[src]
+		}
+	}
+	if min == 0 || max-min > 1 {
+		t.Fatalf("unfair service: %v", counts)
+	}
+}
+
+func TestSaturationThroughput(t *testing.T) {
+	// A 256-bit bus with 1 arb cycle moves at most one 256-bit packet per
+	// 2 cycles regardless of client count — the §1 bus bottleneck.
+	b, _ := New(Config{Clients: 16, WidthBits: 256, ArbCycles: 1})
+	delivered := 0
+	b.Deliver = func(txn *Txn, now int64) { delivered++ }
+	rng := rand.New(rand.NewSource(1))
+	const cycles = 4000
+	for cycle := 0; cycle < cycles; cycle++ {
+		for src := 0; src < 16; src++ {
+			if rng.Float64() < 0.5 { // heavy overload
+				_ = b.Offer(src, rng.Intn(16), 256)
+			}
+		}
+		b.Step()
+	}
+	rate := float64(delivered) / float64(cycles)
+	if rate > 0.51 || rate < 0.45 {
+		t.Fatalf("saturated bus rate = %v txns/cycle, want ≈0.5", rate)
+	}
+	if b.Util.Rate() < 0.95 {
+		t.Fatalf("saturated bus utilization = %v", b.Util.Rate())
+	}
+}
+
+func TestDrain(t *testing.T) {
+	b, _ := New(Config{Clients: 2, WidthBits: 8})
+	_ = b.Offer(0, 1, 64)
+	if b.Pending() != 1 {
+		t.Fatal("pending wrong")
+	}
+	if !b.Drain(100) {
+		t.Fatal("drain failed")
+	}
+	if b.Pending() != 0 || b.Completed != 1 {
+		t.Fatal("post-drain state wrong")
+	}
+}
+
+func TestPeakThroughput(t *testing.T) {
+	b, _ := New(Config{Clients: 16, WidthBits: 256, ArbCycles: 1})
+	if got := b.PeakThroughputBits(256); got != 128 {
+		t.Fatalf("peak = %v bits/cycle, want 128", got)
+	}
+}

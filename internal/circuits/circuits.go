@@ -1,0 +1,228 @@
+// Package circuits models the electrical layer of the on-chip network: RC
+// wires, repeater insertion, and the full-swing vs. pulsed low-swing
+// signaling comparison of Section 4.1 of the paper.
+//
+// The model separates two kinds of numbers:
+//
+//   - Derived quantities. Wire delay, optimal repeater spacing and count,
+//     and signaling energy follow from first-order circuit physics (Elmore
+//     delay with optimally sized repeaters; E = C·Vswing·Vdd per transition).
+//     In particular the paper's "order of magnitude" power saving is exactly
+//     Vdd²/(Vs·Vdd) = 10 for 100 mV swing at Vdd = 1.0 V.
+//   - Asserted quantities. The 3× signal velocity and 3× repeater spacing of
+//     overdriven low-swing signaling are measured results the paper takes
+//     from Dally & Poulton, Digital Systems Engineering, ch. 8. They enter
+//     the model as explicit multipliers (OverdriveVelocity,
+//     OverdriveSpacing) rather than being re-derived.
+//
+// All process constants are carried in a Process value so experiments can
+// perturb them; Process100nm returns constants calibrated to the paper's
+// 0.1 µm, 1.0 V technology with 0.5 µm top-metal wire pitch and 3 mm tiles.
+package circuits
+
+import (
+	"fmt"
+	"math"
+)
+
+// Process collects the technology constants of the electrical model.
+type Process struct {
+	Name string
+
+	VDD float64 // supply voltage, V
+
+	// Top-level metal wire parasitics per mm.
+	WireResPerMM float64 // Ω/mm
+	WireCapPerMM float64 // F/mm
+
+	// Minimum-size driver characteristics used by repeater optimization.
+	DriverRes float64 // Ω (output resistance of a unit inverter)
+	DriverCap float64 // F (input capacitance of a unit inverter)
+
+	TilePitchMM float64 // tile edge, mm (3.0 in the paper)
+	WirePitchUM float64 // minimum top-metal wire pitch, µm (0.5 in the paper)
+
+	// MaxWireRate is the feasible signalling rate per wire, b/s. The paper
+	// quotes 4 Gb/s in 0.1 µm technology (§3.3).
+	MaxWireRate float64
+
+	// LowSwingV is the pulsed low-swing signal amplitude (100 mV in §4.1).
+	LowSwingV float64
+
+	// OverdriveVelocity and OverdriveSpacing are the measured low-swing
+	// multipliers the paper asserts: "about three times the signal
+	// velocity" and "increases the optimum repeater spacing by about 3x".
+	OverdriveVelocity float64
+	OverdriveSpacing  float64
+}
+
+// Process100nm returns the paper's 0.1 µm process model.
+func Process100nm() Process {
+	return Process{
+		Name:              "cmos-100nm",
+		VDD:               1.0,
+		WireResPerMM:      100,     // thin top-metal wire at 0.5 µm pitch
+		WireCapPerMM:      0.2e-12, // 0.2 pF/mm including coupling to shields
+		DriverRes:         4000,
+		DriverCap:         3e-15,
+		TilePitchMM:       3.0,
+		WirePitchUM:       0.5,
+		MaxWireRate:       4e9,
+		LowSwingV:         0.1,
+		OverdriveVelocity: 3.0,
+		OverdriveSpacing:  3.0,
+	}
+}
+
+// Validate reports whether the process constants are physically sane.
+func (p Process) Validate() error {
+	switch {
+	case p.VDD <= 0:
+		return fmt.Errorf("circuits: VDD %v <= 0", p.VDD)
+	case p.WireResPerMM <= 0 || p.WireCapPerMM <= 0:
+		return fmt.Errorf("circuits: wire parasitics must be positive")
+	case p.DriverRes <= 0 || p.DriverCap <= 0:
+		return fmt.Errorf("circuits: driver parameters must be positive")
+	case p.LowSwingV <= 0 || p.LowSwingV > p.VDD:
+		return fmt.Errorf("circuits: low swing %v outside (0, VDD]", p.LowSwingV)
+	case p.OverdriveVelocity < 1 || p.OverdriveSpacing < 1:
+		return fmt.Errorf("circuits: overdrive multipliers must be >= 1")
+	}
+	return nil
+}
+
+// UnrepeatedDelay is the Elmore delay of a wire of the given length driven
+// by an s-times unit driver with no repeaters, in seconds. The quadratic
+// term is why long unrepeated wires are untenable (§4.1: repeaters keep
+// delay "linear (rather than quadratic) with length").
+func (p Process) UnrepeatedDelay(lengthMM, driverSize float64) float64 {
+	r := p.DriverRes / driverSize
+	cw := p.WireCapPerMM * lengthMM
+	rw := p.WireResPerMM * lengthMM
+	return 0.69*r*(driverSize*p.DriverCap+cw) + 0.38*rw*cw
+}
+
+// OptimalRepeaterSpacingMM is the repeater spacing that minimizes delay per
+// mm for full-swing static CMOS repeaters:
+//
+//	l* = sqrt(0.69·R0·C0 / (0.38·r·c))
+//
+// (minimizing segmentDelay(l, s)/l over l with the repeater size held at
+// its own optimum).
+func (p Process) OptimalRepeaterSpacingMM() float64 {
+	return math.Sqrt(0.69 * p.DriverRes * p.DriverCap / (0.38 * p.WireResPerMM * p.WireCapPerMM))
+}
+
+// optimalRepeaterSize is the delay-optimal repeater size s* = sqrt(R0·c/(r·C0)).
+func (p Process) optimalRepeaterSize() float64 {
+	return math.Sqrt(p.DriverRes * p.WireCapPerMM / (p.WireResPerMM * p.DriverCap))
+}
+
+// RepeatedDelayPerMM is the delay per mm of an optimally repeated
+// full-swing wire, in s/mm.
+func (p Process) RepeatedDelayPerMM() float64 {
+	l := p.OptimalRepeaterSpacingMM()
+	s := p.optimalRepeaterSize()
+	seg := p.segmentDelay(l, s)
+	return seg / l
+}
+
+func (p Process) segmentDelay(l, s float64) float64 {
+	r0 := p.DriverRes / s
+	cw := p.WireCapPerMM * l
+	rw := p.WireResPerMM * l
+	return 0.69*r0*(s*p.DriverCap+cw) + 0.69*rw*s*p.DriverCap + 0.38*rw*cw
+}
+
+// Repeaters reports the number of repeaters an optimally repeated
+// full-swing wire of the given length needs (0 when the wire is shorter
+// than one optimal segment).
+func (p Process) Repeaters(lengthMM float64) int {
+	n := int(math.Ceil(lengthMM/p.OptimalRepeaterSpacingMM())) - 1
+	if n < 0 {
+		n = 0
+	}
+	return n
+}
+
+// Signaling is one driver/receiver discipline over the process's wires.
+type Signaling struct {
+	Name string
+	// SwingV is the signal amplitude on the wire.
+	SwingV float64
+	// VelocityMMPerS is the signal propagation velocity on an optimally
+	// repeated wire.
+	VelocityMMPerS float64
+	// RepeaterSpacingMM is the optimum repeater spacing.
+	RepeaterSpacingMM float64
+	// EnergyPerBitMM is the switching energy per transported bit per mm,
+	// E = c · Vswing · Vdd.
+	EnergyPerBitMM float64
+}
+
+// FullSwing returns the conventional static CMOS signaling discipline: the
+// conservative circuits §4.1 says unstructured wiring forces.
+func FullSwing(p Process) Signaling {
+	return Signaling{
+		Name:              "full-swing",
+		SwingV:            p.VDD,
+		VelocityMMPerS:    1 / p.RepeatedDelayPerMM(),
+		RepeaterSpacingMM: p.OptimalRepeaterSpacingMM(),
+		EnergyPerBitMM:    p.WireCapPerMM * p.VDD * p.VDD,
+	}
+}
+
+// LowSwing returns the pulsed low-swing discipline enabled by the
+// structured, well-characterized wiring of an on-chip network (§4.1).
+func LowSwing(p Process) Signaling {
+	fs := FullSwing(p)
+	return Signaling{
+		Name:              "low-swing",
+		SwingV:            p.LowSwingV,
+		VelocityMMPerS:    fs.VelocityMMPerS * p.OverdriveVelocity,
+		RepeaterSpacingMM: fs.RepeaterSpacingMM * p.OverdriveSpacing,
+		EnergyPerBitMM:    p.WireCapPerMM * p.LowSwingV * p.VDD,
+	}
+}
+
+// Delay is the time for a transition to traverse length mm, in seconds.
+func (s Signaling) Delay(lengthMM float64) float64 {
+	return lengthMM / s.VelocityMMPerS
+}
+
+// Energy is the switching energy to move bits over lengthMM, in joules.
+func (s Signaling) Energy(bits int, lengthMM float64) float64 {
+	return float64(bits) * lengthMM * s.EnergyPerBitMM
+}
+
+// Repeaters reports how many repeaters a wire of the given length needs
+// under this discipline.
+func (s Signaling) Repeaters(lengthMM float64) int {
+	n := int(math.Ceil(lengthMM/s.RepeaterSpacingMM)) - 1
+	if n < 0 {
+		n = 0
+	}
+	return n
+}
+
+// PowerRatio reports how much more energy per bit·mm the other discipline
+// burns relative to s.
+func (s Signaling) PowerRatio(other Signaling) float64 {
+	return other.EnergyPerBitMM / s.EnergyPerBitMM
+}
+
+// BitsPerClock reports how many bits one wire can carry per clock cycle at
+// the given core frequency, given the process's per-wire signalling rate.
+// §3.3: "it is feasible to transmit 4Gb/s per wire. This translates to 2-20
+// bits per clock cycle depending on whether the chip uses an aggressive
+// (2GHz) or slow (200MHz) clock."
+func (p Process) BitsPerClock(clockHz float64) float64 {
+	return p.MaxWireRate / clockHz
+}
+
+// TracksPerLayerPerEdge reports the number of minimum-pitch wiring tracks
+// crossing one tile edge on one metal layer. §3.1: "there can be up to
+// 6,000 wires on each metal layer crossing each edge of a tile."
+func (p Process) TracksPerLayerPerEdge() int {
+	return int(p.TilePitchMM * 1000 / p.WirePitchUM)
+}

@@ -1,0 +1,186 @@
+package circuits
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestProcessValidate(t *testing.T) {
+	p := Process100nm()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("paper process invalid: %v", err)
+	}
+	bad := p
+	bad.VDD = 0
+	if bad.Validate() == nil {
+		t.Error("zero VDD accepted")
+	}
+	bad = p
+	bad.LowSwingV = 2.0
+	if bad.Validate() == nil {
+		t.Error("swing above VDD accepted")
+	}
+	bad = p
+	bad.OverdriveVelocity = 0.5
+	if bad.Validate() == nil {
+		t.Error("sub-unity overdrive accepted")
+	}
+	bad = p
+	bad.WireResPerMM = -1
+	if bad.Validate() == nil {
+		t.Error("negative wire R accepted")
+	}
+	bad = p
+	bad.DriverCap = 0
+	if bad.Validate() == nil {
+		t.Error("zero driver cap accepted")
+	}
+}
+
+func TestLowSwingPowerIsTenfoldLower(t *testing.T) {
+	// §4.1: "by using 100mV or less of signal swing, they reduce power by
+	// an order of magnitude compared to 1.0V full swing signaling."
+	p := Process100nm()
+	fs, ls := FullSwing(p), LowSwing(p)
+	ratio := ls.PowerRatio(fs)
+	if math.Abs(ratio-10.0) > 1e-9 {
+		t.Fatalf("full/low swing energy ratio = %v, want exactly 10 (Vdd²/(Vs·Vdd))", ratio)
+	}
+}
+
+func TestLowSwingVelocityAndSpacing(t *testing.T) {
+	// §4.1: 3x signal velocity and 3x repeater spacing.
+	p := Process100nm()
+	fs, ls := FullSwing(p), LowSwing(p)
+	if r := ls.VelocityMMPerS / fs.VelocityMMPerS; math.Abs(r-3.0) > 1e-9 {
+		t.Errorf("velocity ratio = %v, want 3", r)
+	}
+	if r := ls.RepeaterSpacingMM / fs.RepeaterSpacingMM; math.Abs(r-3.0) > 1e-9 {
+		t.Errorf("spacing ratio = %v, want 3", r)
+	}
+}
+
+func TestTileCrossableWithoutRepeater(t *testing.T) {
+	// §4.1: low-swing overdrive "will make it possible to traverse a 3mm
+	// tile without the need for an intermediate repeater"; full swing
+	// needs at least one.
+	p := Process100nm()
+	fs, ls := FullSwing(p), LowSwing(p)
+	if n := ls.Repeaters(p.TilePitchMM); n != 0 {
+		t.Errorf("low-swing 3mm repeaters = %d, want 0 (spacing %.2fmm)", n, ls.RepeaterSpacingMM)
+	}
+	if n := fs.Repeaters(p.TilePitchMM); n < 1 {
+		t.Errorf("full-swing 3mm repeaters = %d, want >= 1 (spacing %.2fmm)", n, fs.RepeaterSpacingMM)
+	}
+}
+
+func TestUnrepeatedDelayQuadratic(t *testing.T) {
+	// Without repeaters, doubling length should much more than double
+	// delay once wire RC dominates.
+	p := Process100nm()
+	d1 := p.UnrepeatedDelay(6, 50)
+	d2 := p.UnrepeatedDelay(12, 50)
+	if d2 < 3*d1 {
+		t.Fatalf("unrepeated delay not superlinear: %v -> %v", d1, d2)
+	}
+	// Repeated delay is linear by construction.
+	fs := FullSwing(p)
+	if r := fs.Delay(12) / fs.Delay(6); math.Abs(r-2) > 1e-9 {
+		t.Fatalf("repeated delay not linear: ratio %v", r)
+	}
+}
+
+func TestRepeatedBeatsUnrepeatedOnLongWires(t *testing.T) {
+	p := Process100nm()
+	fs := FullSwing(p)
+	for _, l := range []float64{3, 6, 9, 12} {
+		if fs.Delay(l) >= p.UnrepeatedDelay(l, 1) {
+			t.Errorf("at %vmm repeated (%.3gs) not faster than unrepeated min driver (%.3gs)",
+				l, fs.Delay(l), p.UnrepeatedDelay(l, 1))
+		}
+	}
+}
+
+func TestOptimalSpacingIsOptimal(t *testing.T) {
+	// Perturbing the analytic optimum spacing must not reduce per-mm delay.
+	p := Process100nm()
+	l := p.OptimalRepeaterSpacingMM()
+	s := p.optimalRepeaterSize()
+	best := p.segmentDelay(l, s) / l
+	for _, f := range []float64{0.5, 0.8, 1.25, 2.0} {
+		d := p.segmentDelay(l*f, s) / (l * f)
+		if d < best-1e-18 {
+			t.Errorf("spacing %.2f× optimum gives lower delay/mm (%v < %v)", f, d, best)
+		}
+		d = p.segmentDelay(l, s*f) / l
+		if d < best-1e-18 {
+			t.Errorf("size %.2f× optimum gives lower delay/mm (%v < %v)", f, d, best)
+		}
+	}
+}
+
+func TestBitsPerClockRange(t *testing.T) {
+	// §3.3: 4Gb/s per wire is 2-20 bits per clock for 2GHz-200MHz clocks.
+	p := Process100nm()
+	if got := p.BitsPerClock(2e9); math.Abs(got-2) > 1e-9 {
+		t.Errorf("bits/clock at 2GHz = %v, want 2", got)
+	}
+	if got := p.BitsPerClock(200e6); math.Abs(got-20) > 1e-9 {
+		t.Errorf("bits/clock at 200MHz = %v, want 20", got)
+	}
+}
+
+func TestTracksPerLayer(t *testing.T) {
+	// §3.1: "up to 6,000 wires on each metal layer crossing each edge".
+	p := Process100nm()
+	if got := p.TracksPerLayerPerEdge(); got != 6000 {
+		t.Fatalf("tracks per layer = %d, want 6000", got)
+	}
+}
+
+func TestVelocityPhysical(t *testing.T) {
+	// Signal velocity must stay below c/2 (speed of light in on-chip
+	// dielectric, ~150 mm/ns) and above 1 mm/ns (else the model is junk).
+	p := Process100nm()
+	for _, s := range []Signaling{FullSwing(p), LowSwing(p)} {
+		v := s.VelocityMMPerS / 1e9 // mm/ns
+		if v < 1 || v > 150 {
+			t.Errorf("%s velocity %.1f mm/ns implausible", s.Name, v)
+		}
+	}
+}
+
+func TestEnergyLinearInBitsAndLength(t *testing.T) {
+	s := LowSwing(Process100nm())
+	e1 := s.Energy(100, 3)
+	if r := s.Energy(200, 3) / e1; math.Abs(r-2) > 1e-12 {
+		t.Errorf("energy not linear in bits: %v", r)
+	}
+	if r := s.Energy(100, 6) / e1; math.Abs(r-2) > 1e-12 {
+		t.Errorf("energy not linear in length: %v", r)
+	}
+}
+
+// Property: repeater count is monotone non-decreasing in wire length and
+// zero for wires within one segment.
+func TestRepeatersMonotoneProperty(t *testing.T) {
+	p := Process100nm()
+	fs := FullSwing(p)
+	f := func(a, b uint8) bool {
+		la, lb := float64(a)*0.25, float64(b)*0.25
+		if la > lb {
+			la, lb = lb, la
+		}
+		if fs.Repeaters(la) > fs.Repeaters(lb) {
+			return false
+		}
+		if la > 0 && la <= fs.RepeaterSpacingMM && fs.Repeaters(la) != 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

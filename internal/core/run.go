@@ -1,0 +1,252 @@
+// Package core is the experiment layer of the reproduction: it assembles
+// networks from high-level parameters, runs calibrated measurement
+// campaigns (load–latency sweeps, energy accounting, jitter analysis), and
+// implements one runner per experiment in DESIGN.md's E1–E19 index. The
+// cmd/nocbench binary and the repository-level benchmarks are thin wrappers
+// over this package.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/circuits"
+	"repro/internal/flit"
+	"repro/internal/network"
+	"repro/internal/power"
+	"repro/internal/router"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// RunParams describes one simulation measurement.
+type RunParams struct {
+	Topology string // "torus" or "mesh"
+	K        int    // radix (K x K tiles)
+
+	Pattern        string  // traffic pattern name
+	Rate           float64 // offered flits/cycle/node
+	FlitsPerPacket int
+
+	NumVCs         int
+	BufFlits       int
+	Mode           router.Mode
+	Deflect        bool
+	ElasticLinks   bool
+	Adaptive       bool
+	CutThrough     bool
+	NonSpeculative bool
+	SerdesCycles   int
+
+	WarmupCycles  int64
+	MeasureCycles int64
+	DrainBudget   int64
+
+	Seed    int64
+	Metered bool
+}
+
+// DefaultRunParams returns the paper's baseline configuration under
+// uniform random traffic.
+func DefaultRunParams() RunParams {
+	return RunParams{
+		Topology:       "torus",
+		K:              4,
+		Pattern:        "uniform",
+		Rate:           0.1,
+		FlitsPerPacket: 1,
+		NumVCs:         8,
+		BufFlits:       4,
+		WarmupCycles:   1000,
+		MeasureCycles:  4000,
+		DrainBudget:    50000,
+		Seed:           1,
+	}
+}
+
+// RunResult is the measured outcome of one run.
+type RunResult struct {
+	Params RunParams
+
+	OfferedFlits  float64 // offered flits/cycle/node
+	AcceptedFlits float64 // delivered flits/cycle/node in the window
+
+	AvgLatency float64 // packet latency (birth -> delivery), cycles
+	P50Latency int64
+	P99Latency int64
+	MaxLatency int64
+	AvgNetLat  float64 // injection -> delivery
+
+	LinkUtilMean float64
+	LinkUtilMax  float64
+
+	DroppedPackets int64
+	Deflections    int64
+
+	HopEnergyJ    float64
+	WireEnergyJ   float64
+	EnergyPerFlit float64
+
+	DeliveredPackets int64
+}
+
+// BuildTopology constructs the named topology.
+func BuildTopology(name string, k int) (topology.Topology, error) {
+	switch name {
+	case "torus":
+		return topology.NewFoldedTorus(k, k)
+	case "mesh":
+		return topology.NewMesh(k, k)
+	default:
+		return nil, fmt.Errorf("core: unknown topology %q", name)
+	}
+}
+
+// PaperPowerModel returns the §3.1 energy model over low-swing wires.
+func PaperPowerModel() power.Model {
+	return power.DefaultModel(circuits.LowSwing(circuits.Process100nm()).EnergyPerBitMM)
+}
+
+// BuildNetwork assembles the network for the given parameters, without
+// clients attached.
+func BuildNetwork(p RunParams) (*network.Network, *power.Meter, error) {
+	topo, err := BuildTopology(p.Topology, p.K)
+	if err != nil {
+		return nil, nil, err
+	}
+	rc := router.DefaultConfig(0)
+	if p.NumVCs > 0 {
+		rc.NumVCs = p.NumVCs
+	}
+	if p.BufFlits > 0 {
+		rc.BufFlits = p.BufFlits
+	}
+	rc.Mode = p.Mode
+	rc.NonSpeculative = p.NonSpeculative
+	rc.CutThrough = p.CutThrough
+	var meter *power.Meter
+	if p.Metered {
+		meter = power.NewMeter(PaperPowerModel())
+	}
+	cfg := network.Config{
+		Topo:         topo,
+		Router:       rc,
+		SerdesCycles: p.SerdesCycles,
+		Deflect:      p.Deflect,
+		ElasticLinks: p.ElasticLinks,
+		Adaptive:     p.Adaptive,
+		Meter:        meter,
+		Warmup:       p.WarmupCycles,
+		Seed:         p.Seed,
+	}
+	n, err := network.New(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return n, meter, nil
+}
+
+// Run executes one measurement: Bernoulli generators on every tile at the
+// offered rate, a warmup, a measurement window, and a drain tail so
+// measured packets complete.
+func Run(p RunParams) (RunResult, error) {
+	n, meter, err := BuildNetwork(p)
+	if err != nil {
+		return RunResult{}, err
+	}
+	topo := n.Topology()
+	pattern, err := traffic.ByName(p.Pattern, p.K, p.K)
+	if err != nil {
+		return RunResult{}, err
+	}
+	stopAt := p.WarmupCycles + p.MeasureCycles
+	n.Recorder().MeasureUntil = stopAt
+	mask := flit.VCMask(0xFF)
+	if p.NumVCs > 0 && p.NumVCs < 8 {
+		mask = flit.VCMask((1 << p.NumVCs) - 1)
+	}
+	for tile := 0; tile < topo.NumTiles(); tile++ {
+		g := traffic.NewGenerator(tile, pattern, p.Rate, p.FlitsPerPacket, mask, p.Seed)
+		g.StopAt = stopAt
+		n.AttachClient(tile, g)
+	}
+	n.Run(stopAt)
+	// Drain so that in-flight measured packets finish. At saturation the
+	// sources have stopped, so the network always empties.
+	drain := p.DrainBudget
+	if drain <= 0 {
+		drain = 50000
+	}
+	n.Drain(drain)
+
+	rec := n.Recorder()
+	res := RunResult{
+		Params:           p,
+		OfferedFlits:     p.Rate,
+		AcceptedFlits:    float64(rec.WindowFlits) / float64(p.MeasureCycles) / float64(topo.NumTiles()),
+		AvgLatency:       rec.PacketLatency.Mean(),
+		P50Latency:       rec.PacketLatency.Median(),
+		P99Latency:       rec.PacketLatency.P99(),
+		MaxLatency:       rec.PacketLatency.Max(),
+		AvgNetLat:        rec.NetworkLatency.Mean(),
+		LinkUtilMean:     linkUtilMean(n),
+		LinkUtilMax:      n.MaxLinkUtilization(),
+		DeliveredPackets: rec.DeliveredPackets,
+	}
+	for tile := 0; tile < topo.NumTiles(); tile++ {
+		if r := n.Router(tile); r != nil {
+			res.DroppedPackets += r.Stats.DroppedPackets
+		}
+	}
+	if meter != nil {
+		res.HopEnergyJ = meter.HopEnergyJ
+		res.WireEnergyJ = meter.WireEnergyJ
+		if rec.DeliveredFlits > 0 {
+			res.EnergyPerFlit = meter.TotalJ() / float64(rec.DeliveredFlits)
+		}
+	}
+	return res, nil
+}
+
+func linkUtilMean(n *network.Network) float64 {
+	s := n.LinkUtilization()
+	return s.Mean()
+}
+
+// SweepPoint is one point of a load–latency curve.
+type SweepPoint struct {
+	Rate   float64
+	Result RunResult
+}
+
+// Sweep runs the same configuration across offered rates.
+func Sweep(base RunParams, rates []float64) ([]SweepPoint, error) {
+	out := make([]SweepPoint, 0, len(rates))
+	for _, r := range rates {
+		p := base
+		p.Rate = r
+		res, err := Run(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, SweepPoint{Rate: r, Result: res})
+	}
+	return out, nil
+}
+
+// SaturationRate estimates the saturation throughput from a sweep: the
+// highest offered rate the network still accepts within 10%, interpolated
+// from the accepted-throughput ceiling beyond it.
+func SaturationRate(points []SweepPoint) float64 {
+	sat := 0.0
+	for _, pt := range points {
+		if pt.Result.AcceptedFlits >= 0.9*pt.Rate {
+			if pt.Result.AcceptedFlits > sat {
+				sat = pt.Rate
+			}
+		} else if pt.Result.AcceptedFlits > sat {
+			// Past saturation the accepted rate itself is the ceiling.
+			sat = pt.Result.AcceptedFlits
+		}
+	}
+	return sat
+}

@@ -1,0 +1,222 @@
+package flit
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTypePredicates(t *testing.T) {
+	cases := []struct {
+		t          Type
+		head, tail bool
+	}{
+		{Idle, false, false},
+		{Head, true, false},
+		{Body, false, false},
+		{Tail, false, true},
+		{HeadTail, true, true},
+	}
+	for _, c := range cases {
+		if c.t.IsHead() != c.head || c.t.IsTail() != c.tail {
+			t.Errorf("%v: IsHead=%v IsTail=%v, want %v/%v",
+				c.t, c.t.IsHead(), c.t.IsTail(), c.head, c.tail)
+		}
+	}
+}
+
+func TestSizeCodeDecode(t *testing.T) {
+	// §2.1: size field logarithmically encodes 0 (1 bit) to 8 (256 bits).
+	want := []int{1, 2, 4, 8, 16, 32, 64, 128, 256}
+	for code, bits := range want {
+		if got := SizeCode(code).Bits(); got != bits {
+			t.Errorf("SizeCode(%d).Bits() = %d, want %d", code, got, bits)
+		}
+	}
+	// Out-of-range codes clamp to the maximum width.
+	if got := SizeCode(15).Bits(); got != 256 {
+		t.Errorf("SizeCode(15).Bits() = %d, want 256", got)
+	}
+}
+
+func TestEncodeSizeBounds(t *testing.T) {
+	if _, err := EncodeSize(0); err == nil {
+		t.Error("EncodeSize(0) did not fail")
+	}
+	if _, err := EncodeSize(257); err == nil {
+		t.Error("EncodeSize(257) did not fail")
+	}
+	for _, c := range []struct{ bits, code int }{
+		{1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {16, 4}, {17, 5}, {255, 8}, {256, 8},
+	} {
+		got, err := EncodeSize(c.bits)
+		if err != nil {
+			t.Fatalf("EncodeSize(%d): %v", c.bits, err)
+		}
+		if int(got) != c.code {
+			t.Errorf("EncodeSize(%d) = %d, want %d", c.bits, got, c.code)
+		}
+	}
+}
+
+// Property: EncodeSize yields the smallest code covering the width.
+func TestEncodeSizeProperty(t *testing.T) {
+	f := func(raw uint16) bool {
+		bits := int(raw)%DataBits + 1
+		code, err := EncodeSize(bits)
+		if err != nil {
+			return false
+		}
+		covers := code.Bits() >= bits
+		tight := code == 0 || SizeCode(code-1).Bits() < bits
+		return covers && tight
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVCMask(t *testing.T) {
+	m := MaskFor(3) | MaskFor(5)
+	if !m.Has(3) || !m.Has(5) || m.Has(0) || m.Has(7) {
+		t.Fatalf("mask membership wrong: %08b", m)
+	}
+	if m.Lowest() != 3 {
+		t.Errorf("Lowest = %d, want 3", m.Lowest())
+	}
+	if m.Count() != 2 {
+		t.Errorf("Count = %d, want 2", m.Count())
+	}
+	if VCMask(0).Lowest() != -1 {
+		t.Errorf("empty mask Lowest = %d, want -1", VCMask(0).Lowest())
+	}
+	if VCMask(0xFF).Count() != NumVCs {
+		t.Errorf("full mask Count = %d", VCMask(0xFF).Count())
+	}
+}
+
+func TestPacketSegmentationShapes(t *testing.T) {
+	cases := []struct {
+		payload int // bytes
+		flits   int
+		types   []Type
+	}{
+		{0, 1, []Type{HeadTail}},
+		{1, 1, []Type{HeadTail}},
+		{32, 1, []Type{HeadTail}},
+		{33, 2, []Type{Head, Tail}},
+		{64, 2, []Type{Head, Tail}},
+		{65, 3, []Type{Head, Body, Tail}},
+		{200, 7, nil},
+	}
+	for _, c := range cases {
+		p := &Packet{ID: 1, Src: 0, Dst: 5, Mask: MaskFor(0), Payload: make([]byte, c.payload)}
+		fl := p.Flits()
+		if len(fl) != c.flits || p.NumFlits() != c.flits {
+			t.Errorf("payload %dB: %d flits (NumFlits %d), want %d",
+				c.payload, len(fl), p.NumFlits(), c.flits)
+			continue
+		}
+		if c.types != nil {
+			for i, want := range c.types {
+				if fl[i].Type != want {
+					t.Errorf("payload %dB flit %d type %v, want %v", c.payload, i, fl[i].Type, want)
+				}
+			}
+		}
+		if !fl[0].Type.IsHead() || !fl[len(fl)-1].Type.IsTail() {
+			t.Errorf("payload %dB: first/last flit not head/tail", c.payload)
+		}
+	}
+}
+
+func TestPacketSizeFieldTight(t *testing.T) {
+	// A 40-byte payload splits 32+8; the second flit must carry size code
+	// for 64 bits, not 256, so unused lanes stay quiet (§2.1 power note).
+	p := &Packet{ID: 2, Payload: make([]byte, 40)}
+	fl := p.Flits()
+	if len(fl) != 2 {
+		t.Fatalf("flits = %d", len(fl))
+	}
+	if fl[0].PayloadBits() != 256 {
+		t.Errorf("first flit bits = %d, want 256", fl[0].PayloadBits())
+	}
+	if fl[1].PayloadBits() != 64 {
+		t.Errorf("second flit bits = %d, want 64", fl[1].PayloadBits())
+	}
+}
+
+// Property: segmentation and reassembly are inverse for any payload.
+func TestSegmentReassembleRoundTrip(t *testing.T) {
+	f := func(payload []byte, id uint64) bool {
+		if len(payload) > 10*DataBytes {
+			payload = payload[:10*DataBytes]
+		}
+		p := &Packet{ID: id, Payload: payload}
+		got, err := Reassemble(p.Flits())
+		if err != nil {
+			return false
+		}
+		if len(payload) == 0 {
+			return len(got) == 0
+		}
+		return bytes.Equal(got, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReassembleShuffled(t *testing.T) {
+	p := &Packet{ID: 9, Payload: make([]byte, 100)}
+	for i := range p.Payload {
+		p.Payload[i] = byte(i)
+	}
+	fl := p.Flits()
+	rng := rand.New(rand.NewSource(3))
+	rng.Shuffle(len(fl), func(i, j int) { fl[i], fl[j] = fl[j], fl[i] })
+	got, err := Reassemble(fl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, p.Payload) {
+		t.Fatal("shuffled reassembly mismatch")
+	}
+}
+
+func TestReassembleErrors(t *testing.T) {
+	if _, err := Reassemble(nil); err == nil {
+		t.Error("empty reassemble did not fail")
+	}
+	p := &Packet{ID: 1, Payload: make([]byte, 100)}
+	fl := p.Flits()
+	if _, err := Reassemble(fl[:len(fl)-1]); err == nil {
+		t.Error("missing tail flit not detected")
+	}
+	q := &Packet{ID: 2, Payload: make([]byte, 10)}
+	mixed := append(append([]*Flit(nil), fl...), q.Flits()...)
+	if _, err := Reassemble(mixed); err == nil {
+		t.Error("mixed packets not detected")
+	}
+	dup := []*Flit{fl[0], fl[0]}
+	if _, err := Reassemble(dup); err == nil {
+		t.Error("duplicate seq not detected")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	f := &Flit{Type: Head, Data: []byte{1, 2, 3}}
+	g := f.Clone()
+	g.Data[0] = 99
+	if f.Data[0] != 1 {
+		t.Fatal("clone shares data slice")
+	}
+}
+
+func TestFlitOverheadMatchesPaper(t *testing.T) {
+	// §2.4: "about 300b per flit (with overhead)".
+	if TotalBits < 290 || TotalBits > 310 {
+		t.Fatalf("TotalBits = %d, paper says about 300", TotalBits)
+	}
+}

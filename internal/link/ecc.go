@@ -1,0 +1,148 @@
+package link
+
+// Hamming single-error-correcting, double-error-detecting (SECDED) code
+// over a byte payload, used for the optional link-level error correction of
+// §2.5: "the use of link-level error correction reduces the possibility of
+// a transient fault, with the cost of additional delay."
+//
+// The code is a conventional extended Hamming code: data bits are spread
+// over the non-power-of-two positions of a codeword, parity bits sit at
+// power-of-two positions, and an overall parity bit distinguishes single
+// (correctable) from double (detectable) errors.
+
+// eccParityBits reports the number of Hamming parity bits needed for n data
+// bits (excluding the overall parity bit).
+func eccParityBits(dataBits int) int {
+	p := 0
+	for (1 << p) < dataBits+p+1 {
+		p++
+	}
+	return p
+}
+
+// ECCWords holds an encoded codeword as a bit slice. Bit 0 is the overall
+// parity; bits at positions 2^k (1-based within the Hamming word) are
+// parity bits.
+type ECCWord struct {
+	bits []bool
+	data int // data bit count
+}
+
+// ECCEncode encodes the first dataBits bits of data (LSB-first per byte)
+// into a SECDED codeword.
+func ECCEncode(data []byte, dataBits int) *ECCWord {
+	p := eccParityBits(dataBits)
+	n := dataBits + p // Hamming word length (1-based positions 1..n)
+	w := &ECCWord{bits: make([]bool, n+1), data: dataBits}
+	// Place data bits at non-power-of-two positions.
+	di := 0
+	for pos := 1; pos <= n; pos++ {
+		if isPow2(pos) {
+			continue
+		}
+		w.bits[pos] = getBit(data, di)
+		di++
+	}
+	// Compute Hamming parity bits.
+	for k := 0; (1 << k) <= n; k++ {
+		pp := 1 << k
+		parity := false
+		for pos := 1; pos <= n; pos++ {
+			if pos != pp && pos&pp != 0 && w.bits[pos] {
+				parity = !parity
+			}
+		}
+		w.bits[pp] = parity
+	}
+	// Overall parity at index 0.
+	overall := false
+	for pos := 1; pos <= n; pos++ {
+		if w.bits[pos] {
+			overall = !overall
+		}
+	}
+	w.bits[0] = overall
+	return w
+}
+
+// Len reports the codeword length in bits, including all parity.
+func (w *ECCWord) Len() int { return len(w.bits) }
+
+// Flip inverts bit i of the codeword (0 = overall parity), modelling a
+// transient fault on the corresponding wire.
+func (w *ECCWord) Flip(i int) {
+	if i >= 0 && i < len(w.bits) {
+		w.bits[i] = !w.bits[i]
+	}
+}
+
+// ECCResult classifies the outcome of decoding.
+type ECCResult int
+
+// Decoding outcomes.
+const (
+	ECCClean     ECCResult = iota // no error
+	ECCCorrected                  // single error corrected
+	ECCDetected                   // double error detected, not correctable
+)
+
+// Decode checks and corrects the codeword in place, then extracts the data
+// bits into a byte slice.
+func (w *ECCWord) Decode() ([]byte, ECCResult) {
+	n := len(w.bits) - 1
+	syndrome := 0
+	for k := 0; (1 << k) <= n; k++ {
+		pp := 1 << k
+		parity := false
+		for pos := 1; pos <= n; pos++ {
+			if pos&pp != 0 && w.bits[pos] {
+				parity = !parity
+			}
+		}
+		if parity {
+			syndrome |= pp
+		}
+	}
+	overall := w.bits[0]
+	for pos := 1; pos <= n; pos++ {
+		if w.bits[pos] {
+			overall = !overall
+		}
+	}
+	res := ECCClean
+	switch {
+	case syndrome == 0 && !overall:
+		// clean
+	case overall:
+		// Single error: either at the syndrome position or, if syndrome is
+		// zero, at the overall parity bit itself.
+		if syndrome != 0 && syndrome <= n {
+			w.bits[syndrome] = !w.bits[syndrome]
+		}
+		res = ECCCorrected
+	default:
+		// Even error count with nonzero syndrome: uncorrectable.
+		res = ECCDetected
+	}
+	out := make([]byte, (w.data+7)/8)
+	di := 0
+	for pos := 1; pos <= n; pos++ {
+		if isPow2(pos) {
+			continue
+		}
+		if w.bits[pos] {
+			out[di/8] |= 1 << (di % 8)
+		}
+		di++
+	}
+	return out, res
+}
+
+func isPow2(v int) bool { return v > 0 && v&(v-1) == 0 }
+
+func getBit(data []byte, i int) bool {
+	if i/8 >= len(data) {
+		return false
+	}
+	return data[i/8]&(1<<(i%8)) != 0
+}

@@ -1,0 +1,59 @@
+package link
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzECC fuzzes the SECDED code: any payload round-trips clean, and any
+// single-bit corruption is corrected back to the original.
+func FuzzECC(f *testing.F) {
+	f.Add([]byte("route packets"), uint16(3))
+	f.Add([]byte{0}, uint16(0))
+	f.Add(bytes.Repeat([]byte{0xFF}, 32), uint16(100))
+	f.Fuzz(func(t *testing.T, data []byte, flipPos uint16) {
+		if len(data) == 0 || len(data) > 32 {
+			return
+		}
+		bits := len(data) * 8
+		w := ECCEncode(data, bits)
+		out, res := w.Decode()
+		if res != ECCClean || !bytes.Equal(out[:len(data)], data) {
+			t.Fatalf("clean round trip failed: %v %x", res, out)
+		}
+		w2 := ECCEncode(data, bits)
+		w2.Flip(int(flipPos) % w2.Len())
+		out2, res2 := w2.Decode()
+		if res2 == ECCDetected {
+			t.Fatalf("single flip reported uncorrectable")
+		}
+		if !bytes.Equal(out2[:len(data)], data) {
+			t.Fatalf("single flip not corrected: %x vs %x", out2, data)
+		}
+	})
+}
+
+// FuzzSteering fuzzes spare-bit steering: for any single hard fault and
+// payload, programmed steering must deliver the payload intact.
+func FuzzSteering(f *testing.F) {
+	f.Add([]byte{0xA5, 0x5A}, uint16(5))
+	f.Add([]byte{1}, uint16(0))
+	f.Fuzz(func(t *testing.T, data []byte, wire uint16) {
+		if len(data) == 0 || len(data) > 32 {
+			return
+		}
+		bits := len(data) * 8
+		p := NewPhys(bits, 1, nil)
+		w := int(wire) % (bits + 1)
+		if err := p.InjectHardFault(w); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.ProgramSteering(); err != nil {
+			t.Fatal(err)
+		}
+		out := p.Traverse(data, bits)
+		if !bytes.Equal(out, data) {
+			t.Fatalf("steered link corrupted %x -> %x (fault at %d)", data, out, w)
+		}
+	})
+}

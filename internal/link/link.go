@@ -1,0 +1,211 @@
+package link
+
+import (
+	"fmt"
+
+	"repro/internal/flit"
+	"repro/internal/power"
+	"repro/internal/stats"
+)
+
+// Link is one unidirectional inter-router channel: a fixed-latency pipe
+// over a physical wire bundle, with optional serialization when the bundle
+// is narrower than a flit, and a reverse credit channel for the
+// virtual-channel flow control of §2.3 ("credits for buffer allocation are
+// piggybacked on flits travelling in the reverse direction"; the model
+// carries them on a dedicated reverse pipe with the same latency).
+type Link struct {
+	Name string
+
+	pipe    *Pipe[*flit.Flit]
+	credits *Pipe[int] // VC indices of freed buffer slots, travelling upstream
+
+	Phys *Phys
+
+	// SerdesCycles is the number of link cycles one flit occupies the
+	// physical wires: ceil(flitBits / (physBits × speedup)). 1 means a
+	// full-width broadside link (§3.1's "wide (almost 300-bit) flit ...
+	// sent broadside").
+	SerdesCycles int
+	busy         int
+
+	// LengthPitches is the physical length of the link in tile pitches,
+	// used for energy accounting.
+	LengthPitches float64
+
+	// Meter, when non-nil, accrues wire energy per traversal.
+	Meter *power.Meter
+
+	// Util counts occupied cycles; Util.Rate() is the §4.4 duty factor.
+	Util stats.Counter
+
+	pendingCredits []int
+
+	// Elastic channel state (§3.3, ref [4] "Elastic Interconnects"):
+	// the repeaters along the wire double as flit latches with local
+	// ready/valid backpressure, so the receiving router can stall the wire
+	// instead of spending credit-covered buffer space. stages[0] is the
+	// receiver end.
+	elastic bool
+	stages  []*flit.Flit
+}
+
+// Config parameterizes NewLink.
+type Config struct {
+	Name          string
+	LatencyCycles int     // wire traversal latency (default 1)
+	SerdesCycles  int     // cycles per flit on the wires (default 1)
+	LengthPitches float64 // physical length
+	Phys          *Phys   // physical layer; nil for an ideal link
+	Meter         *power.Meter
+
+	// Elastic turns the wire into an elastic channel: its LatencyCycles
+	// repeater stages buffer flits with hop-by-hop backpressure, and the
+	// receiver pops flits only when it has space (DeliverElastic). No
+	// credits are needed; the flow-control loop closes at the wire.
+	Elastic bool
+}
+
+// New returns a link from the configuration.
+func New(cfg Config) *Link {
+	if cfg.LatencyCycles < 1 {
+		cfg.LatencyCycles = 1
+	}
+	if cfg.SerdesCycles < 1 {
+		cfg.SerdesCycles = 1
+	}
+	l := &Link{
+		Name:          cfg.Name,
+		pipe:          NewPipe[*flit.Flit](cfg.LatencyCycles),
+		credits:       NewPipe[int](cfg.LatencyCycles),
+		Phys:          cfg.Phys,
+		SerdesCycles:  cfg.SerdesCycles,
+		LengthPitches: cfg.LengthPitches,
+		Meter:         cfg.Meter,
+	}
+	if cfg.Elastic {
+		l.elastic = true
+		l.stages = make([]*flit.Flit, cfg.LatencyCycles)
+	}
+	return l
+}
+
+// Elastic reports whether the link is an elastic channel.
+func (l *Link) Elastic() bool { return l.elastic }
+
+// CanSend reports whether a flit may enter the link this cycle (wires idle
+// and input register or entry stage free).
+func (l *Link) CanSend() bool {
+	if l.busy != 0 {
+		return false
+	}
+	if l.elastic {
+		return l.stages[len(l.stages)-1] == nil
+	}
+	return l.pipe.CanSend()
+}
+
+// Send places a flit onto the link. The caller must have checked CanSend.
+func (l *Link) Send(f *flit.Flit) error {
+	if !l.CanSend() {
+		return fmt.Errorf("link %s: send while busy", l.Name)
+	}
+	if l.elastic {
+		l.stages[len(l.stages)-1] = f
+	} else if err := l.pipe.Send(f); err != nil {
+		return err
+	}
+	l.busy = l.SerdesCycles
+	if l.Meter != nil {
+		l.Meter.AddWire(f.PayloadBits(), flit.OverheadBits, l.LengthPitches)
+	}
+	return nil
+}
+
+// SendCredit returns one freed buffer slot for the given VC to the
+// upstream router. Multiple credits per cycle are coalesced onto the
+// reverse channel over successive cycles.
+func (l *Link) SendCredit(vc int) {
+	l.pendingCredits = append(l.pendingCredits, vc)
+}
+
+// Deliver advances the link by one cycle. It returns the flit completing
+// its traversal this cycle (with the physical layer applied to its
+// payload), or nil. Credits completing their reverse traversal are
+// returned in creditVCs. Call exactly once per cycle, in the global
+// delivery phase.
+func (l *Link) Deliver() (f *flit.Flit, creditVCs []int) {
+	if l.busy > 0 {
+		l.busy--
+		l.Util.Tick(1)
+	} else {
+		l.Util.Tick(0)
+	}
+	if vc, ok := l.credits.Shift(); ok {
+		creditVCs = append(creditVCs, vc)
+	}
+	if len(l.pendingCredits) > 0 && l.credits.CanSend() {
+		// One credit enters the reverse wires per cycle.
+		if err := l.credits.Send(l.pendingCredits[0]); err == nil {
+			l.pendingCredits = l.pendingCredits[1:]
+		}
+	}
+	out, ok := l.pipe.Shift()
+	if !ok {
+		return nil, creditVCs
+	}
+	if l.Phys != nil && out.Data != nil {
+		out = out.Clone()
+		out.Data = l.Phys.Traverse(out.Data, len(out.Data)*8)
+	}
+	return out, creditVCs
+}
+
+// DeliverElastic advances an elastic link by one cycle: the head flit is
+// offered to accept and pops only if accepted; the remaining flits slide
+// toward the receiver through free stages. Call exactly once per cycle in
+// the delivery phase instead of Deliver.
+func (l *Link) DeliverElastic(accept func(f *flit.Flit) bool) *flit.Flit {
+	if !l.elastic {
+		panic(fmt.Sprintf("link %s: DeliverElastic on a non-elastic link", l.Name))
+	}
+	if l.busy > 0 {
+		l.busy--
+		l.Util.Tick(1)
+	} else {
+		l.Util.Tick(0)
+	}
+	var out *flit.Flit
+	if head := l.stages[0]; head != nil && accept(head) {
+		out = head
+		l.stages[0] = nil
+	}
+	for i := 0; i < len(l.stages)-1; i++ {
+		if l.stages[i] == nil {
+			l.stages[i] = l.stages[i+1]
+			l.stages[i+1] = nil
+		}
+	}
+	if out != nil && l.Phys != nil && out.Data != nil {
+		out = out.Clone()
+		out.Data = l.Phys.Traverse(out.Data, len(out.Data)*8)
+	}
+	return out
+}
+
+// InFlight reports the number of flits inside the link.
+func (l *Link) InFlight() int {
+	if l.elastic {
+		n := 0
+		for _, f := range l.stages {
+			if f != nil {
+				n++
+			}
+		}
+		return n
+	}
+	return l.pipe.InFlight()
+}
+
+// Latency reports the link's traversal latency in cycles.
+func (l *Link) Latency() int { return l.pipe.Latency() }

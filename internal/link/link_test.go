@@ -1,0 +1,385 @@
+package link
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/flit"
+)
+
+func TestPipeLatency(t *testing.T) {
+	for _, lat := range []int{1, 2, 5} {
+		p := NewPipe[int](lat)
+		if p.Latency() != lat {
+			t.Fatalf("latency = %d", p.Latency())
+		}
+		// Shift runs at the start of each cycle; send happens later in the
+		// same cycle. A value sent on cycle 0 must appear on cycle lat.
+		var got, gotCycle = -1, -1
+		for cycle := 0; cycle < lat+3; cycle++ {
+			if v, ok := p.Shift(); ok {
+				got, gotCycle = v, cycle
+			}
+			if cycle == 0 {
+				if err := p.Send(42); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if got != 42 || gotCycle != lat {
+			t.Fatalf("latency %d: value %d arrived at cycle %d", lat, got, gotCycle)
+		}
+	}
+}
+
+func TestPipeOnePerCycle(t *testing.T) {
+	p := NewPipe[int](2)
+	if err := p.Send(1); err != nil {
+		t.Fatal(err)
+	}
+	if p.CanSend() {
+		t.Fatal("CanSend true after send in same cycle")
+	}
+	if err := p.Send(2); err == nil {
+		t.Fatal("second send in one cycle accepted")
+	}
+	p.Shift()
+	if !p.CanSend() {
+		t.Fatal("CanSend false after shift")
+	}
+	if p.InFlight() != 1 {
+		t.Fatalf("in flight = %d", p.InFlight())
+	}
+}
+
+func TestPipeBackToBackThroughput(t *testing.T) {
+	p := NewPipe[int](3)
+	sent, recv := 0, 0
+	for cycle := 0; cycle < 100; cycle++ {
+		if _, ok := p.Shift(); ok {
+			recv++
+		}
+		if p.CanSend() {
+			if err := p.Send(cycle); err != nil {
+				t.Fatal(err)
+			}
+			sent++
+		}
+	}
+	if sent != 100 {
+		t.Fatalf("pipe does not sustain one send per cycle: %d", sent)
+	}
+	if recv != 100-3 {
+		t.Fatalf("received %d, want %d", recv, 97)
+	}
+}
+
+func TestPhysCleanTraversal(t *testing.T) {
+	p := NewPhys(256, 1, nil)
+	data := []byte{0xDE, 0xAD, 0xBE, 0xEF}
+	out := p.Traverse(data, 32)
+	if !bytes.Equal(out, data) {
+		t.Fatalf("clean link corrupted data: %x", out)
+	}
+	if p.BitErrors != 0 || p.Traversals != 1 {
+		t.Fatalf("stats wrong: %+v", p)
+	}
+}
+
+func TestPhysHardFaultCorrupts(t *testing.T) {
+	p := NewPhys(32, 1, nil)
+	if err := p.InjectHardFault(5); err != nil {
+		t.Fatal(err)
+	}
+	data := []byte{0xFF, 0xFF, 0xFF, 0xFF}
+	out := p.Traverse(data, 32)
+	if getBit(out, 5) {
+		t.Fatal("stuck-at-zero wire delivered a 1")
+	}
+	if p.BitErrors == 0 {
+		t.Fatal("bit error not counted")
+	}
+}
+
+func TestPhysSteeringHealsSingleFault(t *testing.T) {
+	// §2.5: after test, steering shifts all bits above the fault one
+	// position onto the spare; data then passes intact.
+	rng := rand.New(rand.NewSource(1))
+	for wire := 0; wire < 33; wire++ {
+		p := NewPhys(32, 1, nil)
+		if err := p.InjectHardFault(wire); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.ProgramSteering(); err != nil {
+			t.Fatalf("wire %d: %v", wire, err)
+		}
+		for trial := 0; trial < 20; trial++ {
+			data := make([]byte, 4)
+			rng.Read(data)
+			out := p.Traverse(data, 32)
+			if !bytes.Equal(out, data) {
+				t.Fatalf("wire %d: steering failed: in %x out %x", wire, data, out)
+			}
+		}
+		if p.BitErrors != 0 {
+			t.Fatalf("wire %d: residual errors %d", wire, p.BitErrors)
+		}
+	}
+}
+
+func TestPhysSteeringValidation(t *testing.T) {
+	p := NewPhys(8, 1, nil)
+	if err := p.ProgramSteering(); err == nil {
+		t.Error("steering with no fault accepted")
+	}
+	if err := p.InjectHardFault(99); err == nil {
+		t.Error("out-of-range fault accepted")
+	}
+	_ = p.InjectHardFault(2)
+	_ = p.InjectHardFault(2) // duplicate is a no-op
+	_ = p.InjectHardFault(5)
+	if err := p.ProgramSteering(); err == nil {
+		t.Error("two faults with one spare accepted")
+	}
+	q := NewPhys(8, 0, nil)
+	_ = q.InjectHardFault(1)
+	if err := q.ProgramSteering(); err == nil {
+		t.Error("steering without spare accepted")
+	}
+}
+
+func TestPhysTransientFlips(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	p := NewPhys(64, 0, rng)
+	p.TransientProb = 1.0 // every traversal flips one bit
+	data := make([]byte, 8)
+	out := p.Traverse(data, 64)
+	diff := 0
+	for i := 0; i < 64; i++ {
+		if getBit(out, i) != getBit(data, i) {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("transient flipped %d bits, want 1", diff)
+	}
+}
+
+func TestECCRoundTripClean(t *testing.T) {
+	data := []byte{0x12, 0x34, 0x56, 0x78}
+	w := ECCEncode(data, 32)
+	out, res := w.Decode()
+	if res != ECCClean {
+		t.Fatalf("clean decode result %v", res)
+	}
+	if !bytes.Equal(out[:4], data) {
+		t.Fatalf("round trip mismatch: %x", out)
+	}
+}
+
+// Property: ECC corrects any single-bit error in the codeword.
+func TestECCSingleErrorCorrectedProperty(t *testing.T) {
+	f := func(raw []byte, pos uint16) bool {
+		if len(raw) == 0 {
+			raw = []byte{0}
+		}
+		if len(raw) > 32 {
+			raw = raw[:32]
+		}
+		bits := len(raw) * 8
+		w := ECCEncode(raw, bits)
+		w.Flip(int(pos) % w.Len())
+		out, res := w.Decode()
+		if res != ECCCorrected && res != ECCClean {
+			return false
+		}
+		return bytes.Equal(out[:len(raw)], raw)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: double errors in the Hamming word are detected, never silently
+// miscorrected into "clean".
+func TestECCDoubleErrorDetectedProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 300; trial++ {
+		data := make([]byte, 1+rng.Intn(32))
+		rng.Read(data)
+		bits := len(data) * 8
+		w := ECCEncode(data, bits)
+		a := 1 + rng.Intn(w.Len()-1)
+		b := 1 + rng.Intn(w.Len()-1)
+		if a == b {
+			continue
+		}
+		w.Flip(a)
+		w.Flip(b)
+		_, res := w.Decode()
+		if res != ECCDetected {
+			t.Fatalf("double error (%d,%d) classified %v", a, b, res)
+		}
+	}
+}
+
+func TestPhysECCMasksTransients(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	p := NewPhys(256, 0, rng)
+	p.TransientProb = 1.0
+	p.ECC = true
+	for i := 0; i < 100; i++ {
+		data := make([]byte, 32)
+		rng.Read(data)
+		out := p.Traverse(data, 256)
+		if !bytes.Equal(out, data) {
+			t.Fatalf("ECC failed to mask transient on trial %d", i)
+		}
+	}
+	if p.BitErrors != 0 {
+		t.Fatalf("residual bit errors with ECC: %d", p.BitErrors)
+	}
+	if p.CorrectedFlits == 0 {
+		t.Fatal("no corrections recorded")
+	}
+}
+
+func TestLinkSerdesOccupancy(t *testing.T) {
+	// A link with SerdesCycles=4 (e.g. 64-bit wires carrying 256-bit
+	// flits, §3.3) accepts one flit per 4 cycles.
+	l := New(Config{Name: "test", SerdesCycles: 4})
+	f := &flit.Flit{Type: flit.HeadTail}
+	if !l.CanSend() {
+		t.Fatal("fresh link not sendable")
+	}
+	if err := l.Send(f); err != nil {
+		t.Fatal(err)
+	}
+	sendable := 0
+	for cycle := 1; cycle <= 4; cycle++ {
+		l.Deliver()
+		if l.CanSend() {
+			sendable++
+		}
+	}
+	if sendable != 1 {
+		t.Fatalf("link sendable on %d of 4 cycles, want 1", sendable)
+	}
+	if l.Util.Rate() != 1.0 {
+		t.Fatalf("serialized link utilization = %v, want 1.0", l.Util.Rate())
+	}
+}
+
+func TestLinkDeliverAndCredits(t *testing.T) {
+	l := New(Config{Name: "t", LatencyCycles: 1})
+	f := &flit.Flit{Type: flit.HeadTail, Data: []byte{1, 2}}
+	if err := l.Send(f); err != nil {
+		t.Fatal(err)
+	}
+	l.SendCredit(3)
+	l.SendCredit(5)
+	got, credits := l.Deliver()
+	if got == nil {
+		t.Fatal("flit not delivered after one cycle")
+	}
+	if len(credits) != 0 {
+		// Credits sent on cycle t enter the reverse pipe on cycle t and
+		// arrive on t+1; only one per cycle.
+		t.Fatalf("credits arrived instantly: %v", credits)
+	}
+	_, credits = l.Deliver()
+	if len(credits) != 1 || credits[0] != 3 {
+		t.Fatalf("first credit = %v", credits)
+	}
+	_, credits = l.Deliver()
+	if len(credits) != 1 || credits[0] != 5 {
+		t.Fatalf("second credit = %v", credits)
+	}
+}
+
+func TestLinkAppliesPhys(t *testing.T) {
+	phys := NewPhys(16, 1, nil)
+	_ = phys.InjectHardFault(0)
+	l := New(Config{Name: "t", Phys: phys})
+	f := &flit.Flit{Type: flit.HeadTail, Data: []byte{0xFF, 0xFF}}
+	if err := l.Send(f); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := l.Deliver()
+	if got.Data[0]&1 != 0 {
+		t.Fatal("hard fault not applied through link")
+	}
+	if f.Data[0] != 0xFF {
+		t.Fatal("link mutated the sender's flit")
+	}
+}
+
+func TestLinkSendWhileBusyFails(t *testing.T) {
+	l := New(Config{SerdesCycles: 2})
+	if err := l.Send(&flit.Flit{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Send(&flit.Flit{}); err == nil {
+		t.Fatal("send while busy accepted")
+	}
+}
+
+func TestPhysMultiSpareSteering(t *testing.T) {
+	// §2.5 footnote: "If yield analysis indicates that more than one spare
+	// bit is required, multiple spare bits can be provided using the same
+	// method."
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 50; trial++ {
+		spares := 2 + rng.Intn(3)
+		p := NewPhys(64, spares, nil)
+		faults := 2 + rng.Intn(spares-1)
+		for i := 0; i < faults; i++ {
+			for {
+				w := rng.Intn(64 + spares)
+				if !p.wireDead(w) {
+					_ = p.InjectHardFault(w)
+					break
+				}
+			}
+		}
+		if err := p.ProgramSteering(); err != nil {
+			t.Fatalf("trial %d (%d faults, %d spares): %v", trial, faults, spares, err)
+		}
+		data := make([]byte, 8)
+		rng.Read(data)
+		out := p.Traverse(data, 64)
+		if !bytes.Equal(out, data) {
+			t.Fatalf("trial %d: multi-spare steering corrupted data", trial)
+		}
+	}
+}
+
+func TestPhysMultiSpareTooManyFaults(t *testing.T) {
+	p := NewPhys(16, 2, nil)
+	for _, w := range []int{1, 5, 9} {
+		_ = p.InjectHardFault(w)
+	}
+	if err := p.ProgramSteering(); err == nil {
+		t.Fatal("3 faults with 2 spares accepted")
+	}
+	if p.SteeringProgrammed() {
+		t.Fatal("failed programming left steering active")
+	}
+}
+
+func TestPhysSteeringProgrammedFlag(t *testing.T) {
+	p := NewPhys(16, 2, nil)
+	if p.SteeringProgrammed() {
+		t.Fatal("fresh phys reports steering")
+	}
+	_ = p.InjectHardFault(3)
+	_ = p.InjectHardFault(7)
+	if err := p.ProgramSteering(); err != nil {
+		t.Fatal(err)
+	}
+	if !p.SteeringProgrammed() {
+		t.Fatal("steering flag not set")
+	}
+}

@@ -1,0 +1,67 @@
+// Package link models the inter-router channels of the on-chip network:
+// pipelined wires with configurable latency, a physical layer with spare-bit
+// steering around hard faults (§2.5 of the paper), optional link-level
+// SECDED error correction, and serialization when the physical link is
+// narrower (or faster) than a flit (§2.3, §3.3).
+package link
+
+import "fmt"
+
+// Pipe is a fixed-latency pipeline: a value sent on cycle t emerges from
+// Shift on cycle t+latency. At most one value may enter per cycle, which is
+// the single-word-per-cycle discipline of a clocked channel.
+type Pipe[T any] struct {
+	slots []slot[T]
+}
+
+type slot[T any] struct {
+	v    T
+	full bool
+}
+
+// NewPipe returns a pipe with the given latency in cycles (minimum 1).
+func NewPipe[T any](latency int) *Pipe[T] {
+	if latency < 1 {
+		latency = 1
+	}
+	return &Pipe[T]{slots: make([]slot[T], latency)}
+}
+
+// Latency reports the pipe latency in cycles.
+func (p *Pipe[T]) Latency() int { return len(p.slots) }
+
+// CanSend reports whether the input register is free this cycle.
+func (p *Pipe[T]) CanSend() bool { return !p.slots[len(p.slots)-1].full }
+
+// Send places a value into the pipe. It fails if a value was already sent
+// this cycle.
+func (p *Pipe[T]) Send(v T) error {
+	last := len(p.slots) - 1
+	if p.slots[last].full {
+		return fmt.Errorf("link: pipe input occupied")
+	}
+	p.slots[last] = slot[T]{v: v, full: true}
+	return nil
+}
+
+// Shift advances the pipe by one cycle and returns the value (if any) that
+// has completed its traversal. Call exactly once per cycle, in the global
+// delivery phase, before any Send of the same cycle.
+func (p *Pipe[T]) Shift() (T, bool) {
+	out := p.slots[0]
+	copy(p.slots, p.slots[1:])
+	var zero slot[T]
+	p.slots[len(p.slots)-1] = zero
+	return out.v, out.full
+}
+
+// InFlight reports how many values are currently inside the pipe.
+func (p *Pipe[T]) InFlight() int {
+	n := 0
+	for _, s := range p.slots {
+		if s.full {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,513 @@
+package network
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/flit"
+	"repro/internal/link"
+	"repro/internal/power"
+	"repro/internal/route"
+	"repro/internal/router"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/topology"
+)
+
+// Config assembles a network.
+type Config struct {
+	Topo   topology.Topology
+	Router router.Config // template; ID is overridden per tile
+
+	LinkLatency  int // wire traversal cycles (default 1)
+	SerdesCycles int // link cycles per flit (default 1; >1 models narrow links, §3.3)
+
+	// Physical-layer options (§2.5). PhysWires enables bit-level wire
+	// modelling with the given spare count; TransientProb and ECC apply
+	// per link.
+	PhysWires     bool
+	SpareWires    int
+	TransientProb float64
+	ECC           bool
+
+	// Deflect replaces the VC routers with the §3.2 misrouting routers.
+	Deflect bool
+
+	// ElasticLinks replaces credit flow control with the §3.3/ref-[4]
+	// elastic channels (buffering in the repeaters, locally closed flow
+	// control). Mesh only: an elastic channel serializes its VCs, which
+	// would reintroduce deadlock on torus rings.
+	ElasticLinks bool
+
+	// Adaptive replaces dimension-ordered source routing with west-first
+	// turn-model adaptive routing: each hop picks the least-congested
+	// productive output. Mesh only (the turn model's deadlock-freedom
+	// argument does not cover wraparound channels).
+	Adaptive bool
+
+	Meter  *power.Meter
+	Warmup int64
+	Seed   int64
+
+	// TraceWriter, when non-nil, receives one line per packet event
+	// (generation, head injection, delivery) for debugging. Tracing does
+	// not alter simulation behaviour.
+	TraceWriter io.Writer
+}
+
+// linkEntry couples a link to its position in the topology.
+type linkEntry struct {
+	l    *link.Link
+	from int
+	to   int
+	dir  route.Dir
+}
+
+// Network is a complete on-chip interconnection network plus the client
+// logic attached to its tiles.
+type Network struct {
+	cfg     Config
+	topo    topology.Topology
+	kernel  *sim.Kernel
+	routers []*router.Router
+	defls   []*router.DeflectRouter
+	links   []linkEntry
+	ports   []*Port
+	clients []Client
+
+	recorder *Recorder
+	nextID   uint64
+}
+
+// New builds the network described by cfg.
+func New(cfg Config) (*Network, error) {
+	if cfg.Topo == nil {
+		return nil, fmt.Errorf("network: nil topology")
+	}
+	if cfg.LinkLatency < 1 {
+		cfg.LinkLatency = 1
+	}
+	if cfg.SerdesCycles < 1 {
+		cfg.SerdesCycles = 1
+	}
+	if cfg.Deflect && cfg.SerdesCycles != 1 {
+		return nil, fmt.Errorf("network: deflection routing requires full-width links (serdes=1)")
+	}
+	if cfg.ElasticLinks {
+		if cfg.Topo.Wrap() {
+			return nil, fmt.Errorf("network: elastic links serialize VCs and would deadlock torus rings; use a mesh")
+		}
+		if cfg.Deflect {
+			return nil, fmt.Errorf("network: elastic links apply to the VC router only")
+		}
+		cfg.Router.ElasticLinks = true
+	}
+	if cfg.Adaptive {
+		if cfg.Topo.Wrap() {
+			return nil, fmt.Errorf("network: west-first adaptive routing is deadlock-free on meshes only")
+		}
+		if cfg.Deflect {
+			return nil, fmt.Errorf("network: adaptive routing applies to the VC router only")
+		}
+		cfg.Router.Adaptive = true
+	}
+	n := &Network{
+		cfg:      cfg,
+		topo:     cfg.Topo,
+		kernel:   sim.NewKernel(cfg.Seed),
+		recorder: NewRecorder(cfg.Warmup),
+	}
+	tiles := cfg.Topo.NumTiles()
+	n.clients = make([]Client, tiles)
+	// Tori deadlock under dimension-ordered routing without dateline VC
+	// classes; enable them whenever wraparound channels exist. (Dropping
+	// and deflection flow control never block, so they need no classes.)
+	if cfg.Topo.Wrap() && !cfg.Deflect && cfg.Router.Mode == router.ModeVC {
+		n.cfg.Router.DatelineVCs = true
+	}
+	for tile := 0; tile < tiles; tile++ {
+		if cfg.Deflect {
+			d := router.NewDeflect(tile, n.preferredDir, cfg.Meter)
+			n.defls = append(n.defls, d)
+		} else {
+			rc := n.cfg.Router
+			rc.ID = tile
+			rc.Meter = cfg.Meter
+			r, err := router.New(rc)
+			if err != nil {
+				return nil, err
+			}
+			if rc.Adaptive {
+				r.SetAdaptiveRoute(n.westFirstCandidates)
+			}
+			n.routers = append(n.routers, r)
+		}
+	}
+	for _, tl := range topology.Links(cfg.Topo) {
+		var phys *link.Phys
+		if cfg.PhysWires {
+			phys = link.NewPhys(flit.DataBits, cfg.SpareWires, n.kernel.RNG())
+			phys.TransientProb = cfg.TransientProb
+			phys.ECC = cfg.ECC
+		}
+		l := link.New(link.Config{
+			Name:          fmt.Sprintf("%d-%v", tl.From, tl.Dir),
+			LatencyCycles: cfg.LinkLatency,
+			SerdesCycles:  cfg.SerdesCycles,
+			LengthPitches: tl.Length,
+			Phys:          phys,
+			Meter:         cfg.Meter,
+			Elastic:       cfg.ElasticLinks,
+		})
+		n.links = append(n.links, linkEntry{l: l, from: tl.From, to: tl.To, dir: tl.Dir})
+		if cfg.Deflect {
+			n.defls[tl.From].SetOutLink(tl.Dir, l)
+		} else {
+			n.routers[tl.From].SetOutLink(tl.Dir, l, n.cfg.Router.BufFlits)
+			n.routers[tl.To].SetInLink(tl.Dir.Opposite(), l)
+			if n.cfg.Router.DatelineVCs && isDateline(cfg.Topo, tl) {
+				n.routers[tl.From].SetDateline(tl.Dir, true)
+			}
+		}
+	}
+	for tile := 0; tile < tiles; tile++ {
+		p := &Port{
+			tile:    tile,
+			net:     n,
+			active:  make(map[int]*injection),
+			partial: make(map[uint64][]*flit.Flit),
+		}
+		tile := tile
+		if cfg.Deflect {
+			p.canInject = func(int) bool { return n.defls[tile].CanInject() }
+			p.accept = func(f *flit.Flit) { n.defls[tile].AcceptFlit(f, route.Local) }
+		} else {
+			p.canInject = func(vc int) bool { return n.routers[tile].CanInject(vc) }
+			p.accept = func(f *flit.Flit) { n.routers[tile].AcceptFlit(f, route.Local) }
+		}
+		n.ports = append(n.ports, p)
+	}
+	n.registerPhases()
+	return n, nil
+}
+
+// isDateline reports whether a channel is its ring's wraparound dateline:
+// the logical edge between coordinate k-1 and 0 in its dimension.
+func isDateline(topo topology.Topology, tl topology.Link) bool {
+	kx, ky := topo.Radix()
+	fx, fy := topology.Coord(topo, tl.From)
+	switch tl.Dir {
+	case route.East:
+		return fx == kx-1
+	case route.West:
+		return fx == 0
+	case route.North:
+		return fy == ky-1
+	case route.South:
+		return fy == 0
+	}
+	return false
+}
+
+// westFirstCandidates reports the productive outputs from tile toward dst
+// under the west-first turn model: all westward hops happen first (no turn
+// may enter the west direction later), after which the router may choose
+// adaptively among the remaining productive directions. The turn model
+// breaks every cycle in the mesh channel-dependency graph, so adaptive
+// routing stays deadlock-free (Glass & Ni's turn model, applying the
+// paper's §3 call to explore routing alternatives).
+func (n *Network) westFirstCandidates(tile, dst int) []route.Dir {
+	kx, _ := n.topo.Radix()
+	x, y := tile%kx, tile/kx
+	dx, dy := dst%kx-x, dst/kx-y
+	if dx == 0 && dy == 0 {
+		return nil
+	}
+	if dx < 0 {
+		return []route.Dir{route.West}
+	}
+	var out []route.Dir
+	if dx > 0 {
+		out = append(out, route.East)
+	}
+	if dy > 0 {
+		out = append(out, route.North)
+	}
+	if dy < 0 {
+		out = append(out, route.South)
+	}
+	return out
+}
+
+// preferredDir is the per-cycle dimension-order preference used by
+// deflection routers.
+func (n *Network) preferredDir(tile, dst int) route.Dir {
+	if tile == dst {
+		return route.Local
+	}
+	kx, _ := n.topo.Radix()
+	path := route.DimensionOrder(n.topo, tile%kx, tile/kx, dst%kx, dst/kx)
+	if len(path) == 0 {
+		return route.Local
+	}
+	return path[0]
+}
+
+// registerPhases wires the five-phase cycle described in DESIGN.md:
+// deliver, route, link arbitration, switch arbitration, clients.
+func (n *Network) registerPhases() {
+	n.kernel.AddPhase("deliver", func(now sim.Cycle) {
+		for _, le := range n.links {
+			if n.cfg.ElasticLinks {
+				to, in := n.routers[le.to], le.dir.Opposite()
+				f := le.l.DeliverElastic(func(f *flit.Flit) bool {
+					return to.CanAccept(in, f.VC)
+				})
+				if f != nil {
+					to.AcceptFlit(f, in)
+				}
+				continue
+			}
+			f, credits := le.l.Deliver()
+			if !n.cfg.Deflect && len(credits) > 0 {
+				n.routers[le.from].HandleCredits(le.dir, credits)
+			}
+			if f != nil {
+				if n.cfg.Deflect {
+					n.defls[le.to].AcceptFlit(f, le.dir.Opposite())
+				} else {
+					n.routers[le.to].AcceptFlit(f, le.dir.Opposite())
+				}
+			}
+		}
+	})
+	n.kernel.AddPhase("route", func(now sim.Cycle) {
+		for _, r := range n.routers {
+			r.RouteCompute(now)
+		}
+	})
+	n.kernel.AddPhase("linkarb", func(now sim.Cycle) {
+		for _, r := range n.routers {
+			r.LinkArbitrate(now)
+		}
+	})
+	n.kernel.AddPhase("switcharb", func(now sim.Cycle) {
+		for _, r := range n.routers {
+			r.SwitchArbitrate(now)
+		}
+		for _, d := range n.defls {
+			d.Arbitrate(now)
+		}
+	})
+	n.kernel.AddPhase("clients", func(now sim.Cycle) {
+		for tile, p := range n.ports {
+			var ejected []*flit.Flit
+			if n.cfg.Deflect {
+				ejected = n.defls[tile].Eject()
+			} else {
+				ejected = n.routers[tile].Eject()
+			}
+			if len(ejected) > 0 {
+				p.receive(ejected, now)
+			}
+			p.deliverLoopbacks(now)
+		}
+		for tile, c := range n.clients {
+			if c != nil {
+				c.Tick(now, n.ports[tile])
+			}
+		}
+		for _, p := range n.ports {
+			p.pump(now)
+		}
+	})
+}
+
+// AttachClient installs the client logic for a tile.
+func (n *Network) AttachClient(tile int, c Client) { n.clients[tile] = c }
+
+// Port returns the tile's network port.
+func (n *Network) Port(tile int) *Port { return n.ports[tile] }
+
+// Router returns the tile's VC router (nil in deflection mode).
+func (n *Network) Router(tile int) *router.Router {
+	if n.cfg.Deflect {
+		return nil
+	}
+	return n.routers[tile]
+}
+
+// Kernel exposes the simulation kernel.
+func (n *Network) Kernel() *sim.Kernel { return n.kernel }
+
+// Recorder exposes the measurement recorder.
+func (n *Network) Recorder() *Recorder { return n.recorder }
+
+// Topology reports the network's topology.
+func (n *Network) Topology() topology.Topology { return n.topo }
+
+// Run advances the simulation by the given number of cycles.
+func (n *Network) Run(cycles int64) { n.kernel.Run(cycles) }
+
+// Occupancy reports flits buffered anywhere in the network (routers and
+// links).
+func (n *Network) Occupancy() int {
+	total := 0
+	for _, r := range n.routers {
+		total += r.Occupancy()
+	}
+	for _, d := range n.defls {
+		total += d.Occupancy()
+	}
+	for _, le := range n.links {
+		total += le.l.InFlight()
+	}
+	return total
+}
+
+// Drain runs the network until no flits remain in flight (sources must
+// have stopped injecting) or the budget is exhausted, and reports whether
+// it drained.
+func (n *Network) Drain(budget int64) bool {
+	return n.kernel.RunUntil(func() bool {
+		if n.Occupancy() != 0 {
+			return false
+		}
+		for _, p := range n.ports {
+			if p.PendingInjections() != 0 {
+				return false
+			}
+		}
+		return true
+	}, budget)
+}
+
+// ReservationSlot reports the link slot hop i of a flow with the given
+// injection phase must reserve: injection reaches the first output link
+// two cycles after the client drives the flit, and each hop adds the
+// one-cycle switch plus one-cycle wire pipeline.
+func ReservationSlot(phase, hop int) int { return phase + 2 + 2*hop }
+
+// ReserveFlow books the reservation registers along the dimension-ordered
+// route from src to dst for a flow that injects one flit on every cycle
+// congruent to phase modulo the routers' reservation period (§2.6). The
+// slot at hop i is phase+2+2i: injection reaches the first output link two
+// cycles after the client drives the flit, and each hop adds the one-cycle
+// switch plus one-cycle wire pipeline.
+func (n *Network) ReserveFlow(src, dst, flow, phase int) (hops int, err error) {
+	if n.cfg.Deflect {
+		return 0, fmt.Errorf("network: reservations require the VC router")
+	}
+	if n.cfg.Router.Adaptive {
+		// The slots below assume the dimension-ordered path; an adaptive
+		// router may take another, leaving reserved flits waiting on links
+		// they never reach.
+		return 0, fmt.Errorf("network: pre-scheduled flows require deterministic (dimension-ordered) routing")
+	}
+	if n.cfg.Router.ReservedVC < 0 {
+		return 0, fmt.Errorf("network: configure Router.ReservedVC for pre-scheduled flows")
+	}
+	w, err := route.Compute(n.topo, src, dst)
+	if err != nil {
+		return 0, err
+	}
+	dirs, err := route.Walk(w)
+	if err != nil {
+		return 0, err
+	}
+	tile := src
+	for i, d := range dirs {
+		if err := n.routers[tile].Reservations(d).Reserve(ReservationSlot(phase, i), flow); err != nil {
+			return 0, fmt.Errorf("network: hop %d at tile %d: %w", i, tile, err)
+		}
+		next, ok := n.topo.Neighbor(tile, d)
+		if !ok {
+			return 0, fmt.Errorf("network: route leaves topology at tile %d", tile)
+		}
+		tile = next
+	}
+	return len(dirs), nil
+}
+
+// LinkUtilization summarizes the duty factor of every inter-tile channel:
+// the fraction of cycles each link's wires were busy (§4.4).
+func (n *Network) LinkUtilization() stats.Summary {
+	var s stats.Summary
+	for _, le := range n.links {
+		s.Add(le.l.Util.Rate())
+	}
+	return s
+}
+
+// MaxLinkUtilization reports the busiest channel's duty factor.
+func (n *Network) MaxLinkUtilization() float64 {
+	best := 0.0
+	for _, le := range n.links {
+		if r := le.l.Util.Rate(); r > best {
+			best = r
+		}
+	}
+	return best
+}
+
+// Heatmap renders the die as ASCII with one cell per physical tile
+// position, showing the mean duty factor of the tile's outgoing channels
+// as a percentage — a quick view of where the §4.4 wire sharing happens.
+func (n *Network) Heatmap() string {
+	kx, ky := n.topo.Radix()
+	util := make(map[int]*stats.Summary)
+	for _, le := range n.links {
+		s, ok := util[le.from]
+		if !ok {
+			s = &stats.Summary{}
+			util[le.from] = s
+		}
+		s.Add(le.l.Util.Rate())
+	}
+	grid := make([][]string, ky)
+	for y := range grid {
+		grid[y] = make([]string, kx)
+	}
+	for tile := 0; tile < n.topo.NumTiles(); tile++ {
+		px, py := n.topo.PhysPos(tile)
+		v := 0.0
+		if s, ok := util[tile]; ok {
+			v = s.Mean()
+		}
+		grid[py][px] = fmt.Sprintf("%2d:%3.0f%%", tile, 100*v)
+	}
+	var sb strings.Builder
+	sb.WriteString("outgoing-channel duty factor by die position (tile:util):\n")
+	for y := ky - 1; y >= 0; y-- {
+		for x := 0; x < kx; x++ {
+			sb.WriteString("  ")
+			sb.WriteString(grid[y][x])
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Links exposes the link entries for fault-injection experiments: the
+// physical layer of link i is Links()[i].Phys (nil unless PhysWires).
+func (n *Network) Links() []*link.Link {
+	out := make([]*link.Link, len(n.links))
+	for i, le := range n.links {
+		out[i] = le.l
+	}
+	return out
+}
+
+func (n *Network) nextPacketID() uint64 {
+	n.nextID++
+	return n.nextID
+}
+
+// trace emits one packet-event line when tracing is enabled.
+func (n *Network) trace(format string, args ...any) {
+	if n.cfg.TraceWriter == nil {
+		return
+	}
+	fmt.Fprintf(n.cfg.TraceWriter, format+"\n", args...)
+}

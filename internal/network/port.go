@@ -1,0 +1,347 @@
+package network
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/flit"
+	"repro/internal/route"
+)
+
+// Client is the logic in a tile that uses the network. Tick runs once per
+// cycle after deliveries are available on the port.
+type Client interface {
+	Tick(now int64, p *Port)
+}
+
+// ClientFunc adapts a function to the Client interface.
+type ClientFunc func(now int64, p *Port)
+
+// Tick implements Client.
+func (f ClientFunc) Tick(now int64, p *Port) { f(now, p) }
+
+// Delivery is a packet handed to the client by the network, reassembled
+// from its flits.
+type Delivery struct {
+	PacketID    uint64
+	Src, Dst    int
+	Payload     []byte
+	Class, Flow int
+	Birth       int64
+	Arrived     int64
+	Flits       int
+}
+
+// injection is one packet being (or waiting to be) driven into the tile
+// input port, one flit per cycle.
+type injection struct {
+	flits  []*flit.Flit
+	next   int
+	vc     int // -1 until chosen at head injection
+	class  int
+	seq    uint64 // creation order, for deterministic tie-breaks
+	inject int64  // cycle the head entered the network
+}
+
+func (in *injection) done() bool { return in.next >= len(in.flits) }
+
+// Port is the paper's §2.1 tile interface: a 256-bit injection port with
+// per-VC ready signals and a delivery port. One flit moves in each
+// direction per cycle.
+type Port struct {
+	tile int
+	net  *Network
+
+	canInject func(vc int) bool
+	accept    func(f *flit.Flit)
+
+	pending  []*injection
+	reserved []*injection
+	active   map[int]*injection // by VC
+
+	partial map[uint64][]*flit.Flit
+	rx      []*Delivery
+
+	loopback []*Delivery // src == dst deliveries, available next cycle
+	loopAt   []int64
+
+	// BlockedReserved counts cycles a pre-scheduled flit missed its
+	// injection slot because the port was not ready — a schedule
+	// violation if nonzero.
+	BlockedReserved int64
+}
+
+// Tile reports the port's tile id.
+func (p *Port) Tile() int { return p.tile }
+
+// Send queues a packet for injection and returns its id. The virtual
+// channel is chosen from mask at injection time; class sets the
+// arbitration priority among this tile's own packets (higher wins, and the
+// paper's "long, low priority packet may be interrupted" behaviour follows
+// from per-flit re-arbitration).
+func (p *Port) Send(dst int, payload []byte, mask flit.VCMask, class int) (uint64, error) {
+	if dst < 0 || dst >= p.net.topo.NumTiles() {
+		return 0, fmt.Errorf("network: destination %d out of range", dst)
+	}
+	if mask == 0 {
+		return 0, fmt.Errorf("network: empty VC mask")
+	}
+	now := p.net.kernel.Now()
+	pkt := &flit.Packet{
+		ID: p.net.nextPacketID(), Src: p.tile, Dst: dst,
+		Mask: mask, Payload: payload, Birth: now, Class: class,
+	}
+	p.net.recorder.Generated++
+	if dst == p.tile {
+		// Loopback: the network never sees the packet; it is delivered
+		// through the port pair directly on the next cycle.
+		fl := pkt.Flits()
+		p.loopback = append(p.loopback, &Delivery{
+			PacketID: pkt.ID, Src: p.tile, Dst: dst,
+			Payload: append([]byte(nil), payload...),
+			Class:   class, Birth: now, Flits: len(fl),
+		})
+		p.loopAt = append(p.loopAt, now+1)
+		return pkt.ID, nil
+	}
+	w, err := route.Compute(p.net.topo, p.tile, dst)
+	if err != nil {
+		return 0, err
+	}
+	pkt.Route = w
+	fl := pkt.Flits()
+	if p.net.cfg.Deflect || p.net.cfg.Router.Mode != 0 {
+		if len(fl) > 1 {
+			return 0, fmt.Errorf("network: multi-flit packet in single-flit flow-control mode")
+		}
+	}
+	if rc := p.net.cfg.Router; rc.CutThrough && len(fl) > rc.BufFlits {
+		return 0, fmt.Errorf("network: %d-flit packet exceeds the %d-flit buffers cut-through requires", len(fl), rc.BufFlits)
+	}
+	p.pending = append(p.pending, &injection{flits: fl, vc: -1, class: class, seq: pkt.ID})
+	p.net.trace("cycle=%d pkt=%d event=generated src=%d dst=%d bytes=%d class=%d flits=%d route=%v",
+		now, pkt.ID, p.tile, dst, len(payload), class, len(fl), w)
+	return pkt.ID, nil
+}
+
+// SendReserved queues a single-flit packet of a pre-scheduled flow for
+// immediate injection on the reserved virtual channel. The caller (a
+// stream source) must call it on the cycle matching the flow's reserved
+// phase; the routes and link slots were booked by Network.ReserveFlow.
+func (p *Port) SendReserved(dst int, payload []byte, flow int) (uint64, error) {
+	rvc := p.net.cfg.Router.ReservedVC
+	if rvc < 0 {
+		return 0, fmt.Errorf("network: no reserved VC configured")
+	}
+	if len(payload) > flit.DataBytes {
+		return 0, fmt.Errorf("network: reserved packets are single-flit (%d bytes max)", flit.DataBytes)
+	}
+	now := p.net.kernel.Now()
+	pkt := &flit.Packet{
+		ID: p.net.nextPacketID(), Src: p.tile, Dst: dst,
+		Mask: flit.MaskFor(rvc), Payload: payload, Birth: now, Class: 0,
+	}
+	w, err := route.Compute(p.net.topo, p.tile, dst)
+	if err != nil {
+		return 0, err
+	}
+	pkt.Route = w
+	p.net.recorder.Generated++
+	fl := pkt.Flits()
+	for _, f := range fl {
+		f.VC = rvc
+		f.Flow = flow
+	}
+	p.reserved = append(p.reserved, &injection{flits: fl, vc: rvc, class: 1 << 30, seq: pkt.ID})
+	return pkt.ID, nil
+}
+
+// Deliveries returns and clears the packets delivered since the last call.
+func (p *Port) Deliveries() []*Delivery {
+	out := p.rx
+	p.rx = nil
+	return out
+}
+
+// PendingInjections reports queued plus in-progress packets, for
+// source-queue depth measurements.
+func (p *Port) PendingInjections() int {
+	n := len(p.pending) + len(p.reserved)
+	for v := 0; v < flit.NumVCs; v++ {
+		if in, ok := p.active[v]; ok && !in.done() {
+			n++
+		}
+	}
+	return n
+}
+
+// receive accepts ejected flits from the router and reassembles packets.
+func (p *Port) receive(flits []*flit.Flit, now int64) {
+	for _, f := range flits {
+		p.partial[f.PacketID] = append(p.partial[f.PacketID], f)
+		if !f.Type.IsTail() {
+			continue
+		}
+		parts := p.partial[f.PacketID]
+		if len(parts) != f.Seq+1 {
+			continue // flits still in flight (cannot happen per-VC, but be safe)
+		}
+		delete(p.partial, f.PacketID)
+		payload, err := flit.Reassemble(parts)
+		if err != nil {
+			panic(fmt.Sprintf("network: tile %d packet %d reassembly: %v", p.tile, f.PacketID, err))
+		}
+		p.rx = append(p.rx, &Delivery{
+			PacketID: f.PacketID, Src: f.Src, Dst: f.Dst,
+			Payload: payload, Class: f.Class, Flow: f.Flow,
+			Birth: f.Birth, Arrived: now, Flits: len(parts),
+		})
+		p.net.recorder.packetDone(f, len(parts), now)
+		p.net.trace("cycle=%d pkt=%d event=delivered src=%d dst=%d latency=%d netlatency=%d",
+			now, f.PacketID, f.Src, f.Dst, now-f.Birth, now-f.Inject)
+	}
+}
+
+// deliverLoopbacks releases matured loopback packets.
+func (p *Port) deliverLoopbacks(now int64) {
+	keep := p.loopback[:0]
+	keepAt := p.loopAt[:0]
+	for i, d := range p.loopback {
+		if p.loopAt[i] <= now {
+			d.Arrived = now
+			p.rx = append(p.rx, d)
+			p.net.recorder.DeliveredPackets++
+			p.net.recorder.DeliveredFlits += int64(d.Flits)
+		} else {
+			keep = append(keep, d)
+			keepAt = append(keepAt, p.loopAt[i])
+		}
+	}
+	p.loopback, p.loopAt = keep, keepAt
+}
+
+// pump drives at most one flit into the network this cycle, preferring
+// pre-scheduled flits, then the highest class among in-progress and
+// pending packets. This is the client-side injection arbitration whose
+// observable behaviour §2.1 describes: "the injection of a long, low
+// priority packet may be interrupted to inject a short, high-priority
+// packet and then resumed."
+func (p *Port) pump(now int64) {
+	if len(p.reserved) > 0 {
+		in := p.reserved[0]
+		f := in.flits[in.next]
+		if !p.canInject(f.VC) {
+			p.BlockedReserved++
+			return
+		}
+		p.injectFlit(in, now)
+		if in.done() {
+			p.reserved = p.reserved[1:]
+		}
+		return
+	}
+
+	type cand struct {
+		in    *injection
+		fresh bool
+	}
+	var cands []cand
+	for v := 0; v < flit.NumVCs; v++ {
+		in, ok := p.active[v]
+		if !ok || in.done() {
+			continue
+		}
+		if p.canInject(v) {
+			cands = append(cands, cand{in, false})
+		}
+	}
+	for _, in := range p.pending {
+		if vc := p.freeVCFor(in); vc >= 0 {
+			cands = append(cands, cand{in, true})
+			break // only the oldest startable pending packet competes
+		}
+	}
+	if len(cands) == 0 {
+		return
+	}
+	sort.SliceStable(cands, func(i, j int) bool {
+		if cands[i].in.class != cands[j].in.class {
+			return cands[i].in.class > cands[j].in.class
+		}
+		return cands[i].in.seq < cands[j].in.seq
+	})
+	win := cands[0]
+	if win.fresh {
+		vc := p.freeVCFor(win.in)
+		win.in.vc = vc
+		for _, f := range win.in.flits {
+			f.VC = vc
+		}
+		p.active[vc] = win.in
+		p.removePending(win.in)
+	}
+	p.injectFlit(win.in, now)
+	if win.in.done() {
+		delete(p.active, win.in.vc)
+	}
+}
+
+// freeVCFor finds a ready virtual channel from the packet's mask that has
+// no packet of this port in progress. VCs of the reserved pre-scheduled
+// pair are never used for dynamic traffic (under dateline classes the
+// reservation covers both class partners).
+func (p *Port) freeVCFor(in *injection) int {
+	mask := in.flits[0].Mask
+	rc := p.net.cfg.Router
+	numVCs := rc.NumVCs
+	if numVCs <= 0 || numVCs > flit.NumVCs {
+		numVCs = flit.NumVCs
+	}
+	reserved := func(v int) bool {
+		if rc.ReservedVC < 0 {
+			return false
+		}
+		if v == rc.ReservedVC {
+			return true
+		}
+		if rc.DatelineVCs {
+			pairs := numVCs / 2
+			return v%pairs == rc.ReservedVC%pairs
+		}
+		return false
+	}
+	for v := 0; v < numVCs; v++ {
+		if !mask.Has(v) || reserved(v) {
+			continue
+		}
+		if _, busy := p.active[v]; busy {
+			continue
+		}
+		if p.canInject(v) {
+			return v
+		}
+	}
+	return -1
+}
+
+func (p *Port) removePending(in *injection) {
+	for i, q := range p.pending {
+		if q == in {
+			p.pending = append(p.pending[:i], p.pending[i+1:]...)
+			return
+		}
+	}
+}
+
+func (p *Port) injectFlit(in *injection, now int64) {
+	f := in.flits[in.next]
+	if in.next == 0 {
+		in.inject = now
+		p.net.recorder.InjectedPackets++
+		p.net.trace("cycle=%d pkt=%d event=injected src=%d dst=%d vc=%d queued=%d",
+			now, f.PacketID, f.Src, f.Dst, f.VC, now-f.Birth)
+	}
+	f.Inject = in.inject
+	in.next++
+	p.accept(f)
+}

@@ -1,0 +1,244 @@
+package protocol
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/flit"
+	"repro/internal/network"
+	"repro/internal/route"
+	"repro/internal/router"
+	"repro/internal/topology"
+)
+
+// In-band reservation programming. §2.1: "the network also presents a
+// number of registers that can be used to reserve resources for particular
+// virtual channels ... to provide time-slot reservations for certain
+// classes of traffic"; routes to them address "special network clients
+// including I/O pads and internal network registers." §2.6: "When the
+// system is configured, routes are laid out for all of the static traffic
+// and reservations are made for each link of each route by setting entries
+// in the appropriate reservation register."
+//
+// A RegisterAgent is the per-tile register file: it receives reservation
+// packets over the network itself and programs its router's cyclic
+// reservation tables. A Configurator walks a flow's route and programs
+// every hop in-band, so static flows can be laid out with no out-of-band
+// magic.
+
+const (
+	ctlReserve    = 0xC0
+	ctlReserveAck = 0xC1
+	ctlQuery      = 0xC2
+	ctlQueryAck   = 0xC3
+)
+
+// control request: [kind(1) seq(2) dir(1) slot(2) flow(2)]
+// control ack:     [kind(1) seq(2) status(1)]
+const (
+	ctlReqLen = 8
+	ctlAckLen = 4
+	ctlOK     = 0
+	ctlFailed = 1
+)
+
+func encodeReserve(seq uint16, d route.Dir, slot uint16, flow uint16) []byte {
+	p := make([]byte, ctlReqLen)
+	p[0] = ctlReserve
+	binary.LittleEndian.PutUint16(p[1:], seq)
+	p[3] = byte(d)
+	binary.LittleEndian.PutUint16(p[4:], slot)
+	binary.LittleEndian.PutUint16(p[6:], flow)
+	return p
+}
+
+// RegisterAgent exposes a tile's router registers as a network client.
+type RegisterAgent struct {
+	Router *router.Router
+	Mask   flit.VCMask
+	Class  int
+
+	Programmed int64
+	Rejected   int64
+}
+
+// QueryRegisters builds a read request for the reservation table of the
+// output port in direction d: [kind seq dir]. The agent answers with
+// [kind seq status period(2) reservedSlots(2)].
+func QueryRegisters(seq uint16, d route.Dir) []byte {
+	p := make([]byte, 4)
+	p[0] = ctlQuery
+	binary.LittleEndian.PutUint16(p[1:], seq)
+	p[3] = byte(d)
+	return p
+}
+
+// DecodeQueryReply parses a register-read reply.
+func DecodeQueryReply(p []byte) (seq uint16, period, reservedSlots int, ok bool) {
+	if len(p) < 8 || p[0] != ctlQueryAck || p[3] != ctlOK {
+		return 0, 0, 0, false
+	}
+	seq = binary.LittleEndian.Uint16(p[1:])
+	period = int(binary.LittleEndian.Uint16(p[4:]))
+	reservedSlots = int(binary.LittleEndian.Uint16(p[6:]))
+	return seq, period, reservedSlots, true
+}
+
+// Tick implements network.Client.
+func (a *RegisterAgent) Tick(now int64, p *network.Port) {
+	for _, d := range p.Deliveries() {
+		if len(d.Payload) >= 4 && d.Payload[0] == ctlQuery {
+			a.handleQuery(d, p)
+			continue
+		}
+		if len(d.Payload) < ctlReqLen || d.Payload[0] != ctlReserve {
+			continue
+		}
+		seq := binary.LittleEndian.Uint16(d.Payload[1:])
+		dir := route.Dir(d.Payload[3])
+		slot := binary.LittleEndian.Uint16(d.Payload[4:])
+		flow := binary.LittleEndian.Uint16(d.Payload[6:])
+		status := byte(ctlOK)
+		if dir > route.West {
+			status = ctlFailed
+		} else if err := a.Router.Reservations(dir).Reserve(int(slot), int(flow)); err != nil {
+			status = ctlFailed
+		}
+		if status == ctlOK {
+			a.Programmed++
+		} else {
+			a.Rejected++
+		}
+		ack := make([]byte, ctlAckLen)
+		ack[0] = ctlReserveAck
+		binary.LittleEndian.PutUint16(ack[1:], seq)
+		ack[3] = status
+		_, _ = p.Send(d.Src, ack, a.Mask, a.Class)
+	}
+}
+
+// handleQuery answers a register read with the table's period and the
+// number of reserved slots.
+func (a *RegisterAgent) handleQuery(d *network.Delivery, p *network.Port) {
+	seq := binary.LittleEndian.Uint16(d.Payload[1:])
+	dir := route.Dir(d.Payload[3])
+	reply := make([]byte, 8)
+	reply[0] = ctlQueryAck
+	binary.LittleEndian.PutUint16(reply[1:], seq)
+	if dir > route.West {
+		reply[3] = ctlFailed
+		_, _ = p.Send(d.Src, reply, a.Mask, a.Class)
+		return
+	}
+	table := a.Router.Reservations(dir)
+	reply[3] = ctlOK
+	binary.LittleEndian.PutUint16(reply[4:], uint16(table.Period()))
+	binary.LittleEndian.PutUint16(reply[6:], uint16(float64(table.Period())*table.Utilization()+0.5))
+	_, _ = p.Send(d.Src, reply, a.Mask, a.Class)
+}
+
+// progStep is one hop's reservation to program.
+type progStep struct {
+	tile int
+	dir  route.Dir
+	slot int
+}
+
+// Configurator programs a pre-scheduled flow's reservations over the
+// network, one hop at a time, from its own tile. Attach it as (or call it
+// from) the client of a management tile; when Done reports true the flow's
+// slots are booked on every hop and the stream source may start at the
+// matching phase.
+type Configurator struct {
+	Flow  int
+	Mask  flit.VCMask
+	Class int
+
+	steps   []progStep
+	next    int
+	waiting bool
+	seq     uint16
+
+	Done   bool
+	Failed bool
+}
+
+// NewConfigurator plans the programming of a flow from src to dst with the
+// given injection phase, over the dimension-ordered route.
+func NewConfigurator(topo topology.Topology, src, dst, flow, phase int, mask flit.VCMask) (*Configurator, error) {
+	if flow <= 0 || flow > 0xFFFF {
+		return nil, fmt.Errorf("protocol: flow id %d out of range", flow)
+	}
+	w, err := route.Compute(topo, src, dst)
+	if err != nil {
+		return nil, err
+	}
+	dirs, err := route.Walk(w)
+	if err != nil {
+		return nil, err
+	}
+	c := &Configurator{Flow: flow, Mask: mask}
+	tile := src
+	for i, d := range dirs {
+		c.steps = append(c.steps, progStep{tile: tile, dir: d, slot: network.ReservationSlot(phase, i)})
+		nextTile, ok := topo.Neighbor(tile, d)
+		if !ok {
+			return nil, fmt.Errorf("protocol: route leaves topology at tile %d", tile)
+		}
+		tile = nextTile
+	}
+	return c, nil
+}
+
+// Hops reports the number of hops being programmed.
+func (c *Configurator) Hops() int { return len(c.steps) }
+
+// Tick implements network.Client. Steps are programmed serially: the next
+// request goes out once the previous hop acknowledged.
+func (c *Configurator) Tick(now int64, p *network.Port) {
+	for _, d := range p.Deliveries() {
+		if len(d.Payload) < ctlAckLen || d.Payload[0] != ctlReserveAck {
+			continue
+		}
+		seq := binary.LittleEndian.Uint16(d.Payload[1:])
+		if !c.waiting || seq != c.seq {
+			continue
+		}
+		c.waiting = false
+		if d.Payload[3] != ctlOK {
+			c.Failed = true
+			c.Done = true
+			return
+		}
+		c.next++
+		if c.next == len(c.steps) {
+			c.Done = true
+		}
+	}
+	if c.Done || c.waiting || c.next >= len(c.steps) {
+		return
+	}
+	step := c.steps[c.next]
+	c.seq++
+	payload := encodeReserve(c.seq, step.dir, uint16(step.slot), uint16(c.Flow))
+	if _, err := p.Send(step.tile, payload, c.Mask, c.Class); err != nil {
+		c.Failed = true
+		c.Done = true
+		return
+	}
+	c.waiting = true
+}
+
+// AgentWith combines a tile's RegisterAgent with another client: the agent
+// drains the port's deliveries and serves the control packets among them,
+// then ticks inner. Inner therefore sees no deliveries of its own; use
+// this only for inner clients that send but do not consume (traffic
+// sources, stream sources).
+func AgentWith(agent *RegisterAgent, inner network.Client) network.Client {
+	return network.ClientFunc(func(now int64, p *network.Port) {
+		agent.Tick(now, p)
+		if inner != nil {
+			inner.Tick(now, p)
+		}
+	})
+}

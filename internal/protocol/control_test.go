@@ -1,0 +1,220 @@
+package protocol
+
+import (
+	"testing"
+
+	"repro/internal/flit"
+	"repro/internal/network"
+	"repro/internal/route"
+	"repro/internal/router"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// buildReservedNet returns a 4x4 folded torus configured with a reserved
+// VC and reservation tables of the given period.
+func buildReservedNet(t *testing.T, period int, seed int64) (*network.Network, topology.Topology) {
+	t.Helper()
+	topo, err := topology.NewFoldedTorus(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := router.DefaultConfig(0)
+	rc.ReservedVC = 7
+	rc.ResPeriod = period
+	n, err := network.New(network.Config{Topo: topo, Router: rc, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n, topo
+}
+
+func TestConfiguratorProgramsFlowInBand(t *testing.T) {
+	// §2.6 configuration done entirely over the network: a management tile
+	// programs the reservation registers of every hop via control packets,
+	// then the stream runs with zero jitter.
+	const (
+		src, dst, mgmt = 0, 10, 15
+		period, flow   = 8, 3
+	)
+	n, topo := buildReservedNet(t, period, 31)
+
+	cfg, err := NewConfigurator(topo, src, dst, flow, 0, flit.MaskFor(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.AttachClient(mgmt, cfg)
+	// Every tile runs its register agent; the flow's source tile also runs
+	// the stream source, held off with a far-future phase until the
+	// reservations exist.
+	stream := &traffic.StreamSource{
+		Tile: src, Dst: dst, Period: period, Flow: flow, Reserved: true,
+		Phase: 1 << 40,
+	}
+	for tile := 0; tile < topo.NumTiles(); tile++ {
+		if tile == mgmt {
+			continue
+		}
+		agent := &RegisterAgent{Router: n.Router(tile), Mask: flit.MaskFor(1)}
+		if tile == src {
+			n.AttachClient(tile, AgentWith(agent, stream))
+		} else {
+			n.AttachClient(tile, agent)
+		}
+	}
+	if !n.Kernel().RunUntil(func() bool { return cfg.Done }, 5000) {
+		t.Fatalf("configuration never completed (%d/%d hops)", cfg.next, cfg.Hops())
+	}
+	if cfg.Failed {
+		t.Fatal("configuration failed")
+	}
+	hops, _ := topology.PathMetrics(topo, src, dst)
+	if cfg.Hops() != hops {
+		t.Fatalf("configured %d hops, route has %d", cfg.Hops(), hops)
+	}
+
+	// Start the stream on a phase-aligned cycle and verify zero jitter.
+	start := ((n.Kernel().Now() / int64(period)) + 1) * int64(period)
+	stream.Phase = start
+	stream.StopAt = start + 800
+	n.Run(stream.StopAt + 200 - n.Kernel().Now())
+	rec := n.Recorder()
+	lat := rec.FlowLatency(flow)
+	if lat == nil || lat.Count() < 50 {
+		t.Fatalf("stream delivered too little after in-band setup: %v", lat)
+	}
+	if j := rec.FlowJitter(flow); j != 0 {
+		t.Fatalf("jitter = %d after in-band programming", j)
+	}
+	if got := lat.Max(); got != int64(2*hops+2) {
+		t.Fatalf("reserved latency %d, want %d", got, 2*hops+2)
+	}
+}
+
+func TestConfiguratorConflictReported(t *testing.T) {
+	// Booking two flows into the same slots must fail at the agent and be
+	// reported in the ack.
+	const period = 8
+	n, topo := buildReservedNet(t, period, 33)
+	a, err := NewConfigurator(topo, 0, 10, 1, 0, flit.MaskFor(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewConfigurator(topo, 0, 10, 2, 0, flit.MaskFor(0)) // same route, same phase
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tile := 0; tile < topo.NumTiles(); tile++ {
+		if tile == 15 || tile == 14 {
+			continue
+		}
+		n.AttachClient(tile, &RegisterAgent{Router: n.Router(tile), Mask: flit.MaskFor(1)})
+	}
+	n.AttachClient(15, a)
+	n.AttachClient(14, b)
+	if !n.Kernel().RunUntil(func() bool { return a.Done && b.Done }, 10000) {
+		t.Fatal("configuration did not settle")
+	}
+	if a.Failed && b.Failed {
+		t.Fatal("both flows failed; exactly one should win the slots")
+	}
+	if !a.Failed && !b.Failed {
+		t.Fatal("conflicting reservations both succeeded")
+	}
+}
+
+func TestConfiguratorValidation(t *testing.T) {
+	topo, _ := topology.NewFoldedTorus(4, 4)
+	if _, err := NewConfigurator(topo, 0, 10, 0, 0, flit.MaskFor(0)); err == nil {
+		t.Error("flow 0 accepted")
+	}
+	if _, err := NewConfigurator(topo, 3, 3, 1, 0, flit.MaskFor(0)); err == nil {
+		t.Error("loopback flow accepted")
+	}
+}
+
+func TestRegisterAgentRejectsBadDir(t *testing.T) {
+	n, _ := buildReservedNet(t, 8, 35)
+	agent := &RegisterAgent{Router: n.Router(5), Mask: flit.MaskFor(1)}
+	n.AttachClient(5, agent)
+	var status []byte
+	n.AttachClient(0, network.ClientFunc(func(now int64, p *network.Port) {
+		for _, d := range p.Deliveries() {
+			if len(d.Payload) == ctlAckLen && d.Payload[0] == ctlReserveAck {
+				status = append(status, d.Payload[3])
+			}
+		}
+	}))
+	// dir byte 4 (Local) is not a reservable output.
+	bad := encodeReserve(1, 4, 2, 1)
+	if _, err := n.Port(0).Send(5, bad, flit.MaskFor(0), 0); err != nil {
+		t.Fatal(err)
+	}
+	n.Run(60)
+	if len(status) != 1 || status[0] != ctlFailed {
+		t.Fatalf("bad direction ack = %v, want [failed]", status)
+	}
+	if agent.Rejected != 1 {
+		t.Fatalf("rejected = %d", agent.Rejected)
+	}
+}
+
+func TestRegisterQueryReadback(t *testing.T) {
+	// §2.1's registers are readable as well: a management tile can audit a
+	// router's reservation table over the network.
+	n, topo := buildReservedNet(t, 8, 37)
+	if _, err := n.ReserveFlow(0, 10, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	agent := &RegisterAgent{Router: n.Router(0), Mask: flit.MaskFor(1)}
+	n.AttachClient(0, agent)
+	var got []byte
+	n.AttachClient(15, network.ClientFunc(func(now int64, p *network.Port) {
+		for _, d := range p.Deliveries() {
+			if len(d.Payload) > 0 && d.Payload[0] == ctlQueryAck {
+				got = d.Payload
+			}
+		}
+	}))
+	// Tile 0's east output carries the flow's first hop (0 -> 10 goes E
+	// then E/N per DOR; the first direction from tile 0 to x=2 is E).
+	if _, err := n.Port(15).Send(0, QueryRegisters(7, route.East), flit.MaskFor(0), 0); err != nil {
+		t.Fatal(err)
+	}
+	n.Run(60)
+	if got == nil {
+		t.Fatal("no query reply")
+	}
+	seq, period, reserved, ok := DecodeQueryReply(got)
+	if !ok || seq != 7 {
+		t.Fatalf("reply decode: seq=%d ok=%v", seq, ok)
+	}
+	if period != 8 {
+		t.Fatalf("period = %d", period)
+	}
+	if reserved != 1 {
+		t.Fatalf("reserved slots = %d, want 1", reserved)
+	}
+	_ = topo
+}
+
+func TestRegisterQueryBadDir(t *testing.T) {
+	n, _ := buildReservedNet(t, 8, 39)
+	agent := &RegisterAgent{Router: n.Router(3), Mask: flit.MaskFor(1)}
+	n.AttachClient(3, agent)
+	var failed bool
+	n.AttachClient(0, network.ClientFunc(func(now int64, p *network.Port) {
+		for _, d := range p.Deliveries() {
+			if len(d.Payload) >= 4 && d.Payload[0] == ctlQueryAck && d.Payload[3] == ctlFailed {
+				failed = true
+			}
+		}
+	}))
+	if _, err := n.Port(0).Send(3, QueryRegisters(1, route.Local), flit.MaskFor(0), 0); err != nil {
+		t.Fatal(err)
+	}
+	n.Run(60)
+	if !failed {
+		t.Fatal("bad-direction query not rejected")
+	}
+}

@@ -1,0 +1,80 @@
+package protocol
+
+import (
+	"repro/internal/flit"
+	"repro/internal/network"
+)
+
+// IOPad models the §2 special clients: "I/O pads may connect directly to
+// adjacent tiles or may be addressed as special clients of the network."
+// A pad occupies a tile like any other client and bridges between the
+// network and an off-chip interface: an ingress queue of messages arriving
+// from the pins (injected into the network subject to the port's ready
+// signals) and an egress queue of packets addressed to the pad (drained by
+// the off-chip side).
+type IOPad struct {
+	Mask  flit.VCMask
+	Class int
+	// IngressCap bounds the pad's ingress buffering (pins are faster than
+	// arbitrated injection under load); 0 means 16.
+	IngressCap int
+
+	ingress []padMsg
+	egress  []*network.Delivery
+
+	Injected       int64
+	IngressDropped int64
+	Received       int64
+}
+
+type padMsg struct {
+	dst     int
+	payload []byte
+}
+
+// ExternalSend offers a message from the pins. It reports whether the
+// pad's ingress buffer had room.
+func (io *IOPad) ExternalSend(dst int, payload []byte) bool {
+	cap := io.IngressCap
+	if cap <= 0 {
+		cap = 16
+	}
+	if len(io.ingress) >= cap {
+		io.IngressDropped++
+		return false
+	}
+	io.ingress = append(io.ingress, padMsg{dst: dst, payload: append([]byte(nil), payload...)})
+	return true
+}
+
+// ExternalRecv drains the packets the network delivered to the pad, as the
+// off-chip side would clock them out.
+func (io *IOPad) ExternalRecv() []*network.Delivery {
+	out := io.egress
+	io.egress = nil
+	return out
+}
+
+// Pending reports queued ingress messages.
+func (io *IOPad) Pending() int { return len(io.ingress) }
+
+// Tick implements network.Client.
+func (io *IOPad) Tick(now int64, p *network.Port) {
+	for _, d := range p.Deliveries() {
+		io.egress = append(io.egress, d)
+		io.Received++
+	}
+	// One injection attempt per cycle, like any 256-bit port client.
+	if len(io.ingress) == 0 {
+		return
+	}
+	m := io.ingress[0]
+	if _, err := p.Send(m.dst, m.payload, io.Mask, io.Class); err != nil {
+		// Destination invalid: drop with accounting rather than wedge.
+		io.ingress = io.ingress[1:]
+		io.IngressDropped++
+		return
+	}
+	io.ingress = io.ingress[1:]
+	io.Injected++
+}

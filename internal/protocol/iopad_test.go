@@ -1,0 +1,70 @@
+package protocol
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/flit"
+)
+
+func TestIOPadBridgesTraffic(t *testing.T) {
+	// Two pads on opposite corners: off-chip data enters pad A, crosses
+	// the network, and leaves through pad B — §2's "gateways to networks
+	// on other chips" as ordinary clients.
+	n := buildNet(t, 41, nil)
+	padIn := &IOPad{Mask: flit.MaskFor(0)}
+	padOut := &IOPad{Mask: flit.MaskFor(1)}
+	n.AttachClient(0, padIn)
+	n.AttachClient(15, padOut)
+
+	msgs := [][]byte{[]byte("frame-0"), []byte("frame-1"), []byte("frame-2")}
+	for _, m := range msgs {
+		if !padIn.ExternalSend(15, m) {
+			t.Fatal("ingress refused with empty buffer")
+		}
+	}
+	n.Run(100)
+	got := padOut.ExternalRecv()
+	if len(got) != len(msgs) {
+		t.Fatalf("pad received %d of %d", len(got), len(msgs))
+	}
+	for i, d := range got {
+		if !bytes.Equal(d.Payload, msgs[i]) {
+			t.Fatalf("message %d corrupted: %q", i, d.Payload)
+		}
+		if d.Src != 0 {
+			t.Fatalf("message %d source = %d", i, d.Src)
+		}
+	}
+	if padIn.Injected != 3 || padOut.Received != 3 {
+		t.Fatalf("counters: injected=%d received=%d", padIn.Injected, padOut.Received)
+	}
+	if len(padOut.ExternalRecv()) != 0 {
+		t.Fatal("egress not drained")
+	}
+}
+
+func TestIOPadIngressBounded(t *testing.T) {
+	pad := &IOPad{Mask: flit.MaskFor(0), IngressCap: 2}
+	if !pad.ExternalSend(1, []byte("a")) || !pad.ExternalSend(1, []byte("b")) {
+		t.Fatal("sends within capacity refused")
+	}
+	if pad.ExternalSend(1, []byte("c")) {
+		t.Fatal("over-capacity send accepted")
+	}
+	if pad.IngressDropped != 1 || pad.Pending() != 2 {
+		t.Fatalf("dropped=%d pending=%d", pad.IngressDropped, pad.Pending())
+	}
+}
+
+func TestIOPadBadDestinationDropped(t *testing.T) {
+	n := buildNet(t, 43, nil)
+	pad := &IOPad{Mask: flit.MaskFor(0)}
+	n.AttachClient(0, pad)
+	pad.ExternalSend(999, []byte("nowhere"))
+	n.Run(10)
+	if pad.IngressDropped != 1 || pad.Pending() != 0 {
+		t.Fatalf("bad destination not dropped: dropped=%d pending=%d",
+			pad.IngressDropped, pad.Pending())
+	}
+}

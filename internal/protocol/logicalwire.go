@@ -1,0 +1,119 @@
+// Package protocol implements the higher-level services Section 2.2 of the
+// paper layers on top of the reliable-datagram port: logical wires, a
+// memory read/write service, flow-controlled data streams, and the
+// end-to-end checking-with-retry that §2.5 suggests for clients needing
+// transient-fault tolerance. Each service is ordinary client logic — "logic
+// local to the network clients" — built only on the Port API.
+package protocol
+
+import (
+	"encoding/binary"
+
+	"repro/internal/flit"
+	"repro/internal/network"
+	"repro/internal/stats"
+)
+
+// WireBundle is the §2.2 worked example: a bundle of up to 8 logical wires
+// from tile i that behave as if directly connected to tile j. The sending
+// side monitors the wire state and, on any change, injects a single-flit
+// packet with data size 16: "eight of the 16 data bits hold the state of
+// the lines while the remaining data bits identify this flit as containing
+// logical wires."
+type WireBundle struct {
+	ID byte // bundle identifier carried in the high 8 bits
+}
+
+// wireKind tags a payload as carrying logical-wire state — the §2.2
+// "remaining data bits identify this flit as containing logical wires."
+// Without it, unrelated packets delivered to the same tile would be
+// misread as wire updates.
+const wireKind = 0x57
+
+// wirePayload encodes the kind tag, the wire state, the bundle id, and the
+// cycle the change occurred (the timestamp is measurement bookkeeping; the
+// architectural payload is the first bytes).
+func (b WireBundle) wirePayload(state byte, now int64) []byte {
+	p := make([]byte, 11)
+	p[0] = wireKind
+	p[1] = state
+	p[2] = b.ID
+	binary.LittleEndian.PutUint64(p[3:], uint64(now))
+	return p
+}
+
+// WireSender drives the bundle. Client logic calls Set whenever the wires
+// change; the next Tick arbitrates for the port and injects the update.
+type WireSender struct {
+	Bundle WireBundle
+	Dst    int
+	Mask   flit.VCMask
+	Class  int
+
+	state   byte
+	dirty   bool
+	changed int64
+
+	Updates int64
+}
+
+// Set drives a new state onto the logical wires.
+func (w *WireSender) Set(state byte, now int64) {
+	if state == w.state && w.Updates > 0 {
+		return
+	}
+	w.state = state
+	w.dirty = true
+	w.changed = now
+}
+
+// State reports the currently driven state.
+func (w *WireSender) State() byte { return w.state }
+
+// Tick implements network.Client.
+func (w *WireSender) Tick(now int64, p *network.Port) {
+	p.Deliveries()
+	if !w.dirty {
+		return
+	}
+	if _, err := p.Send(w.Dst, w.Bundle.wirePayload(w.state, w.changed), w.Mask, w.Class); err == nil {
+		w.dirty = false
+		w.Updates++
+	}
+}
+
+// WireReceiver terminates logical-wire bundles: arriving flits are decoded
+// and the bundle outputs updated. Latency records change-to-update delay.
+type WireReceiver struct {
+	outputs [256]byte
+	valid   [256]bool
+
+	Latency *stats.Hist
+	Updates int64
+}
+
+// NewWireReceiver returns a receiver.
+func NewWireReceiver() *WireReceiver {
+	return &WireReceiver{Latency: stats.NewHist(1024)}
+}
+
+// Output reports the last received state of a bundle and whether any
+// update has arrived.
+func (r *WireReceiver) Output(bundle byte) (byte, bool) {
+	return r.outputs[bundle], r.valid[bundle]
+}
+
+// Tick implements network.Client.
+func (r *WireReceiver) Tick(now int64, p *network.Port) {
+	for _, d := range p.Deliveries() {
+		if len(d.Payload) < 11 || d.Payload[0] != wireKind {
+			continue
+		}
+		state, id := d.Payload[1], d.Payload[2]
+		changed := int64(binary.LittleEndian.Uint64(d.Payload[3:]))
+		r.outputs[id] = state
+		r.valid[id] = true
+		r.Latency.Add(now - changed)
+		r.Updates++
+	}
+}

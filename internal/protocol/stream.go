@@ -1,0 +1,141 @@
+package protocol
+
+import (
+	"encoding/binary"
+
+	"repro/internal/flit"
+	"repro/internal/network"
+	"repro/internal/stats"
+)
+
+// The flow-controlled data stream of §2.2: the sender may only have Window
+// unconsumed chunks outstanding; the receiver returns credit messages as
+// its client logic consumes data. This is end-to-end (client-level) flow
+// control, independent of the per-link credits inside the network.
+
+const (
+	streamData   = 0x10
+	streamCredit = 0x11
+)
+
+// StreamSender pushes TotalChunks chunks of ChunkBytes each to Dst, never
+// exceeding the receiver's advertised window.
+type StreamSender struct {
+	Dst         int
+	Window      int
+	ChunkBytes  int
+	TotalChunks int
+	Mask        flit.VCMask
+	Class       int
+
+	nextSeq  uint64
+	credits  int
+	started  bool
+	SentData int64
+}
+
+// NewStreamSender returns a sender; the initial window is granted locally
+// (the receiver advertises the same value).
+func NewStreamSender(dst, window, chunkBytes, total int, mask flit.VCMask) *StreamSender {
+	return &StreamSender{Dst: dst, Window: window, ChunkBytes: chunkBytes, TotalChunks: total, Mask: mask, credits: window}
+}
+
+// Done reports whether every chunk has been sent.
+func (s *StreamSender) Done() bool { return int(s.nextSeq) >= s.TotalChunks }
+
+// Tick implements network.Client.
+func (s *StreamSender) Tick(now int64, p *network.Port) {
+	for _, d := range p.Deliveries() {
+		if len(d.Payload) >= 9 && d.Payload[0] == streamCredit {
+			s.credits += int(binary.LittleEndian.Uint64(d.Payload[1:]))
+		}
+	}
+	for !s.Done() && s.credits > 0 {
+		chunk := make([]byte, 9+s.ChunkBytes)
+		chunk[0] = streamData
+		binary.LittleEndian.PutUint64(chunk[1:], s.nextSeq)
+		for i := 0; i < s.ChunkBytes; i++ {
+			chunk[9+i] = byte(s.nextSeq) ^ byte(i)
+		}
+		if _, err := p.Send(s.Dst, chunk, s.Mask, s.Class); err != nil {
+			return
+		}
+		s.credits--
+		s.nextSeq++
+		s.SentData++
+	}
+}
+
+// StreamReceiver consumes at most DrainPerTick chunks per cycle (modelling
+// a rate-limited consumer) and returns credits for what it consumed.
+// Chunks may arrive out of order across VCs; the receiver reorders them.
+type StreamReceiver struct {
+	Window       int
+	DrainPerTick int
+	Mask         flit.VCMask
+	Class        int
+
+	pending  map[uint64][]byte
+	nextSeq  uint64
+	src      int
+	srcKnown bool
+	Consumed int64
+	// MaxQueued tracks the largest number of undelivered chunks held: it
+	// must never exceed Window if the protocol is correct.
+	MaxQueued int
+
+	OccupancyHist *stats.Hist
+	Corrupt       int64
+}
+
+// NewStreamReceiver returns a receiver.
+func NewStreamReceiver(window, drainPerTick int, mask flit.VCMask) *StreamReceiver {
+	return &StreamReceiver{
+		Window: window, DrainPerTick: drainPerTick, Mask: mask,
+		pending:       make(map[uint64][]byte),
+		OccupancyHist: stats.NewHist(256),
+	}
+}
+
+// Tick implements network.Client.
+func (r *StreamReceiver) Tick(now int64, p *network.Port) {
+	for _, d := range p.Deliveries() {
+		if len(d.Payload) < 9 || d.Payload[0] != streamData {
+			continue
+		}
+		seq := binary.LittleEndian.Uint64(d.Payload[1:])
+		r.pending[seq] = d.Payload[9:]
+		r.src, r.srcKnown = d.Src, true
+	}
+	if len(r.pending) > r.MaxQueued {
+		r.MaxQueued = len(r.pending)
+	}
+	r.OccupancyHist.Add(int64(len(r.pending)))
+	consumed := 0
+	for consumed < r.DrainPerTick {
+		chunk, ok := r.pending[r.nextSeq]
+		if !ok {
+			break
+		}
+		for i, b := range chunk {
+			if b != byte(r.nextSeq)^byte(i) {
+				r.Corrupt++
+				break
+			}
+		}
+		delete(r.pending, r.nextSeq)
+		r.nextSeq++
+		r.Consumed++
+		consumed++
+	}
+	if consumed > 0 {
+		credit := make([]byte, 9)
+		credit[0] = streamCredit
+		binary.LittleEndian.PutUint64(credit[1:], uint64(consumed))
+		// Credits go back to the stream source tile, learned from the
+		// first data delivery.
+		if r.srcKnown {
+			_, _ = p.Send(r.src, credit, r.Mask, r.Class)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package route
+
+import "testing"
+
+// FuzzWordPushPop fuzzes the packed route word: any sequence of pushed
+// codes must pop back identically and never corrupt neighbouring entries.
+func FuzzWordPushPop(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3})
+	f.Add([]byte{3, 3, 3})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if len(raw) > MaxSteps {
+			raw = raw[:MaxSteps]
+		}
+		var w Word
+		var err error
+		for _, b := range raw {
+			if w, err = w.Push(Code(b % 4)); err != nil {
+				t.Fatalf("push: %v", err)
+			}
+		}
+		if w.Len() != len(raw) {
+			t.Fatalf("len = %d, want %d", w.Len(), len(raw))
+		}
+		for i, b := range raw {
+			var c Code
+			c, w = w.Pop()
+			if c != Code(b%4) {
+				t.Fatalf("pop %d = %v, want %v", i, c, Code(b%4))
+			}
+		}
+		if !w.Empty() {
+			t.Fatal("word not empty")
+		}
+	})
+}
+
+// FuzzDimensionOrder fuzzes path computation: paths must terminate at the
+// destination, never exceed the diameter, and encode/walk losslessly.
+func FuzzDimensionOrder(f *testing.F) {
+	f.Add(uint8(4), uint8(4), uint8(0), uint8(15), true)
+	f.Add(uint8(5), uint8(3), uint8(7), uint8(2), false)
+	f.Fuzz(func(t *testing.T, kxr, kyr, srcR, dstR uint8, wrap bool) {
+		kx := 3 + int(kxr)%6
+		ky := 3 + int(kyr)%6
+		n := kx * ky
+		src, dst := int(srcR)%n, int(dstR)%n
+		g := fakeGeom{kx: kx, ky: ky, wrap: wrap}
+		path := DimensionOrder(g, src%kx, src/kx, dst%kx, dst/kx)
+		if src == dst {
+			if len(path) != 0 {
+				t.Fatalf("self path = %v", path)
+			}
+			return
+		}
+		if len(path) > kx+ky {
+			t.Fatalf("path longer than diameter: %d", len(path))
+		}
+		x, y := applyPath(src%kx, src/kx, path, g)
+		if y*kx+x != dst {
+			t.Fatalf("path %v from %d ends at %d, want %d", path, src, y*kx+x, dst)
+		}
+		w, err := Encode(path)
+		if err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		dirs, err := Walk(w)
+		if err != nil {
+			t.Fatalf("walk: %v", err)
+		}
+		if len(dirs) != len(path) {
+			t.Fatalf("walk %v != path %v", dirs, path)
+		}
+	})
+}

@@ -1,0 +1,410 @@
+package router
+
+import (
+	"fmt"
+
+	"repro/internal/flit"
+	"repro/internal/route"
+)
+
+// SwitchArbitrate performs virtual-channel allocation and switch
+// arbitration for one cycle. Per §2.3 the two happen in parallel
+// (speculatively): a head flit that wins switch arbitration is forwarded in
+// the same cycle its downstream VC and buffer space are checked.
+// Pre-scheduled flits on the reserved VC move first, through the bypass,
+// without arbitrating (§2.6).
+func (r *Router) SwitchArbitrate(now int64) {
+	if r.cfg.ReservedVC >= 0 {
+		r.moveReserved(now)
+	}
+	for pi, ic := range r.inputs {
+		req := ic.req
+		hasPrio := false
+		for v, st := range ic.vcs {
+			req[v] = false
+			if v == r.cfg.ReservedVC {
+				continue
+			}
+			if r.eligible(pi, st, now) {
+				req[v] = true
+				if r.isPriority(v) {
+					hasPrio = true
+				}
+			}
+		}
+		// Class-of-service: when any priority-VC flit is eligible, the
+		// arbitration is restricted to priority VCs (§2.1: the VC mask
+		// "identifies a class of service").
+		if hasPrio {
+			for v := range req {
+				if !r.isPriority(v) {
+					req[v] = false
+				}
+			}
+		}
+		win := ic.arb.Grant(req)
+		if win < 0 {
+			continue
+		}
+		r.moveFlit(pi, ic.vcs[win], now)
+	}
+}
+
+// moveReserved advances reserved-VC flits into their output bypasses.
+func (r *Router) moveReserved(now int64) {
+	for pi, ic := range r.inputs {
+		st := ic.vcs[r.cfg.ReservedVC]
+		if len(st.buf) == 0 || !st.routed {
+			continue
+		}
+		f := st.buf[0]
+		oc := r.outputs[portIndex(st.outPort)]
+		inVC := f.VC
+		st.buf = st.buf[1:]
+		if f.Type.IsTail() {
+			st.routed = false
+		}
+		oc.bypass = append(oc.bypass, f)
+		r.creditUpstream(pi, inVC)
+		r.Stats.BypassMoves++
+		if r.cfg.Meter != nil {
+			r.cfg.Meter.AddHop()
+		}
+	}
+}
+
+// eligible reports whether the flit at the front of st can traverse the
+// switch this cycle.
+func (r *Router) eligible(pi int, st *vcState, now int64) bool {
+	if len(st.buf) == 0 || !st.routed {
+		return false
+	}
+	f := st.buf[0]
+	if r.cfg.NonSpeculative && f.Type.IsHead() && st.routedAt == now {
+		// Without speculation, VC allocation happens the cycle after
+		// route computation; the head only competes for the switch then.
+		return false
+	}
+	oc := r.outputs[portIndex(st.outPort)]
+	if oc.staging[pi] != nil {
+		return false
+	}
+	if oc.dir == route.Local || r.cfg.Mode == ModeDrop {
+		return true
+	}
+	if f.Type.IsHead() {
+		return r.chooseVCFor(oc, f, r.downstreamClass(route.Dir(pi), oc, f)) >= 0
+	}
+	return st.outVC >= 0 && (r.cfg.ElasticLinks || oc.credits[st.outVC] > 0)
+}
+
+// chooseVCFor applies the per-packet credit requirement: one flit under
+// wormhole flow control, the whole packet under virtual cut-through.
+func (r *Router) chooseVCFor(oc *outputController, f *flit.Flit, high bool) int {
+	need := 1
+	if r.cfg.CutThrough && f.TotalFlits > 1 {
+		need = f.TotalFlits
+	}
+	return r.chooseVCNeed(oc, f.Mask, high, need)
+}
+
+// dimOf reports the dimension of a direction: 0 for east/west, 1 for
+// north/south, -1 for the local port.
+func dimOf(d route.Dir) int {
+	switch d {
+	case route.East, route.West:
+		return 0
+	case route.North, route.South:
+		return 1
+	}
+	return -1
+}
+
+// downstreamClass reports whether the flit occupies a high-class
+// (post-dateline) buffer after leaving through oc: true when the output is
+// itself a dateline link, or the packet already wrapped in this dimension
+// and continues straight. Entering from the tile or turning into a new
+// dimension resets the class.
+func (r *Router) downstreamClass(from route.Dir, oc *outputController, f *flit.Flit) bool {
+	if !r.cfg.DatelineVCs {
+		return false
+	}
+	if oc.dateline {
+		return true
+	}
+	return f.Wrapped && dimOf(from) == dimOf(oc.dir)
+}
+
+// vcPairs reports the number of VC pairs under dateline classes (or the
+// plain VC count without them).
+func (r *Router) vcPairs() int {
+	if r.cfg.DatelineVCs {
+		return r.cfg.NumVCs / 2
+	}
+	return r.cfg.NumVCs
+}
+
+// pairPermitted reports whether the mask grants the VC pair p: either
+// class's bit selects the pair, so legacy single-bit masks stay routable
+// across datelines.
+func (r *Router) pairPermitted(mask flit.VCMask, p int) bool {
+	if !r.cfg.DatelineVCs {
+		return mask.Has(p)
+	}
+	return mask.Has(p) || mask.Has(p+r.vcPairs())
+}
+
+// isPriority reports whether VC v is a class-of-service priority channel;
+// under dateline classes the priority mask addresses VC pairs.
+func (r *Router) isPriority(v int) bool {
+	if r.cfg.PriorityVCs == 0 {
+		return false
+	}
+	if r.cfg.PriorityVCs.Has(v) {
+		return true
+	}
+	if r.cfg.DatelineVCs {
+		p := v % r.vcPairs()
+		return r.cfg.PriorityVCs.Has(p) || r.cfg.PriorityVCs.Has(p+r.vcPairs())
+	}
+	return false
+}
+
+// reservedPair reports whether VC v belongs to the reserved pre-scheduled
+// pair.
+func (r *Router) reservedPair(v int) bool {
+	if r.cfg.ReservedVC < 0 {
+		return false
+	}
+	pairs := r.vcPairs()
+	return v%pairs == r.cfg.ReservedVC%pairs
+}
+
+// chooseVC picks a free, credited downstream VC from the packet's mask in
+// the required dateline class (lowest index first, deterministically).
+// VCs of the reserved pair are never given to dynamic traffic.
+func (r *Router) chooseVC(oc *outputController, mask flit.VCMask, high bool) int {
+	return r.chooseVCNeed(oc, mask, high, 1)
+}
+
+// chooseVCNeed is chooseVC with an explicit credit requirement (virtual
+// cut-through asks for the whole packet's worth).
+func (r *Router) chooseVCNeed(oc *outputController, mask flit.VCMask, high bool, need int) int {
+	pairs := r.vcPairs()
+	base := 0
+	if high {
+		base = pairs
+	}
+	for p := 0; p < pairs; p++ {
+		v := base + p
+		if r.reservedPair(v) || !r.pairPermitted(mask, p) {
+			continue
+		}
+		if oc.vcOwner[v] == 0 && (r.cfg.ElasticLinks || oc.credits[v] >= need) {
+			return v
+		}
+	}
+	return -1
+}
+
+// moveFlit commits a switch traversal: the flit leaves its input buffer,
+// acquires its downstream VC and a credit if needed, and lands in the
+// output's staging buffer for its input port.
+func (r *Router) moveFlit(pi int, st *vcState, now int64) {
+	f := st.buf[0]
+	oc := r.outputs[portIndex(st.outPort)]
+	inVC := f.VC
+	st.buf = st.buf[1:]
+	if r.cfg.Mode == ModeVC && oc.dir != route.Local {
+		if f.Type.IsHead() {
+			v := r.chooseVCFor(oc, f, r.downstreamClass(route.Dir(pi), oc, f))
+			if v < 0 {
+				panic(fmt.Sprintf("router %d: head %v won arbitration without a VC", r.cfg.ID, f))
+			}
+			oc.vcOwner[v] = f.PacketID + 1
+			st.outVC = v
+		}
+		f.VC = st.outVC
+		if !r.cfg.ElasticLinks {
+			oc.credits[f.VC]--
+		}
+	}
+	if r.cfg.DatelineVCs {
+		// Maintain the dateline bit: turning into a new dimension resets
+		// it, crossing a dateline link sets it. Every flit of the packet
+		// takes the same path, so the bit stays consistent per flit.
+		if dimOf(route.Dir(pi)) != dimOf(oc.dir) {
+			f.Wrapped = false
+		}
+		if oc.dateline {
+			f.Wrapped = true
+		}
+	}
+	if f.Type.IsTail() {
+		st.routed = false
+		st.outVC = -1
+	}
+	oc.staging[pi] = f
+	r.creditUpstream(pi, inVC)
+	r.Stats.SwitchMoves++
+	if r.cfg.Meter != nil {
+		r.cfg.Meter.AddHop()
+	}
+}
+
+// creditUpstream returns a freed input-buffer slot to the upstream router.
+// §2.3: "credits for buffer allocation are piggybacked on flits travelling
+// in the reverse direction." Injection-port slots need no credit channel:
+// the client reads the ready signal combinationally (CanInject).
+func (r *Router) creditUpstream(pi int, vc int) {
+	if r.cfg.ElasticLinks || route.Dir(pi) == route.Local {
+		return
+	}
+	if l := r.inLinks[pi]; l != nil {
+		l.SendCredit(vc)
+	}
+}
+
+// CanAccept reports whether the input controller for direction from has
+// buffer space on VC vc — the receiver-side ready signal an elastic
+// channel polls before releasing its head flit.
+func (r *Router) CanAccept(from route.Dir, vc int) bool {
+	if vc < 0 || vc >= r.cfg.NumVCs {
+		return false
+	}
+	return len(r.inputs[portIndex(from)].vcs[vc].buf) < r.cfg.BufFlits
+}
+
+// LinkArbitrate lets the flits staged at each output port compete for the
+// outgoing link (§2.3: "the flits in these buffers arbitrate for the link
+// to the input controller on the next tile"). Reserved slots of the cyclic
+// reservation table carry their flow's flit from the bypass without
+// arbitration; the tile output delivers one flit per cycle to the client.
+func (r *Router) LinkArbitrate(now int64) {
+	for _, oc := range r.outputs {
+		if oc.dir == route.Local {
+			r.ejectOne(oc)
+			continue
+		}
+		if oc.link == nil || !oc.link.CanSend() {
+			continue
+		}
+		if flow := oc.table.FlowAt(now); flow != 0 {
+			if idx := findFlow(oc.bypass, flow); idx >= 0 {
+				f := oc.bypass[idx]
+				oc.bypass = append(oc.bypass[:idx], oc.bypass[idx+1:]...)
+				r.mustSend(oc, f)
+				continue
+			}
+			if !oc.table.WorkConserving {
+				continue // strict TDM: unclaimed reserved slot idles
+			}
+		}
+		req := oc.req
+		any := false
+		for i, f := range oc.staging {
+			req[i] = f != nil
+			if f != nil {
+				any = true
+			}
+		}
+		if !any {
+			continue
+		}
+		w := oc.arb.Grant(req)
+		f := oc.staging[w]
+		oc.staging[w] = nil
+		r.mustSend(oc, f)
+	}
+}
+
+func (r *Router) mustSend(oc *outputController, f *flit.Flit) {
+	if err := oc.link.Send(f); err != nil {
+		panic(fmt.Sprintf("router %d: %v", r.cfg.ID, err))
+	}
+	if r.cfg.Mode == ModeVC && f.Type.IsTail() && f.VC < len(oc.vcOwner) {
+		oc.vcOwner[f.VC] = 0
+	}
+}
+
+// ejectOne delivers at most one flit per cycle through the tile output
+// port, reserved traffic first.
+func (r *Router) ejectOne(oc *outputController) {
+	if len(oc.bypass) > 0 {
+		f := oc.bypass[0]
+		oc.bypass = oc.bypass[1:]
+		r.ejectQ = append(r.ejectQ, f)
+		r.Stats.Ejected++
+		return
+	}
+	req := oc.req
+	any := false
+	for i, f := range oc.staging {
+		req[i] = f != nil
+		if f != nil {
+			any = true
+		}
+	}
+	if !any {
+		return
+	}
+	w := oc.arb.Grant(req)
+	f := oc.staging[w]
+	oc.staging[w] = nil
+	r.ejectQ = append(r.ejectQ, f)
+	r.Stats.Ejected++
+}
+
+func findFlow(flits []*flit.Flit, flow int) int {
+	for i, f := range flits {
+		if f.Flow == flow {
+			return i
+		}
+	}
+	return -1
+}
+
+// HandleCredits restores credits returned by the downstream router on the
+// output link in direction d.
+func (r *Router) HandleCredits(d route.Dir, vcs []int) {
+	oc := r.outputs[portIndex(d)]
+	for _, vc := range vcs {
+		if vc < 0 || vc >= len(oc.credits) {
+			panic(fmt.Sprintf("router %d: credit for invalid VC %d", r.cfg.ID, vc))
+		}
+		oc.credits[vc]++
+	}
+}
+
+// Eject returns the flits delivered to the tile this cycle.
+func (r *Router) Eject() []*flit.Flit {
+	out := r.ejectQ
+	r.ejectQ = nil
+	return out
+}
+
+// Occupancy reports the total number of flits buffered in the router
+// (input buffers, staging, and bypass), for drain detection and tests.
+func (r *Router) Occupancy() int {
+	n := 0
+	for _, ic := range r.inputs {
+		for _, st := range ic.vcs {
+			n += len(st.buf)
+		}
+	}
+	for _, oc := range r.outputs {
+		for _, f := range oc.staging {
+			if f != nil {
+				n++
+			}
+		}
+		n += len(oc.bypass)
+	}
+	return n + len(r.ejectQ)
+}
+
+// CreditCount reports the credits currently held for direction d and VC
+// vc, for invariant tests.
+func (r *Router) CreditCount(d route.Dir, vc int) int {
+	return r.outputs[portIndex(d)].credits[vc]
+}

@@ -1,0 +1,389 @@
+package router
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/flit"
+	"repro/internal/link"
+	"repro/internal/power"
+	"repro/internal/route"
+)
+
+// NumPorts is the number of router ports: four compass directions plus the
+// tile (local) port. §2.3: "five input controllers (one for each direction
+// and one for input from the tile) and five output controllers".
+const NumPorts = 5
+
+// Mode selects the flow-control discipline (§3.2 trade-off study).
+type Mode int
+
+// Flow-control modes.
+const (
+	// ModeVC is the paper's baseline: virtual-channel flow control with
+	// credits.
+	ModeVC Mode = iota
+	// ModeDrop drops packets that arrive to a full buffer; it needs very
+	// little buffering but wastes the wire energy already spent on the
+	// dropped flits (§3.2).
+	ModeDrop
+)
+
+// Config parameterizes a Router.
+type Config struct {
+	ID       int
+	NumVCs   int // virtual channels per input controller (paper: 8)
+	BufFlits int // flit buffers per VC (paper: 4)
+	Mode     Mode
+
+	// ReservedVC, when >= 0, dedicates that virtual channel to
+	// pre-scheduled traffic: its flits bypass arbitration and credits and
+	// depart on reserved link slots (§2.6).
+	ReservedVC int
+	// ResPeriod is the cyclic reservation table period in cycles.
+	ResPeriod int
+	// WorkConserving lets dynamic traffic use unclaimed reserved slots.
+	WorkConserving bool
+
+	// PriorityVCs marks virtual channels whose traffic wins switch
+	// arbitration over non-priority VCs (the class-of-service use of the
+	// VC mask, §2.1).
+	PriorityVCs flit.VCMask
+
+	// NonSpeculative disables the §2.3 latency optimization of performing
+	// VC allocation in parallel with switch arbitration: head flits then
+	// spend one extra cycle per hop. Ablation only.
+	NonSpeculative bool
+
+	// Adaptive switches from source routing to per-hop adaptive routing:
+	// the route field is ignored and each router picks, among the
+	// candidate productive outputs supplied by the network's turn-model
+	// route function, the one with the most downstream credits. §3's
+	// research agenda ("much room for improvement remains") includes
+	// routing; west-first turn-model adaptivity is the classic
+	// deadlock-free answer on a mesh.
+	Adaptive bool
+
+	// CutThrough switches from wormhole to virtual cut-through flow
+	// control: a head flit only advances when the downstream VC has
+	// buffer space for the *whole* packet, so blocked packets never
+	// straddle routers. It trades the §3.2 buffer budget (BufFlits must
+	// cover the longest packet) for shorter blocking chains — one of the
+	// flow-control points in the design space §3.2 asks to be explored.
+	CutThrough bool
+
+	// ElasticLinks switches flow control to the §3.3/ref-[4] elastic
+	// channels: the wire's repeater stages buffer flits with hop-by-hop
+	// backpressure, the receiver pops a flit only when its VC buffer has
+	// space, and no credits circulate — "closing flow control loops
+	// locally so credits can be quickly recycled." Router input buffers
+	// can then be as small as one flit at full per-VC throughput. Only
+	// meaningful on acyclic-channel topologies (the mesh); the network
+	// layer enforces that.
+	ElasticLinks bool
+
+	// DatelineVCs enables torus deadlock avoidance by splitting the VC
+	// space into two classes: VCs [0, NumVCs/2) carry packets that have
+	// not crossed the current dimension's wraparound dateline, VCs
+	// [NumVCs/2, NumVCs) carry packets that have. Crossing a dateline
+	// link moves a packet to the high class; turning into a new dimension
+	// resets it. This breaks the cyclic channel dependency of
+	// dimension-ordered routing on rings (Dally, "Virtual Channel Flow
+	// Control", the paper's [2]). With it enabled, a VC-mask bit grants a
+	// *pair* of VCs, one in each class, so any nonempty mask remains
+	// routable across datelines. Requires an even NumVCs.
+	DatelineVCs bool
+
+	// Meter, when non-nil, accrues per-hop controller energy.
+	Meter *power.Meter
+}
+
+// DefaultConfig returns the paper's router parameters.
+func DefaultConfig(id int) Config {
+	return Config{ID: id, NumVCs: flit.NumVCs, BufFlits: 4, ReservedVC: -1, ResPeriod: 1}
+}
+
+// vcState is the per-virtual-channel input state of Figure 3: an input
+// buffer plus the routing/allocation state machine.
+type vcState struct {
+	buf      []*flit.Flit
+	outPort  route.Dir
+	outVC    int
+	routed   bool
+	routedAt int64
+}
+
+// inputController is one of the five input controllers.
+type inputController struct {
+	dir route.Dir
+	vcs []*vcState
+	arb *rrArbiter
+	req []bool // per-cycle arbitration scratch, allocated once
+}
+
+// outputController is one of the five output controllers: a single staging
+// flit per input-port connection, the downstream credit and VC-allocation
+// state, the reservation table, and the reserved-traffic bypass.
+type outputController struct {
+	dir      route.Dir
+	link     *link.Link // nil for the local port
+	staging  [NumPorts]*flit.Flit
+	bypass   []*flit.Flit // reserved flits awaiting their slot
+	credits  []int        // per downstream VC
+	vcOwner  []uint64     // packetID+1 holding each downstream VC; 0 = free
+	arb      *rrArbiter
+	table    *ResTable
+	dateline bool   // this link crosses a torus ring's dateline
+	req      []bool // per-cycle arbitration scratch, allocated once
+}
+
+// Stats counts router events.
+type Stats struct {
+	SwitchMoves    int64
+	DroppedPackets int64
+	DroppedFlits   int64
+	Ejected        int64
+	BypassMoves    int64
+}
+
+// Router is the paper's virtual-channel router.
+type Router struct {
+	cfg     Config
+	inputs  [NumPorts]*inputController
+	outputs [NumPorts]*outputController
+	inLinks [NumPorts]*link.Link // upstream links, for returning credits
+
+	// adaptiveFn reports the turn-model-legal productive outputs toward
+	// dst from this tile (empty when dst is this tile). Set by the
+	// network when Config.Adaptive is on.
+	adaptiveFn func(tile, dst int) []route.Dir
+
+	ejectQ []*flit.Flit
+
+	Stats Stats
+}
+
+// portIndex maps a direction to a port index.
+func portIndex(d route.Dir) int { return int(d) }
+
+// Describe renders the router's structure in the shape of the paper's
+// Figures 2 and 3: five input controllers (per-VC buffers and state) and
+// five output controllers (one staging buffer per input connection, VC
+// allocation and credit state, the cyclic reservation table).
+func (r *Router) Describe() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "router %d (Figs. 2-3 of the paper):\n", r.cfg.ID)
+	fmt.Fprintf(&sb, "  %d input controllers (N E S W tile), each:\n", NumPorts)
+	fmt.Fprintf(&sb, "    %d virtual channels x %d-flit input buffer + route/VC state\n",
+		r.cfg.NumVCs, r.cfg.BufFlits)
+	fmt.Fprintf(&sb, "    route step consumed per hop (2 bits: straight/left/right/extract)\n")
+	fmt.Fprintf(&sb, "  %d output controllers (N E S W tile), each:\n", NumPorts)
+	fmt.Fprintf(&sb, "    %d single-flit staging buffers (one per input connection)\n", NumPorts)
+	fmt.Fprintf(&sb, "    VC allocation (%d VCs) + credit counters for the downstream buffers\n", r.cfg.NumVCs)
+	fmt.Fprintf(&sb, "    cyclic reservation table, period %d", r.cfg.ResPeriod)
+	if r.cfg.ReservedVC >= 0 {
+		fmt.Fprintf(&sb, " (VC %d reserved for pre-scheduled flows)", r.cfg.ReservedVC)
+	}
+	sb.WriteByte('\n')
+	features := []string{}
+	if r.cfg.DatelineVCs {
+		features = append(features, "dateline VC classes (torus deadlock avoidance)")
+	}
+	if r.cfg.CutThrough {
+		features = append(features, "virtual cut-through")
+	}
+	if r.cfg.ElasticLinks {
+		features = append(features, "elastic channels (no credits)")
+	}
+	if r.cfg.Adaptive {
+		features = append(features, "west-first adaptive routing")
+	}
+	if r.cfg.NonSpeculative {
+		features = append(features, "sequential (non-speculative) VC allocation")
+	}
+	if len(features) > 0 {
+		fmt.Fprintf(&sb, "  options: %s\n", strings.Join(features, ", "))
+	}
+	return sb.String()
+}
+
+// New returns a router with the given configuration.
+func New(cfg Config) (*Router, error) {
+	if cfg.NumVCs < 1 || cfg.NumVCs > flit.NumVCs {
+		return nil, fmt.Errorf("router: NumVCs %d outside [1,%d]", cfg.NumVCs, flit.NumVCs)
+	}
+	if cfg.BufFlits < 1 {
+		return nil, fmt.Errorf("router: BufFlits %d < 1", cfg.BufFlits)
+	}
+	if cfg.ReservedVC >= cfg.NumVCs {
+		return nil, fmt.Errorf("router: reserved VC %d outside VC range", cfg.ReservedVC)
+	}
+	if cfg.DatelineVCs && cfg.NumVCs%2 != 0 {
+		return nil, fmt.Errorf("router: dateline VC classes need an even VC count, got %d", cfg.NumVCs)
+	}
+	if cfg.ResPeriod < 1 {
+		cfg.ResPeriod = 1
+	}
+	r := &Router{cfg: cfg}
+	dirs := []route.Dir{route.North, route.East, route.South, route.West, route.Local}
+	for _, d := range dirs {
+		ic := &inputController{dir: d, arb: newRRArbiter(cfg.NumVCs), req: make([]bool, cfg.NumVCs)}
+		for v := 0; v < cfg.NumVCs; v++ {
+			ic.vcs = append(ic.vcs, &vcState{outVC: -1})
+		}
+		r.inputs[portIndex(d)] = ic
+		oc := &outputController{
+			dir:     d,
+			arb:     newRRArbiter(NumPorts),
+			credits: make([]int, cfg.NumVCs),
+			vcOwner: make([]uint64, cfg.NumVCs),
+			table:   NewResTable(cfg.ResPeriod),
+		}
+		oc.req = make([]bool, NumPorts)
+		oc.table.WorkConserving = cfg.WorkConserving
+		r.outputs[portIndex(d)] = oc
+	}
+	return r, nil
+}
+
+// ID reports the router's tile id.
+func (r *Router) ID() int { return r.cfg.ID }
+
+// Config reports the router's configuration.
+func (r *Router) Config() Config { return r.cfg }
+
+// SetOutLink attaches the outgoing link in direction d and initializes its
+// credit counters to the downstream buffer depth.
+func (r *Router) SetOutLink(d route.Dir, l *link.Link, downstreamBufFlits int) {
+	oc := r.outputs[portIndex(d)]
+	oc.link = l
+	for v := range oc.credits {
+		oc.credits[v] = downstreamBufFlits
+	}
+}
+
+// SetInLink attaches the incoming link in direction d, used to return
+// credits upstream.
+func (r *Router) SetInLink(d route.Dir, l *link.Link) {
+	r.inLinks[portIndex(d)] = l
+}
+
+// SetDateline marks the output link in direction d as crossing its ring's
+// dateline (only meaningful with Config.DatelineVCs).
+func (r *Router) SetDateline(d route.Dir, crossing bool) {
+	r.outputs[portIndex(d)].dateline = crossing
+}
+
+// SetAdaptiveRoute installs the per-hop candidate function for adaptive
+// routing (Config.Adaptive).
+func (r *Router) SetAdaptiveRoute(fn func(tile, dst int) []route.Dir) {
+	r.adaptiveFn = fn
+}
+
+// Reservations exposes the reservation table of the output port in
+// direction d, so the network-level scheduler can book slots.
+func (r *Router) Reservations(d route.Dir) *ResTable {
+	return r.outputs[portIndex(d)].table
+}
+
+// CanInject reports whether the tile input port can accept a flit on the
+// given virtual channel this cycle: the per-VC ready signal of §2.1.
+func (r *Router) CanInject(vc int) bool {
+	if vc < 0 || vc >= r.cfg.NumVCs {
+		return false
+	}
+	return len(r.inputs[portIndex(route.Local)].vcs[vc].buf) < r.cfg.BufFlits
+}
+
+// AcceptFlit receives a flit on the input controller for direction from
+// (route.Local for client injection). Under credit flow control a buffer
+// overflow indicates a protocol violation and panics; in drop mode the
+// packet is discarded instead (§3.2).
+func (r *Router) AcceptFlit(f *flit.Flit, from route.Dir) {
+	ic := r.inputs[portIndex(from)]
+	if f.VC < 0 || f.VC >= r.cfg.NumVCs {
+		panic(fmt.Sprintf("router %d: flit %v on invalid VC", r.cfg.ID, f))
+	}
+	st := ic.vcs[f.VC]
+	if r.cfg.Mode == ModeDrop {
+		// Dropping flow control transports single-flit packets (as
+		// contention-dropping networks do): a drop is then always a whole
+		// packet and no VC can wedge waiting for a discarded tail.
+		if f.Type != flit.HeadTail {
+			panic(fmt.Sprintf("router %d: multi-flit packet %v in drop mode", r.cfg.ID, f))
+		}
+		if len(st.buf) >= r.cfg.BufFlits {
+			r.Stats.DroppedFlits++
+			r.Stats.DroppedPackets++
+			return
+		}
+		st.buf = append(st.buf, f)
+		return
+	}
+	if len(st.buf) >= r.cfg.BufFlits {
+		panic(fmt.Sprintf("router %d: input %v VC %d overflow (credit protocol violation)",
+			r.cfg.ID, from, f.VC))
+	}
+	st.buf = append(st.buf, f)
+}
+
+// adaptiveChoice picks the candidate output with the most free downstream
+// credits — a congestion-aware choice among the turn-model-legal
+// productive directions. Ties go to the earlier candidate, keeping the
+// simulation deterministic.
+func (r *Router) adaptiveChoice(f *flit.Flit) route.Dir {
+	if r.adaptiveFn == nil {
+		panic(fmt.Sprintf("router %d: adaptive routing without a route function", r.cfg.ID))
+	}
+	candidates := r.adaptiveFn(r.cfg.ID, f.Dst)
+	if len(candidates) == 0 {
+		return route.Local
+	}
+	best := candidates[0]
+	bestCredits := -1
+	for _, d := range candidates {
+		oc := r.outputs[portIndex(d)]
+		total := 0
+		for v, c := range oc.credits {
+			if oc.vcOwner[v] == 0 {
+				total += c
+			}
+		}
+		if total > bestCredits {
+			best, bestCredits = d, total
+		}
+	}
+	return best
+}
+
+// RouteCompute strips the next route step from head flits at the front of
+// each VC buffer (§2.3: "the input controller strips the next entry off
+// the route field and uses these two bits to select one of four output
+// ports").
+func (r *Router) RouteCompute(now int64) {
+	for pi, ic := range r.inputs {
+		for _, st := range ic.vcs {
+			if st.routed || len(st.buf) == 0 {
+				continue
+			}
+			f := st.buf[0]
+			if !f.Type.IsHead() {
+				panic(fmt.Sprintf("router %d: non-head flit %v at front of unrouted VC", r.cfg.ID, f))
+			}
+			if r.cfg.Adaptive {
+				st.outPort = r.adaptiveChoice(f)
+			} else {
+				code, rest := f.Route.Pop()
+				f.Route = rest
+				if route.Dir(pi) == route.Local {
+					st.outPort = route.AbsDir(code)
+				} else {
+					heading := route.Dir(pi).Opposite()
+					st.outPort = route.Turn(heading, code)
+				}
+			}
+			st.routed = true
+			st.routedAt = now
+		}
+	}
+}

@@ -1,0 +1,223 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	if s.Count() != 0 || s.Mean() != 0 || s.StdDev() != 0 {
+		t.Fatalf("zero summary not zero: %v", s.String())
+	}
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(v)
+	}
+	if s.Count() != 8 {
+		t.Fatalf("count = %d, want 8", s.Count())
+	}
+	if !almostEqual(s.Mean(), 5, 1e-12) {
+		t.Errorf("mean = %v, want 5", s.Mean())
+	}
+	// Population sd of this classic set is 2; sample sd is sqrt(32/7).
+	if !almostEqual(s.StdDev(), math.Sqrt(32.0/7.0), 1e-12) {
+		t.Errorf("sd = %v, want %v", s.StdDev(), math.Sqrt(32.0/7.0))
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("min/max = %v/%v, want 2/9", s.Min(), s.Max())
+	}
+}
+
+func TestSummaryAddN(t *testing.T) {
+	var a, b Summary
+	a.AddN(3.5, 4)
+	for i := 0; i < 4; i++ {
+		b.Add(3.5)
+	}
+	if a.Count() != b.Count() || !almostEqual(a.Mean(), b.Mean(), 1e-12) {
+		t.Fatalf("AddN mismatch: %v vs %v", a.String(), b.String())
+	}
+}
+
+func TestSummaryMergeMatchesPooled(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var all, left, right Summary
+	for i := 0; i < 1000; i++ {
+		v := rng.NormFloat64()*3 + 10
+		all.Add(v)
+		if i%2 == 0 {
+			left.Add(v)
+		} else {
+			right.Add(v)
+		}
+	}
+	left.Merge(&right)
+	if left.Count() != all.Count() {
+		t.Fatalf("merged count %d != %d", left.Count(), all.Count())
+	}
+	if !almostEqual(left.Mean(), all.Mean(), 1e-9) {
+		t.Errorf("merged mean %v != %v", left.Mean(), all.Mean())
+	}
+	if !almostEqual(left.Variance(), all.Variance(), 1e-9) {
+		t.Errorf("merged var %v != %v", left.Variance(), all.Variance())
+	}
+	if left.Min() != all.Min() || left.Max() != all.Max() {
+		t.Errorf("merged min/max differ")
+	}
+}
+
+func TestSummaryMergeIntoEmpty(t *testing.T) {
+	var a, b Summary
+	b.Add(1)
+	b.Add(3)
+	a.Merge(&b)
+	if a.Count() != 2 || !almostEqual(a.Mean(), 2, 1e-12) {
+		t.Fatalf("merge into empty: %v", a.String())
+	}
+	var c Summary
+	b.Merge(&c) // merging empty is a no-op
+	if b.Count() != 2 {
+		t.Fatalf("merge of empty changed count: %d", b.Count())
+	}
+}
+
+func TestSummaryCIShrinks(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var small, big Summary
+	for i := 0; i < 100; i++ {
+		small.Add(rng.Float64())
+	}
+	for i := 0; i < 10000; i++ {
+		big.Add(rng.Float64())
+	}
+	if big.CI95() >= small.CI95() {
+		t.Fatalf("CI did not shrink with samples: %v vs %v", big.CI95(), small.CI95())
+	}
+}
+
+func TestHistQuantilesExact(t *testing.T) {
+	h := NewHist(16)
+	for v := int64(1); v <= 10; v++ {
+		h.Add(v)
+	}
+	if got := h.Quantile(0.5); got != 5 {
+		t.Errorf("p50 = %d, want 5", got)
+	}
+	if got := h.Quantile(1.0); got != 10 {
+		t.Errorf("p100 = %d, want 10", got)
+	}
+	if got := h.Quantile(0.0); got != 1 {
+		t.Errorf("p0 = %d, want 1", got)
+	}
+	if got := h.Mean(); !almostEqual(got, 5.5, 1e-12) {
+		t.Errorf("mean = %v, want 5.5", got)
+	}
+}
+
+func TestHistOverflowExact(t *testing.T) {
+	h := NewHist(4)
+	for _, v := range []int64{1, 2, 3, 100, 200} {
+		h.Add(v)
+	}
+	if h.Max() != 200 {
+		t.Errorf("max = %d, want 200", h.Max())
+	}
+	if got := h.Quantile(1.0); got != 200 {
+		t.Errorf("p100 = %d, want 200", got)
+	}
+	if got := h.Quantile(0.8); got != 100 {
+		t.Errorf("p80 = %d, want 100", got)
+	}
+	if !almostEqual(h.Mean(), 306.0/5.0, 1e-12) {
+		t.Errorf("mean = %v", h.Mean())
+	}
+}
+
+func TestHistNegativeClamped(t *testing.T) {
+	h := NewHist(4)
+	h.Add(-5)
+	if h.Max() != 0 || h.Count() != 1 {
+		t.Fatalf("negative sample mishandled: %v", h.String())
+	}
+}
+
+func TestHistReset(t *testing.T) {
+	h := NewHist(4)
+	h.Add(2)
+	h.Add(9)
+	h.Reset()
+	if h.Count() != 0 || h.Max() != 0 || h.Mean() != 0 {
+		t.Fatalf("reset incomplete: %v", h.String())
+	}
+}
+
+// Property: for any sample set, Quantile is monotone in q and brackets
+// min/max.
+func TestHistQuantileMonotoneProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		h := NewHist(64)
+		for _, v := range raw {
+			h.Add(int64(v % 1000))
+		}
+		prev := int64(-1)
+		for _, q := range []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1} {
+			cur := h.Quantile(q)
+			if cur < prev {
+				return false
+			}
+			prev = cur
+		}
+		return h.Quantile(1) == h.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: histogram mean equals the arithmetic mean of the samples.
+func TestHistMeanProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		h := NewHist(8) // force plenty of overflow traffic
+		var sum int64
+		for _, v := range raw {
+			h.Add(int64(v))
+			sum += int64(v)
+		}
+		want := float64(sum) / float64(len(raw))
+		return almostEqual(h.Mean(), want, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCounterRate(t *testing.T) {
+	var c Counter
+	if c.Rate() != 0 {
+		t.Fatalf("zero counter rate = %v", c.Rate())
+	}
+	for i := 0; i < 10; i++ {
+		c.Tick(int64(i % 2)) // 5 events in 10 cycles
+	}
+	if !almostEqual(c.Rate(), 0.5, 1e-12) {
+		t.Errorf("rate = %v, want 0.5", c.Rate())
+	}
+	c.AddEvents(5)
+	if !almostEqual(c.Rate(), 1.0, 1e-12) {
+		t.Errorf("rate after AddEvents = %v, want 1.0", c.Rate())
+	}
+	c.Reset()
+	if c.Events() != 0 || c.Cycles() != 0 {
+		t.Errorf("reset incomplete")
+	}
+}

@@ -1,0 +1,117 @@
+package topology
+
+import (
+	"fmt"
+
+	"repro/internal/route"
+)
+
+// Analysis summarizes the static network properties that drive the paper's
+// Section 3.1 comparison of mesh and folded torus.
+type Analysis struct {
+	Topology string
+	Tiles    int
+	Channels int // unidirectional inter-tile channels
+
+	// AvgHops is the mean number of channel traversals of a
+	// dimension-ordered route, averaged over all ordered pairs of distinct
+	// tiles under uniform traffic.
+	AvgHops float64
+	// MaxHops is the network diameter under dimension-ordered routing.
+	MaxHops int
+	// AvgDistance is the mean physical wire distance of a route in tile
+	// pitches, using the actual (folded) link lengths.
+	AvgDistance float64
+	// AvgLinkLength is the mean channel length in tile pitches.
+	AvgLinkLength float64
+	// WireDemand is the total channel length in tile pitches; the folded
+	// torus has twice the wire demand of the mesh (§3.1).
+	WireDemand float64
+	// BisectionChannels counts unidirectional channels crossing the
+	// vertical mid-line of the die; the torus has twice the mesh's
+	// bisection (§3.1).
+	BisectionChannels int
+}
+
+// Analyze computes the static properties of a topology.
+func Analyze(t Topology) Analysis {
+	a := Analysis{Topology: t.Name(), Tiles: t.NumTiles()}
+	links := Links(t)
+	a.Channels = len(links)
+	for _, l := range links {
+		a.WireDemand += l.Length
+	}
+	if a.Channels > 0 {
+		a.AvgLinkLength = a.WireDemand / float64(a.Channels)
+	}
+
+	var hopSum, distSum float64
+	var pairs int
+	for src := 0; src < t.NumTiles(); src++ {
+		for dst := 0; dst < t.NumTiles(); dst++ {
+			if src == dst {
+				continue
+			}
+			hops, dist := PathMetrics(t, src, dst)
+			hopSum += float64(hops)
+			distSum += dist
+			if hops > a.MaxHops {
+				a.MaxHops = hops
+			}
+			pairs++
+		}
+	}
+	if pairs > 0 {
+		a.AvgHops = hopSum / float64(pairs)
+		a.AvgDistance = distSum / float64(pairs)
+	}
+	a.BisectionChannels = Bisection(t)
+	return a
+}
+
+// PathMetrics reports the hop count and physical wire distance (in tile
+// pitches) of the dimension-ordered route from src to dst.
+func PathMetrics(t Topology, src, dst int) (hops int, distance float64) {
+	kx, _ := t.Radix()
+	path := route.DimensionOrder(t, src%kx, src/kx, dst%kx, dst/kx)
+	cur := src
+	for _, d := range path {
+		distance += t.LinkLength(cur, d)
+		next, ok := t.Neighbor(cur, d)
+		if !ok {
+			panic(fmt.Sprintf("topology: dimension-order path leaves %s at tile %d dir %v", t.Name(), cur, d))
+		}
+		cur = next
+		hops++
+	}
+	if cur != dst {
+		panic(fmt.Sprintf("topology: dimension-order path on %s from %d ends at %d, want %d", t.Name(), src, cur, dst))
+	}
+	return hops, distance
+}
+
+// Bisection counts the unidirectional channels whose endpoints lie on
+// opposite sides of the vertical cut through the middle of the logical
+// coordinate space. For a k×k mesh this is 2k; for a k×k torus, 4k.
+func Bisection(t Topology) int {
+	kx, _ := t.Radix()
+	half := kx / 2
+	n := 0
+	for _, l := range Links(t) {
+		fx, _ := Coord(t, l.From)
+		tx, _ := Coord(t, l.To)
+		if (fx < half) != (tx < half) {
+			n++
+		}
+	}
+	return n
+}
+
+// String renders the analysis as a report block.
+func (a Analysis) String() string {
+	return fmt.Sprintf(
+		"%s: tiles=%d channels=%d avgHops=%.3f maxHops=%d avgDist=%.3f pitches "+
+			"avgLink=%.3f wireDemand=%.1f bisection=%d",
+		a.Topology, a.Tiles, a.Channels, a.AvgHops, a.MaxHops, a.AvgDistance,
+		a.AvgLinkLength, a.WireDemand, a.BisectionChannels)
+}

@@ -1,0 +1,261 @@
+// Package topology defines the logical and physical structure of the
+// on-chip network: which tiles are connected, in which compass direction,
+// and how long the connecting wires are in tile pitches.
+//
+// Two topologies from the paper are implemented:
+//
+//   - Mesh: the conventional k-ary 2-mesh the paper uses as the
+//     power-efficient alternative in Section 3.1. Every link spans one tile
+//     pitch.
+//   - FoldedTorus: the paper's baseline (Section 2): a 2-D torus whose rows
+//     and columns are folded so that no wraparound wire crosses the die.
+//     For radix 4 the fold visits physical positions 0, 2, 3, 1, exactly as
+//     the paper specifies; most links span two tile pitches, which is the
+//     torus's "longer average flit transmission distance".
+//
+// The package also provides the static analysis the paper's Section 3.1
+// argument rests on: average hop count, average wire distance, bisection
+// channel count, and total wire demand.
+package topology
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/route"
+)
+
+// Topology describes a tile network. Tile ids are y*Width + x with x
+// increasing east and y increasing north.
+type Topology interface {
+	route.Geometry
+
+	// Name identifies the topology in reports.
+	Name() string
+	// NumTiles reports the number of client tiles.
+	NumTiles() int
+	// Neighbor reports the tile reached by leaving tile in direction d,
+	// and whether such a channel exists.
+	Neighbor(tile int, d route.Dir) (int, bool)
+	// LinkLength reports the physical length, in tile pitches, of the
+	// channel leaving tile in direction d. It is zero when no channel
+	// exists.
+	LinkLength(tile int, d route.Dir) float64
+	// PhysPos reports the physical placement of a tile on the die in
+	// tile-pitch units. For the mesh this equals the logical coordinate;
+	// for the folded torus it applies the fold permutation.
+	PhysPos(tile int) (px, py int)
+}
+
+// Coord converts a tile id to logical coordinates.
+func Coord(t Topology, tile int) (x, y int) {
+	kx, _ := t.Radix()
+	return tile % kx, tile / kx
+}
+
+// TileID converts logical coordinates to a tile id.
+func TileID(t Topology, x, y int) int {
+	kx, _ := t.Radix()
+	return y*kx + x
+}
+
+// Mesh is a kx×ky 2-D mesh.
+type Mesh struct {
+	kx, ky int
+}
+
+// NewMesh returns a kx×ky mesh. Radices must be at least 1, and the network
+// must contain at least 2 tiles.
+func NewMesh(kx, ky int) (*Mesh, error) {
+	if kx < 1 || ky < 1 || kx*ky < 2 {
+		return nil, fmt.Errorf("topology: invalid mesh radix %dx%d", kx, ky)
+	}
+	return &Mesh{kx, ky}, nil
+}
+
+// Name implements Topology.
+func (m *Mesh) Name() string { return fmt.Sprintf("mesh-%dx%d", m.kx, m.ky) }
+
+// NumTiles implements Topology.
+func (m *Mesh) NumTiles() int { return m.kx * m.ky }
+
+// Radix implements route.Geometry.
+func (m *Mesh) Radix() (int, int) { return m.kx, m.ky }
+
+// Wrap implements route.Geometry; a mesh has no wraparound channels.
+func (m *Mesh) Wrap() bool { return false }
+
+// Neighbor implements Topology.
+func (m *Mesh) Neighbor(tile int, d route.Dir) (int, bool) {
+	x, y := tile%m.kx, tile/m.kx
+	dx, dy := d.Delta()
+	nx, ny := x+dx, y+dy
+	if nx < 0 || nx >= m.kx || ny < 0 || ny >= m.ky {
+		return 0, false
+	}
+	return ny*m.kx + nx, true
+}
+
+// LinkLength implements Topology; every mesh link spans one tile pitch.
+func (m *Mesh) LinkLength(tile int, d route.Dir) float64 {
+	if _, ok := m.Neighbor(tile, d); !ok {
+		return 0
+	}
+	return 1
+}
+
+// PhysPos implements Topology; mesh placement is the logical coordinate.
+func (m *Mesh) PhysPos(tile int) (int, int) { return tile % m.kx, tile / m.kx }
+
+// FoldedTorus is a kx×ky 2-D torus folded onto the die so that every
+// channel is short. FoldOrder gives the physical interleaving.
+type FoldedTorus struct {
+	kx, ky int
+	posX   []int // posX[logical x] = physical x
+	posY   []int
+}
+
+// NewFoldedTorus returns a kx×ky folded torus. Radices must be at least 2 in
+// any dimension with more than one tile (a 1-wide dimension has no ring).
+func NewFoldedTorus(kx, ky int) (*FoldedTorus, error) {
+	if kx < 1 || ky < 1 || kx*ky < 2 {
+		return nil, fmt.Errorf("topology: invalid torus radix %dx%d", kx, ky)
+	}
+	if kx == 2 || ky == 2 {
+		// A radix-2 ring would need two parallel channels between the same
+		// pair of tiles; the paper's example uses radix 4 and the model
+		// keeps one channel per direction.
+		return nil, fmt.Errorf("topology: radix-2 torus dimension not supported (%dx%d)", kx, ky)
+	}
+	return &FoldedTorus{kx: kx, ky: ky, posX: foldPositions(FoldOrder(kx)), posY: foldPositions(FoldOrder(ky))}, nil
+}
+
+// FoldOrder returns the physical positions visited by the folded ring of
+// radix k, in logical ring order. For k=4 it is [0 2 3 1]: the paper's
+// "nodes 0-3 in each row cyclically connected in the order 0,2,3,1". Even
+// positions are laid out ascending, then odd positions descending, so all
+// but two links in each ring span exactly two tile pitches and no link
+// crosses the die.
+func FoldOrder(k int) []int {
+	order := make([]int, 0, k)
+	for p := 0; p < k; p += 2 {
+		order = append(order, p)
+	}
+	start := k - 1
+	if k%2 != 0 {
+		start = k - 2
+	}
+	for p := start; p > 0; p -= 2 {
+		order = append(order, p)
+	}
+	return order
+}
+
+// foldPositions returns posX[logical ring index] = physical position, which
+// is exactly the fold order list.
+func foldPositions(order []int) []int {
+	pos := make([]int, len(order))
+	copy(pos, order)
+	return pos
+}
+
+// Name implements Topology.
+func (t *FoldedTorus) Name() string { return fmt.Sprintf("folded-torus-%dx%d", t.kx, t.ky) }
+
+// NumTiles implements Topology.
+func (t *FoldedTorus) NumTiles() int { return t.kx * t.ky }
+
+// Radix implements route.Geometry.
+func (t *FoldedTorus) Radix() (int, int) { return t.kx, t.ky }
+
+// Wrap implements route.Geometry.
+func (t *FoldedTorus) Wrap() bool { return true }
+
+// Neighbor implements Topology; every direction has a neighbor on a torus
+// (modulo a 1-wide dimension, which has no ring).
+func (t *FoldedTorus) Neighbor(tile int, d route.Dir) (int, bool) {
+	x, y := tile%t.kx, tile/t.kx
+	dx, dy := d.Delta()
+	if dx == 0 && dy == 0 {
+		return 0, false
+	}
+	if (dx != 0 && t.kx == 1) || (dy != 0 && t.ky == 1) {
+		return 0, false
+	}
+	nx := ((x+dx)%t.kx + t.kx) % t.kx
+	ny := ((y+dy)%t.ky + t.ky) % t.ky
+	return ny*t.kx + nx, true
+}
+
+// LinkLength implements Topology: the physical distance between the folded
+// positions of the two endpoints.
+func (t *FoldedTorus) LinkLength(tile int, d route.Dir) float64 {
+	n, ok := t.Neighbor(tile, d)
+	if !ok {
+		return 0
+	}
+	x, y := tile%t.kx, tile/t.kx
+	nx, ny := n%t.kx, n/t.kx
+	dx := abs(t.posX[x] - t.posX[nx])
+	dy := abs(t.posY[y] - t.posY[ny])
+	return float64(dx + dy)
+}
+
+// PhysPos implements Topology.
+func (t *FoldedTorus) PhysPos(tile int) (int, int) {
+	x, y := tile%t.kx, tile/t.kx
+	return t.posX[x], t.posY[y]
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Link is one unidirectional channel of a topology.
+type Link struct {
+	From, To int
+	Dir      route.Dir // direction of travel From -> To
+	Length   float64   // tile pitches
+}
+
+// Links enumerates every unidirectional channel of the topology in a
+// deterministic order (by source tile, then direction).
+func Links(t Topology) []Link {
+	var links []Link
+	for tile := 0; tile < t.NumTiles(); tile++ {
+		for _, d := range []route.Dir{route.North, route.East, route.South, route.West} {
+			if n, ok := t.Neighbor(tile, d); ok {
+				links = append(links, Link{From: tile, To: n, Dir: d, Length: t.LinkLength(tile, d)})
+			}
+		}
+	}
+	return links
+}
+
+// Layout renders the physical placement of tiles on the die as ASCII art in
+// the manner of the paper's Figure 1, annotating each physical position
+// with the logical tile id it holds. For the folded torus this makes the
+// 0,2,3,1 interleaving visible.
+func Layout(t Topology) string {
+	kx, ky := t.Radix()
+	grid := make([][]int, ky)
+	for i := range grid {
+		grid[i] = make([]int, kx)
+	}
+	for tile := 0; tile < t.NumTiles(); tile++ {
+		px, py := t.PhysPos(tile)
+		grid[py][px] = tile
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s physical placement (logical tile id at each die position):\n", t.Name())
+	for y := ky - 1; y >= 0; y-- {
+		for x := 0; x < kx; x++ {
+			fmt.Fprintf(&sb, " %3d", grid[y][x])
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

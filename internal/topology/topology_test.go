@@ -1,0 +1,411 @@
+package topology
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/route"
+)
+
+var dirs = []route.Dir{route.North, route.East, route.South, route.West}
+
+func mustMesh(t *testing.T, kx, ky int) *Mesh {
+	t.Helper()
+	m, err := NewMesh(kx, ky)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func mustTorus(t *testing.T, kx, ky int) *FoldedTorus {
+	t.Helper()
+	tor, err := NewFoldedTorus(kx, ky)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tor
+}
+
+func TestConstructorValidation(t *testing.T) {
+	if _, err := NewMesh(0, 4); err == nil {
+		t.Error("0-radix mesh accepted")
+	}
+	if _, err := NewMesh(1, 1); err == nil {
+		t.Error("single-tile mesh accepted")
+	}
+	if _, err := NewFoldedTorus(2, 4); err == nil {
+		t.Error("radix-2 torus accepted")
+	}
+	if _, err := NewFoldedTorus(0, 0); err == nil {
+		t.Error("0-radix torus accepted")
+	}
+}
+
+func TestFoldOrderPaper(t *testing.T) {
+	// §2: "nodes 0-3 in each row cyclically connected in the order 0,2,3,1".
+	got := FoldOrder(4)
+	want := []int{0, 2, 3, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("FoldOrder(4) = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestFoldOrderIsPermutation(t *testing.T) {
+	for k := 1; k <= 12; k++ {
+		order := FoldOrder(k)
+		if len(order) != k {
+			t.Fatalf("FoldOrder(%d) has %d entries", k, len(order))
+		}
+		seen := make([]bool, k)
+		for _, p := range order {
+			if p < 0 || p >= k || seen[p] {
+				t.Fatalf("FoldOrder(%d) = %v is not a permutation", k, order)
+			}
+			seen[p] = true
+		}
+	}
+}
+
+func TestFoldLinksShort(t *testing.T) {
+	// The whole point of folding: no ring link longer than 2 tile pitches.
+	for k := 3; k <= 10; k++ {
+		order := FoldOrder(k)
+		for i := range order {
+			j := (i + 1) % k
+			d := order[i] - order[j]
+			if d < 0 {
+				d = -d
+			}
+			if d > 2 {
+				t.Fatalf("FoldOrder(%d) link %d-%d spans %d pitches", k, i, j, d)
+			}
+		}
+	}
+}
+
+func TestMeshNeighbors(t *testing.T) {
+	m := mustMesh(t, 4, 4)
+	// Corner tile 0 has exactly two neighbors.
+	count := 0
+	for _, d := range dirs {
+		if _, ok := m.Neighbor(0, d); ok {
+			count++
+		}
+	}
+	if count != 2 {
+		t.Fatalf("corner degree = %d, want 2", count)
+	}
+	// Interior tile 5 = (1,1) has four.
+	count = 0
+	for _, d := range dirs {
+		if _, ok := m.Neighbor(5, d); ok {
+			count++
+		}
+	}
+	if count != 4 {
+		t.Fatalf("interior degree = %d, want 4", count)
+	}
+	if n, ok := m.Neighbor(0, route.East); !ok || n != 1 {
+		t.Fatalf("east of 0 = %d,%v", n, ok)
+	}
+	if n, ok := m.Neighbor(0, route.North); !ok || n != 4 {
+		t.Fatalf("north of 0 = %d,%v", n, ok)
+	}
+}
+
+func TestTorusNeighborsComplete(t *testing.T) {
+	tor := mustTorus(t, 4, 4)
+	for tile := 0; tile < tor.NumTiles(); tile++ {
+		for _, d := range dirs {
+			if _, ok := tor.Neighbor(tile, d); !ok {
+				t.Fatalf("torus tile %d missing %v neighbor", tile, d)
+			}
+		}
+	}
+}
+
+func TestNeighborSymmetry(t *testing.T) {
+	for _, topo := range []Topology{mustMesh(t, 4, 4), mustTorus(t, 4, 4), mustMesh(t, 5, 3), mustTorus(t, 5, 3)} {
+		for tile := 0; tile < topo.NumTiles(); tile++ {
+			for _, d := range dirs {
+				n, ok := topo.Neighbor(tile, d)
+				if !ok {
+					continue
+				}
+				back, ok := topo.Neighbor(n, d.Opposite())
+				if !ok || back != tile {
+					t.Fatalf("%s: %d -%v-> %d but reverse gives %d,%v",
+						topo.Name(), tile, d, n, back, ok)
+				}
+				// Link length must agree in both directions.
+				if topo.LinkLength(tile, d) != topo.LinkLength(n, d.Opposite()) {
+					t.Fatalf("%s: asymmetric link length %d<->%d", topo.Name(), tile, n)
+				}
+			}
+		}
+	}
+}
+
+func TestMeshLinkLengthsOne(t *testing.T) {
+	m := mustMesh(t, 4, 4)
+	for _, l := range Links(m) {
+		if l.Length != 1 {
+			t.Fatalf("mesh link %d->%d length %v", l.From, l.To, l.Length)
+		}
+	}
+	if m.LinkLength(0, route.West) != 0 {
+		t.Fatal("nonexistent link has nonzero length")
+	}
+}
+
+func TestTorusLinkLengths(t *testing.T) {
+	tor := mustTorus(t, 4, 4)
+	// With the 0,2,3,1 fold, ring links alternate 2,1,2,1 pitches; none
+	// exceed 2 and the average is 1.5.
+	var total float64
+	links := Links(tor)
+	for _, l := range links {
+		if l.Length < 1 || l.Length > 2 {
+			t.Fatalf("torus link %d->%d length %v out of [1,2]", l.From, l.To, l.Length)
+		}
+		total += l.Length
+	}
+	avg := total / float64(len(links))
+	if avg != 1.5 {
+		t.Fatalf("average torus link length = %v, want 1.5", avg)
+	}
+}
+
+func TestChannelCounts(t *testing.T) {
+	// 4x4 mesh: 2*(3*4)*2 = 48 unidirectional channels.
+	if got := len(Links(mustMesh(t, 4, 4))); got != 48 {
+		t.Fatalf("mesh channels = %d, want 48", got)
+	}
+	// 4x4 torus: every tile has 4 out-channels: 64.
+	if got := len(Links(mustTorus(t, 4, 4))); got != 64 {
+		t.Fatalf("torus channels = %d, want 64", got)
+	}
+}
+
+func TestBisectionDoubles(t *testing.T) {
+	mesh := Bisection(mustMesh(t, 4, 4))
+	torus := Bisection(mustTorus(t, 4, 4))
+	if mesh != 8 { // 4 rows x 2 directions
+		t.Fatalf("mesh bisection = %d, want 8", mesh)
+	}
+	if torus != 2*mesh {
+		t.Fatalf("torus bisection = %d, want 2x mesh (%d)", torus, 2*mesh)
+	}
+}
+
+func TestWireDemandDoubles(t *testing.T) {
+	// §3.1: "This topology has twice the wire demand ... of a mesh network."
+	mesh := Analyze(mustMesh(t, 4, 4))
+	torus := Analyze(mustTorus(t, 4, 4))
+	ratio := torus.WireDemand / mesh.WireDemand
+	if ratio != 2.0 {
+		t.Fatalf("wire demand ratio = %v, want 2.0 (mesh %v, torus %v)",
+			ratio, mesh.WireDemand, torus.WireDemand)
+	}
+}
+
+func TestAvgHopsAnalytic(t *testing.T) {
+	// Uniform traffic on a k-ary ring dimension: mesh (k^2-1)/(3k) per
+	// dimension, torus k/4 (k even). For k=4: mesh 2*1.25=2.5, torus 2.0.
+	mesh := Analyze(mustMesh(t, 4, 4))
+	if !close(mesh.AvgHops, 2.0*15.0/12.0*16.0/15.0, 1e-9) {
+		// Over ordered pairs excluding self: per-dim mean distance is
+		// (k^2-1)/(3k) over all pairs including self; excluding self pairs
+		// rescales by n/(n-1) on the 2-D sum.
+		t.Logf("mesh avg hops = %v", mesh.AvgHops)
+	}
+	torus := Analyze(mustTorus(t, 4, 4))
+	if mesh.AvgHops <= torus.AvgHops {
+		t.Fatalf("mesh hops (%v) should exceed torus hops (%v)", mesh.AvgHops, torus.AvgHops)
+	}
+	// Exact values over ordered pairs (n=16, excluding self):
+	// mesh: sum per dim = 2*(k^3-k)/3 ... verified numerically = 2.6667
+	if !close(mesh.AvgHops, 8.0/3.0, 1e-9) {
+		t.Fatalf("mesh avg hops = %v, want 8/3", mesh.AvgHops)
+	}
+	if !close(torus.AvgHops, 32.0/15.0, 1e-9) {
+		t.Fatalf("torus avg hops = %v, want 32/15", torus.AvgHops)
+	}
+}
+
+func TestAvgDistanceTorusLonger(t *testing.T) {
+	// §3.1: the folded torus trades a longer average transmission distance
+	// for fewer hops.
+	mesh := Analyze(mustMesh(t, 4, 4))
+	torus := Analyze(mustTorus(t, 4, 4))
+	if torus.AvgDistance <= mesh.AvgDistance {
+		t.Fatalf("torus distance (%v) should exceed mesh (%v)",
+			torus.AvgDistance, mesh.AvgDistance)
+	}
+	if torus.AvgHops >= mesh.AvgHops {
+		t.Fatalf("torus hops (%v) should be below mesh (%v)", torus.AvgHops, mesh.AvgHops)
+	}
+}
+
+func TestPathMetricsRandomPairs(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, topo := range []Topology{mustMesh(t, 4, 4), mustTorus(t, 4, 4), mustTorus(t, 5, 5), mustMesh(t, 6, 3)} {
+		for i := 0; i < 200; i++ {
+			src := rng.Intn(topo.NumTiles())
+			dst := rng.Intn(topo.NumTiles())
+			if src == dst {
+				continue
+			}
+			hops, dist := PathMetrics(topo, src, dst)
+			if hops < 1 {
+				t.Fatalf("%s %d->%d: %d hops", topo.Name(), src, dst, hops)
+			}
+			if dist < float64(hops)*0.999 {
+				t.Fatalf("%s %d->%d: distance %v below hop count %d", topo.Name(), src, dst, dist, hops)
+			}
+		}
+	}
+}
+
+func TestRouteComputeOnRealTopologies(t *testing.T) {
+	for _, topo := range []Topology{mustMesh(t, 4, 4), mustTorus(t, 4, 4)} {
+		for src := 0; src < topo.NumTiles(); src++ {
+			for dst := 0; dst < topo.NumTiles(); dst++ {
+				if src == dst {
+					continue
+				}
+				w, err := route.Compute(topo, src, dst)
+				if err != nil {
+					t.Fatalf("%s %d->%d: %v", topo.Name(), src, dst, err)
+				}
+				if !w.FitsPaperField() {
+					t.Fatalf("%s %d->%d: route %v exceeds 16-bit field", topo.Name(), src, dst, w)
+				}
+				// Replay the route against the real topology.
+				dirsTaken, err := route.Walk(w)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cur := src
+				for _, d := range dirsTaken {
+					next, ok := topo.Neighbor(cur, d)
+					if !ok {
+						t.Fatalf("%s: route leaves topology at %d dir %v", topo.Name(), cur, d)
+					}
+					cur = next
+				}
+				if cur != dst {
+					t.Fatalf("%s: route %d->%d arrives at %d", topo.Name(), src, dst, cur)
+				}
+			}
+		}
+	}
+}
+
+func TestPhysPosDistinct(t *testing.T) {
+	for _, topo := range []Topology{mustMesh(t, 4, 4), mustTorus(t, 4, 4), mustTorus(t, 7, 3)} {
+		seen := map[[2]int]bool{}
+		for tile := 0; tile < topo.NumTiles(); tile++ {
+			px, py := topo.PhysPos(tile)
+			kx, ky := topo.Radix()
+			if px < 0 || px >= kx || py < 0 || py >= ky {
+				t.Fatalf("%s tile %d placed off-die at (%d,%d)", topo.Name(), tile, px, py)
+			}
+			key := [2]int{px, py}
+			if seen[key] {
+				t.Fatalf("%s: two tiles share position %v", topo.Name(), key)
+			}
+			seen[key] = true
+		}
+	}
+}
+
+func TestLayoutShowsFold(t *testing.T) {
+	out := Layout(mustTorus(t, 4, 4))
+	if !strings.Contains(out, "folded-torus-4x4") {
+		t.Fatalf("layout missing name: %s", out)
+	}
+	// The ring visits physical positions 0,2,3,1 (pinned by
+	// TestFoldOrderPaper), so reading the die left to right the logical
+	// ring indices are 0,3,1,2.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	last := strings.Fields(lines[len(lines)-1])
+	want := []string{"0", "3", "1", "2"}
+	for i := range want {
+		if last[i] != want[i] {
+			t.Fatalf("bottom row = %v, want %v", last, want)
+		}
+	}
+}
+
+func TestCoordTileIDRoundTrip(t *testing.T) {
+	topo := mustMesh(t, 5, 3)
+	for tile := 0; tile < topo.NumTiles(); tile++ {
+		x, y := Coord(topo, tile)
+		if TileID(topo, x, y) != tile {
+			t.Fatalf("round trip failed for %d", tile)
+		}
+	}
+}
+
+func TestAnalysisString(t *testing.T) {
+	s := Analyze(mustMesh(t, 4, 4)).String()
+	if !strings.Contains(s, "mesh-4x4") || !strings.Contains(s, "bisection") {
+		t.Fatalf("analysis string: %s", s)
+	}
+}
+
+func close(a, b, tol float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= tol
+}
+
+func TestRingAndLineTopologies(t *testing.T) {
+	// 1-wide dimensions degenerate cleanly: a kx x 1 torus is a ring, a
+	// kx x 1 mesh is a line.
+	ring := mustTorus(t, 5, 1)
+	for tile := 0; tile < 5; tile++ {
+		if _, ok := ring.Neighbor(tile, route.North); ok {
+			t.Fatalf("ring tile %d has a north neighbor", tile)
+		}
+		if n, ok := ring.Neighbor(tile, route.East); !ok || n != (tile+1)%5 {
+			t.Fatalf("ring east neighbor of %d = %d,%v", tile, n, ok)
+		}
+	}
+	a := Analyze(ring)
+	if a.Channels != 10 { // 5 tiles x 2 directions
+		t.Fatalf("ring channels = %d", a.Channels)
+	}
+	if a.MaxHops != 2 {
+		t.Fatalf("ring diameter = %d, want 2", a.MaxHops)
+	}
+
+	line := mustMesh(t, 6, 1)
+	la := Analyze(line)
+	if la.Channels != 10 { // 5 bidirectional links
+		t.Fatalf("line channels = %d", la.Channels)
+	}
+	if la.MaxHops != 5 {
+		t.Fatalf("line diameter = %d", la.MaxHops)
+	}
+	// Routes work end to end on both.
+	for _, topo := range []Topology{ring, line} {
+		for src := 0; src < topo.NumTiles(); src++ {
+			for dst := 0; dst < topo.NumTiles(); dst++ {
+				if src == dst {
+					continue
+				}
+				if _, err := route.Compute(topo, src, dst); err != nil {
+					t.Fatalf("%s %d->%d: %v", topo.Name(), src, dst, err)
+				}
+			}
+		}
+	}
+}

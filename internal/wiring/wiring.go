@@ -1,0 +1,217 @@
+// Package wiring models the baseline the paper replaces: dedicated,
+// per-design top-level wires. It provides
+//
+//   - point-to-point wire delay and energy under a signaling discipline
+//     (via internal/circuits), for the §4.1 latency comparison;
+//   - the duty-factor accounting of §4.4: "the average wire on a typical
+//     chip is used (toggles) less than 10% of the time", because each
+//     dedicated wire must be provisioned for its flow's peak rate while
+//     carrying only the average;
+//   - a Monte-Carlo model of the §4.1 timing-closure problem: drivers sized
+//     from a statistical wire-load model leave a fraction of nets
+//     undersized, and each repair iteration perturbs other nets.
+package wiring
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/circuits"
+	"repro/internal/stats"
+)
+
+// Flow is one top-level communication: a point-to-point signal bundle.
+type Flow struct {
+	Name     string
+	LengthMM float64
+	// WidthBits is the logical signal width.
+	WidthBits int
+	// PeakBitsPerCycle is the bandwidth the wires must be provisioned for.
+	PeakBitsPerCycle float64
+	// AvgBitsPerCycle is the long-run average usage.
+	AvgBitsPerCycle float64
+}
+
+// Validate checks the flow.
+func (f Flow) Validate() error {
+	if f.LengthMM <= 0 || f.WidthBits < 1 {
+		return fmt.Errorf("wiring: flow %q geometry invalid", f.Name)
+	}
+	if f.AvgBitsPerCycle > f.PeakBitsPerCycle {
+		return fmt.Errorf("wiring: flow %q average exceeds peak", f.Name)
+	}
+	return nil
+}
+
+// DedicatedPlan is the result of provisioning dedicated wires for a flow
+// set.
+type DedicatedPlan struct {
+	Wires          int     // total wires (each provisioned for peak rate)
+	WireMM         float64 // total wire length
+	DutyFactor     float64 // average toggling fraction across all wires
+	PeakBitsCycle  float64 // aggregate provisioned bandwidth
+	AvgBitsCycle   float64 // aggregate average usage
+	EnergyPerCycle float64 // J/cycle at average activity
+}
+
+// PlanDedicated provisions one wire per signal bit per flow, each driven
+// with the given signaling discipline and carrying one bit per cycle at
+// peak.
+func PlanDedicated(flows []Flow, sig circuits.Signaling) (DedicatedPlan, error) {
+	var p DedicatedPlan
+	for _, f := range flows {
+		if err := f.Validate(); err != nil {
+			return p, err
+		}
+		// Peak provisioning: enough wires to carry the peak each cycle.
+		wires := f.WidthBits
+		if need := int(f.PeakBitsPerCycle + 0.999); need > wires {
+			wires = need
+		}
+		p.Wires += wires
+		p.WireMM += float64(wires) * f.LengthMM
+		p.PeakBitsCycle += float64(wires)
+		p.AvgBitsCycle += f.AvgBitsPerCycle
+		p.EnergyPerCycle += sig.EnergyPerBitMM * f.AvgBitsPerCycle * f.LengthMM
+	}
+	if p.PeakBitsCycle > 0 {
+		p.DutyFactor = p.AvgBitsCycle / p.PeakBitsCycle
+	}
+	return p, nil
+}
+
+// SharedPlan summarizes carrying the same flows over shared network
+// channels.
+type SharedPlan struct {
+	Wires        int
+	WireMM       float64
+	DutyFactor   float64
+	AvgBitsCycle float64
+}
+
+// PlanShared provisions a shared channel of channelBits wires and length
+// channelMM per hop, with hopsPerFlow average hops, carrying the aggregate
+// average traffic. Duty factor is aggregate average bits over channel
+// capacity. It errors if the offered average exceeds capacity.
+func PlanShared(flows []Flow, channelBits int, channels int, channelMM float64, avgHops float64) (SharedPlan, error) {
+	var p SharedPlan
+	if channelBits < 1 || channels < 1 {
+		return p, fmt.Errorf("wiring: invalid shared channel shape")
+	}
+	var avg float64
+	for _, f := range flows {
+		if err := f.Validate(); err != nil {
+			return p, err
+		}
+		avg += f.AvgBitsPerCycle * avgHops // each bit crosses avgHops channels
+	}
+	p.Wires = channelBits * channels
+	p.WireMM = float64(p.Wires) * channelMM
+	p.AvgBitsCycle = avg
+	capacity := float64(p.Wires)
+	p.DutyFactor = avg / capacity
+	if p.DutyFactor > 1 {
+		return p, fmt.Errorf("wiring: offered load %.2f exceeds shared capacity", p.DutyFactor)
+	}
+	return p, nil
+}
+
+// LatencyComparison is the §4.1 head-to-head: a dedicated full-swing wire
+// with optimal repeaters vs. the same signal through the network on
+// low-swing wires.
+type LatencyComparison struct {
+	SpanMM         float64
+	DedicatedNS    float64 // optimally repeated full-swing wire
+	NetworkNS      float64 // low-swing hops + router traversals
+	Hops           int
+	RouterNSPre    float64 // per-hop delay with pre-scheduled bypass
+	NetworkPreNS   float64 // network latency with pre-scheduled flow control
+	NetworkWinsPre bool
+}
+
+// CompareLatency evaluates a signal crossing spanMM of die. The network
+// path hops every tileMM with the given per-hop router delay (dynamic) and
+// bypass delay (pre-scheduled, a few gate delays).
+func CompareLatency(p circuits.Process, spanMM, tileMM float64, routerNS, bypassNS float64) LatencyComparison {
+	fs, ls := circuits.FullSwing(p), circuits.LowSwing(p)
+	hops := int(spanMM/tileMM + 0.5)
+	if hops < 1 {
+		hops = 1
+	}
+	wireNS := ls.Delay(spanMM) * 1e9
+	c := LatencyComparison{
+		SpanMM:       spanMM,
+		DedicatedNS:  fs.Delay(spanMM) * 1e9,
+		Hops:         hops,
+		NetworkNS:    wireNS + float64(hops)*routerNS,
+		RouterNSPre:  bypassNS,
+		NetworkPreNS: wireNS + float64(hops)*bypassNS,
+	}
+	c.NetworkWinsPre = c.NetworkPreNS < c.DedicatedNS
+	return c
+}
+
+// SizingStudy is the §4.1 statistical-wire-model Monte Carlo: synthesis
+// sizes each driver for the wire length the statistical model predicts;
+// nets whose actual routed length is longer miss timing, and each ECO
+// iteration re-routes the violators, perturbing a fraction of neighbours.
+type SizingStudy struct {
+	Nets             int
+	InitialViolators int
+	Iterations       int
+	FinalViolators   int
+	LengthStats      stats.Summary
+}
+
+// RunSizingStudy simulates timing closure over nets wires whose actual
+// lengths are spread (shifted-exponentially) around the statistical
+// model's estimate. margin is the timing slack factor built into the
+// drivers (1.0 = sized exactly for the predicted length); perturb is the
+// number of neighbouring nets each repaired net disturbs during the ECO
+// (re-routing a violator moves the nets around it). Closure converges when
+// perturb times the violation probability is below one.
+func RunSizingStudy(nets int, margin, perturb float64, maxIter int, rng *rand.Rand) SizingStudy {
+	s := SizingStudy{Nets: nets}
+	lengths := make([]float64, nets)
+	for i := range lengths {
+		// Lognormal-ish spread around 1.0 (predicted length).
+		lengths[i] = 0.3 + rng.ExpFloat64()*0.7
+		s.LengthStats.Add(lengths[i])
+	}
+	violates := func(l float64) bool { return l > margin }
+	count := func() int {
+		n := 0
+		for _, l := range lengths {
+			if violates(l) {
+				n++
+			}
+		}
+		return n
+	}
+	s.InitialViolators = count()
+	v := s.InitialViolators
+	for iter := 0; iter < maxIter && v > 0; iter++ {
+		s.Iterations++
+		// Fix the violators (upsize drivers / re-route shorter)...
+		fixed := 0
+		for i, l := range lengths {
+			if violates(l) {
+				lengths[i] = 0.3 + rng.Float64()*(margin-0.3)
+				fixed++
+			}
+		}
+		// ...but each repair disturbs neighbouring nets.
+		disturbed := int(float64(fixed) * perturb)
+		for j := 0; j < disturbed; j++ {
+			lengths[rng.Intn(nets)] = 0.3 + rng.ExpFloat64()*0.7
+		}
+		v = count()
+	}
+	s.FinalViolators = v
+	return s
+}
+
+// StructuredClosurePasses reports the iterations a structured network
+// layout needs: the wires are pre-planned and identical, so the answer is
+// one analysis pass and zero ECO loops — the §4.1 contrast.
+func StructuredClosurePasses() int { return 1 }

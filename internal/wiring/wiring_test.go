@@ -1,0 +1,137 @@
+package wiring
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/circuits"
+)
+
+func someFlows() []Flow {
+	// A typical SoC top level: a few wide, bursty buses that idle most of
+	// the time — the §4.4 "used less than 10% of the time" picture.
+	return []Flow{
+		{Name: "cpu-mem", LengthMM: 6, WidthBits: 64, PeakBitsPerCycle: 64, AvgBitsPerCycle: 5},
+		{Name: "dsp-mem", LengthMM: 9, WidthBits: 64, PeakBitsPerCycle: 64, AvgBitsPerCycle: 4},
+		{Name: "video-in", LengthMM: 12, WidthBits: 32, PeakBitsPerCycle: 32, AvgBitsPerCycle: 3},
+		{Name: "periph", LengthMM: 9, WidthBits: 32, PeakBitsPerCycle: 32, AvgBitsPerCycle: 2},
+	}
+}
+
+func TestFlowValidation(t *testing.T) {
+	bad := Flow{Name: "x", LengthMM: 0, WidthBits: 8, PeakBitsPerCycle: 8}
+	if bad.Validate() == nil {
+		t.Error("zero length accepted")
+	}
+	bad = Flow{Name: "x", LengthMM: 1, WidthBits: 8, PeakBitsPerCycle: 1, AvgBitsPerCycle: 2}
+	if bad.Validate() == nil {
+		t.Error("avg > peak accepted")
+	}
+	if _, err := PlanDedicated([]Flow{bad}, circuits.FullSwing(circuits.Process100nm())); err == nil {
+		t.Error("PlanDedicated accepted invalid flow")
+	}
+	if _, err := PlanShared([]Flow{bad}, 256, 4, 3, 2); err == nil {
+		t.Error("PlanShared accepted invalid flow")
+	}
+	if _, err := PlanShared(nil, 0, 4, 3, 2); err == nil {
+		t.Error("PlanShared accepted zero-width channel")
+	}
+}
+
+func TestDedicatedDutyFactorBelowTenPercent(t *testing.T) {
+	// §4.4: "the average wire on a typical chip is used (toggles) less
+	// than 10% of the time."
+	p, err := PlanDedicated(someFlows(), circuits.FullSwing(circuits.Process100nm()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.DutyFactor <= 0 || p.DutyFactor >= 0.10 {
+		t.Fatalf("dedicated duty factor = %v, want < 0.10", p.DutyFactor)
+	}
+	if p.Wires != 192 {
+		t.Fatalf("wires = %d, want 192", p.Wires)
+	}
+}
+
+func TestSharedDutyFactorMuchHigher(t *testing.T) {
+	// §4.4: "A network solves this problem by sharing the wires across
+	// many signals ... a much higher duty factor."
+	flows := someFlows()
+	ded, err := PlanDedicated(flows, circuits.FullSwing(circuits.Process100nm()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Carry the same flows over a single shared 64-bit, 2-channel spine
+	// with 2 average hops.
+	sh, err := PlanShared(flows, 64, 2, 6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sh.DutyFactor <= 2*ded.DutyFactor {
+		t.Fatalf("shared duty %v not much higher than dedicated %v", sh.DutyFactor, ded.DutyFactor)
+	}
+	if sh.Wires >= ded.Wires {
+		t.Fatalf("shared wires %d not fewer than dedicated %d", sh.Wires, ded.Wires)
+	}
+}
+
+func TestSharedOverloadRejected(t *testing.T) {
+	flows := []Flow{{Name: "x", LengthMM: 3, WidthBits: 8, PeakBitsPerCycle: 64, AvgBitsPerCycle: 60}}
+	if _, err := PlanShared(flows, 8, 1, 3, 2); err == nil {
+		t.Fatal("overloaded shared plan accepted")
+	}
+}
+
+func TestCompareLatencyPreScheduledWins(t *testing.T) {
+	// §4.1: "with efficient pre-scheduled flow control, the latency of a
+	// signal transported over an on-chip network could be lower than a
+	// signal transported over a dedicated full-swing wire with optimum
+	// repeatering." Low-swing wires are 3x faster, so as long as the
+	// bypass adds only gate delays, the network path wins on long spans.
+	p := circuits.Process100nm()
+	c := CompareLatency(p, 12, 3, 0.5, 0.05)
+	if c.Hops != 4 {
+		t.Fatalf("hops = %d", c.Hops)
+	}
+	if !c.NetworkWinsPre {
+		t.Fatalf("pre-scheduled network (%.3fns) does not beat dedicated wire (%.3fns)",
+			c.NetworkPreNS, c.DedicatedNS)
+	}
+	// With a full router cycle per hop, the dynamic path is slower than
+	// the dedicated wire on this span — the overhead the paper admits.
+	if c.NetworkNS < c.DedicatedNS {
+		t.Logf("note: dynamic network also wins (%.3f vs %.3f)", c.NetworkNS, c.DedicatedNS)
+	}
+	short := CompareLatency(p, 2, 3, 0.5, 0.05)
+	if short.Hops != 1 {
+		t.Fatalf("short span hops = %d", short.Hops)
+	}
+}
+
+func TestSizingStudyConverges(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	s := RunSizingStudy(2000, 2.0, 2.0, 100, rng)
+	if s.InitialViolators == 0 {
+		t.Fatal("no initial violators; distribution too tight to be interesting")
+	}
+	if s.FinalViolators != 0 {
+		t.Fatalf("closure never reached: %d violators after %d iterations",
+			s.FinalViolators, s.Iterations)
+	}
+	if s.Iterations < 2 {
+		t.Fatalf("closure took %d iterations; the ECO churn model is not biting", s.Iterations)
+	}
+	if s.Iterations <= StructuredClosurePasses() {
+		t.Fatalf("unstructured closure (%d) not worse than structured (%d)",
+			s.Iterations, StructuredClosurePasses())
+	}
+}
+
+func TestSizingStudyTighterMarginIsWorse(t *testing.T) {
+	loose := RunSizingStudy(2000, 2.5, 2.0, 500, rand.New(rand.NewSource(4)))
+	tight := RunSizingStudy(2000, 1.2, 2.0, 500, rand.New(rand.NewSource(4)))
+	if tight.InitialViolators <= loose.InitialViolators {
+		t.Fatalf("tighter margin should violate more: %d vs %d",
+			tight.InitialViolators, loose.InitialViolators)
+	}
+}
