@@ -1,0 +1,35 @@
+GO ?= go
+
+.PHONY: all build test vet race ci fuzz bench clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# ci is the gate: everything compiles, vets clean, and passes under the
+# race detector.
+ci:
+	$(GO) build ./...
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+# fuzz gives the fault-campaign parser a short randomized budget; the
+# corpus seeds in internal/fault/fuzz_test.go always run under plain test.
+fuzz:
+	$(GO) test ./internal/fault -run='^$$' -fuzz=FuzzFaultPlan -fuzztime=10s
+
+bench:
+	$(GO) test -bench . -benchtime 1x .
+
+clean:
+	$(GO) clean ./...

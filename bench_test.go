@@ -53,6 +53,7 @@ func BenchmarkE16TimingClosure(b *testing.B)   { benchExperiment(b, "E16") }
 func BenchmarkE17Compaction(b *testing.B)      { benchExperiment(b, "E17") }
 func BenchmarkE18TopologyScaling(b *testing.B) { benchExperiment(b, "E18") }
 func BenchmarkE19Adaptive(b *testing.B)        { benchExperiment(b, "E19") }
+func BenchmarkE20Chaos(b *testing.B)           { benchExperiment(b, "E20") }
 
 // Simulator microbenchmarks: the cost of the cycle loop itself.
 

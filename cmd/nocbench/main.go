@@ -1,4 +1,4 @@
-// Command nocbench regenerates the paper-reproduction experiments E1–E19
+// Command nocbench regenerates the paper-reproduction experiments E1–E20
 // (see DESIGN.md for the index). Each experiment prints the paper's claim
 // next to the measured value.
 //
@@ -18,7 +18,7 @@ import (
 
 func main() {
 	var (
-		runID    = flag.String("run", "", "run a single experiment (E1..E19)")
+		runID    = flag.String("run", "", "run a single experiment (E1..E20)")
 		quick    = flag.Bool("quick", false, "shorter measurement windows")
 		markdown = flag.Bool("markdown", false, "emit Markdown tables")
 	)

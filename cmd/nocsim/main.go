@@ -8,6 +8,8 @@
 //	nocsim -topo torus -k 4 -pattern uniform -rate 0.3
 //	nocsim -topo mesh -k 8 -pattern transpose -rate 0.2 -flits 4
 //	nocsim -print-layout -topo torus -k 4
+//	nocsim -faults 'kill,link=9,at=500' -watchdog 64 -seed 7
+//	nocsim -mtbf 2000 -measure 8000 -seed 7
 package main
 
 import (
@@ -16,6 +18,7 @@ import (
 	"os"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/flit"
 	"repro/internal/network"
 	"repro/internal/router"
@@ -42,6 +45,9 @@ func main() {
 		layout   = flag.Bool("print-layout", false, "print the tile placement (Fig. 1) and exit")
 		trace    = flag.String("trace", "", "replay a trace file (cycle src dst bytes [class]) instead of synthetic traffic")
 		heatmap  = flag.Bool("heatmap", false, "print a per-tile link duty-factor heatmap after the run")
+		faults   = flag.String("faults", "", "fault campaign spec, e.g. 'kill,link=9,at=500;stall,tile=6,port=W,at=800,until=1100'")
+		mtbf     = flag.Float64("mtbf", 0, "mean cycles between stochastic faults (0 disables)")
+		watchdog = flag.Int("watchdog", 64, "credit-starvation watchdog threshold, cycles (campaign runs)")
 	)
 	flag.Parse()
 
@@ -62,6 +68,69 @@ func main() {
 		return
 	}
 
+	// Flag validation: reject contradictory combinations with a clear
+	// message instead of silently overriding or failing deep in the build.
+	if *mtbf < 0 {
+		fatal(fmt.Errorf("-mtbf must be >= 0 cycles; got %g", *mtbf))
+	}
+	campaign := *faults != "" || *mtbf > 0
+	switch *topoName {
+	case "torus":
+		if *k < 3 {
+			fatal(fmt.Errorf("-topo torus needs -k >= 3 (radix-2 torus rings are not modelled); got %d", *k))
+		}
+	case "mesh":
+		if *k < 2 {
+			fatal(fmt.Errorf("-topo mesh needs -k >= 2; got %d", *k))
+		}
+	default:
+		fatal(fmt.Errorf("unknown -topo %q (torus or mesh)", *topoName))
+	}
+	if *rate <= 0 || *rate > 1 {
+		fatal(fmt.Errorf("-rate must be in (0, 1] flits/cycle/node; got %g", *rate))
+	}
+	if *flits < 1 {
+		fatal(fmt.Errorf("-flits must be >= 1; got %d", *flits))
+	}
+	if *vcs < 1 || *vcs > 8 {
+		fatal(fmt.Errorf("-vcs must be 1..8 (the VC id field is 3 bits); got %d", *vcs))
+	}
+	if *buf < 1 {
+		fatal(fmt.Errorf("-buf must be >= 1 flit per VC; got %d", *buf))
+	}
+	if *serdes < 1 {
+		fatal(fmt.Errorf("-serdes must be >= 1 link cycles per flit; got %d", *serdes))
+	}
+	if *warmup < 0 || *measure < 1 {
+		fatal(fmt.Errorf("need -warmup >= 0 and -measure >= 1; got %d, %d", *warmup, *measure))
+	}
+	if (*mode == "drop" || *mode == "deflect") && *flits != 1 {
+		fatal(fmt.Errorf("-mode %s carries single-flit packets only; use -flits 1, not %d", *mode, *flits))
+	}
+	if *adaptive && *topoName != "mesh" {
+		fatal(fmt.Errorf("-adaptive west-first routing is deadlock-free on meshes only; use -topo mesh"))
+	}
+	if *mode == "elastic" && *topoName != "mesh" {
+		fatal(fmt.Errorf("-mode elastic serializes VCs and would deadlock torus rings; use -topo mesh"))
+	}
+	if campaign {
+		if *mode != "vc" {
+			fatal(fmt.Errorf("-faults/-mtbf need the credit-based VC router; -mode %s cannot starve credits for the watchdogs", *mode))
+		}
+		if *adaptive {
+			fatal(fmt.Errorf("-faults/-mtbf use fault-aware source routing; drop -adaptive"))
+		}
+		if *watchdog < 1 {
+			fatal(fmt.Errorf("-faults/-mtbf need -watchdog >= 1 cycles for online detection; got %d", *watchdog))
+		}
+		if *trace != "" {
+			fatal(fmt.Errorf("-trace and -faults/-mtbf are mutually exclusive"))
+		}
+		if _, err := fault.ParseEvents(*faults); err != nil {
+			fatal(fmt.Errorf("bad -faults spec: %w", err))
+		}
+	}
+
 	p := core.DefaultRunParams()
 	p.Topology = *topoName
 	p.K = *k
@@ -80,18 +149,23 @@ func main() {
 	case "vc":
 	case "drop":
 		p.Mode = router.ModeDrop
-		p.FlitsPerPacket = 1
 	case "deflect":
 		p.Deflect = true
-		p.FlitsPerPacket = 1
 	case "elastic":
 		p.ElasticLinks = true
 	case "vct":
 		p.CutThrough = true
 	default:
-		fatal(fmt.Errorf("unknown mode %q", *mode))
+		fatal(fmt.Errorf("unknown -mode %q (vc, drop, deflect, elastic, vct)", *mode))
 	}
 	p.Adaptive = *adaptive
+
+	if campaign {
+		if err := runCampaign(p, *faults, *mtbf, *watchdog); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	if *trace != "" {
 		if err := runTrace(p, *trace, *heatmap); err != nil {
@@ -132,6 +206,53 @@ func main() {
 		n.Run(p.WarmupCycles + p.MeasureCycles)
 		fmt.Print(n.Heatmap())
 	}
+}
+
+// runCampaign executes a fault-injection campaign and prints the chaos
+// report: what was injected, what the watchdogs detected and how fast,
+// and what the rerouted network still delivered.
+func runCampaign(p core.RunParams, spec string, mtbf float64, watchdog int) error {
+	p.Watchdog = watchdog
+	cp := core.CampaignParams{
+		Run:    p,
+		Spec:   spec,
+		MTBF:   mtbf,
+		Cycles: p.WarmupCycles + p.MeasureCycles,
+	}
+	res, err := core.RunCampaign(cp)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("fault campaign    %s-%dx%d, uniform bernoulli %.2f, %d cycles, seed %d\n",
+		p.Topology, p.K, p.K, p.Rate, cp.Cycles, p.Seed)
+	if spec != "" {
+		fmt.Printf("scheduled faults  %s\n", spec)
+	}
+	if mtbf > 0 {
+		fmt.Printf("stochastic faults mtbf %.0f cycles\n", mtbf)
+	}
+	fmt.Printf("faults injected   %d (skipped %d)\n", res.Injected, res.Skipped)
+	fmt.Printf("packets           sent %d  delivered %d  send-refused %d\n",
+		res.Sent, res.Delivered, res.SendFails)
+	tot := res.Totals
+	fmt.Printf("fail-stop losses  wire flits %d  drained flits %d  aborted in-net %d  aborted at rx %d\n",
+		tot.LostFlits, tot.DroppedFlits, tot.AbortedIn, tot.AbortedRx)
+	fmt.Printf("rerouting         %d packets diverted, %d unroutable (network cut)\n",
+		tot.Rerouted, tot.Unroutable)
+	fmt.Printf("detections        %d dead channels (watchdog threshold %d)\n", len(res.Detections), watchdog)
+	for i, det := range res.Detections {
+		lat := "fault not injector-attributed"
+		if i < len(res.DetectionLatencies) && res.DetectionLatencies[i] >= 0 {
+			lat = fmt.Sprintf("latency %d cycles", res.DetectionLatencies[i])
+		}
+		fmt.Printf("  tile %d -> %v dead at cycle %d (%s)\n", det.From, det.Dir, det.DetectedAt, lat)
+	}
+	if len(res.Detections) > 0 {
+		fmt.Printf("post-fault        %d/%d packets born after last detection delivered (%d lost)\n",
+			res.BornAfterEngage-res.LostAfterEngage, res.BornAfterEngage, res.LostAfterEngage)
+		fmt.Printf("post-fault tput   %.4f packets/cycle/node\n", res.PostFaultThroughput)
+	}
+	return nil
 }
 
 // attachGenerators mirrors core.Run's traffic setup for the heatmap rerun.

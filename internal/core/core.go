@@ -125,6 +125,7 @@ func All() []Experiment {
 		{"E17", "Fixed tiles vs compaction", E17Compaction},
 		{"E18", "Topology choice across network sizes", E18TopologyScaling},
 		{"E19", "Adaptive routing vs dimension order", E19Adaptive},
+		{"E20", "Chaos campaign: runtime faults, detection, rerouting", E20Chaos},
 	}
 }
 

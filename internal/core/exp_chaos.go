@@ -1,0 +1,332 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/fault"
+	"repro/internal/flit"
+	"repro/internal/network"
+	"repro/internal/topology"
+)
+
+// CampaignParams describes one fault-injection campaign: a network and
+// load configuration plus the faults to inject, scheduled (Spec) and/or
+// stochastic (MTBF over the run length).
+type CampaignParams struct {
+	Run    RunParams // network and traffic configuration
+	Spec   string    // scheduled events, fault.ParseEvents syntax
+	MTBF   float64   // mean cycles between stochastic faults; 0 disables
+	Cycles int64     // injection window; sources stop here and the network drains
+}
+
+// DefaultCampaignParams returns the baseline chaos configuration: the
+// paper's 4x4 folded torus under 10% uniform Bernoulli load with
+// watchdogs armed at threshold 64.
+func DefaultCampaignParams() CampaignParams {
+	p := DefaultRunParams()
+	p.Rate = 0.10
+	p.Watchdog = 64
+	return CampaignParams{Run: p, Cycles: 4000}
+}
+
+// CampaignResult is the measured outcome of one fault campaign.
+type CampaignResult struct {
+	Params CampaignParams
+
+	Sent      int64 // packets accepted by source ports
+	Delivered int64 // packets that reached their destination client
+	SendFails int64 // sends refused (network cut at injection time)
+
+	Injected int // fault events applied
+	Skipped  int // fault events that could not be applied
+
+	Detections         []fault.Detection
+	DetectionLatencies []int64 // per detection, cycles from injection to declaration
+
+	// LostAfterEngage counts packets born after the last detection that
+	// never arrived: the acceptance criterion demands zero for any
+	// single-link fault on a torus.
+	LostAfterEngage int64
+	BornAfterEngage int64
+
+	// PostFaultThroughput is delivered packets/cycle/node over the window
+	// after the last detection (0 when nothing was detected).
+	PostFaultThroughput float64
+
+	Totals network.FaultTotals
+}
+
+// RunCampaign executes one seeded fault campaign: Bernoulli sources on
+// every tile, faults injected per the spec and the stochastic model,
+// watchdog detection, fault-aware rerouting, then a drain so every
+// surviving packet settles. Outcomes are bit-for-bit reproducible for a
+// fixed CampaignParams.
+func RunCampaign(p CampaignParams) (CampaignResult, error) {
+	if p.Run.Watchdog <= 0 {
+		return CampaignResult{}, fmt.Errorf("core: campaign requires Watchdog > 0 (got %d)", p.Run.Watchdog)
+	}
+	if p.Cycles <= 0 {
+		return CampaignResult{}, fmt.Errorf("core: campaign requires Cycles > 0 (got %d)", p.Cycles)
+	}
+	n, _, err := BuildNetwork(p.Run)
+	if err != nil {
+		return CampaignResult{}, err
+	}
+	events, err := fault.ParseEvents(p.Spec)
+	if err != nil {
+		return CampaignResult{}, err
+	}
+	inj, err := fault.NewInjector(n, events, p.MTBF, p.Cycles, nil)
+	if err != nil {
+		return CampaignResult{}, err
+	}
+	inj.Attach()
+
+	// Packet ledger: birth cycle per accepted send, arrivals by id. The
+	// kernel is single-threaded, so plain maps are safe.
+	res := CampaignResult{Params: p}
+	bornAt := make(map[uint64]int64)
+	arrived := make(map[uint64]bool)
+	topo := n.Topology()
+	tiles := topo.NumTiles()
+	mask := flit.VCMask(0xFF)
+	if p.Run.NumVCs > 0 && p.Run.NumVCs < 8 {
+		mask = flit.VCMask((1 << p.Run.NumVCs) - 1)
+	}
+	for tile := 0; tile < tiles; tile++ {
+		tile := tile
+		rng := rand.New(rand.NewSource(p.Run.Seed + int64(tile)))
+		n.AttachClient(tile, network.ClientFunc(func(now int64, port *network.Port) {
+			for _, d := range port.Deliveries() {
+				if !arrived[d.PacketID] {
+					arrived[d.PacketID] = true
+					res.Delivered++
+				}
+			}
+			if now >= p.Cycles || rng.Float64() >= p.Run.Rate {
+				return
+			}
+			dst := rng.Intn(tiles - 1)
+			if dst >= tile {
+				dst++
+			}
+			id, err := port.Send(dst, []byte{byte(now), byte(tile)}, mask, 0)
+			if err != nil {
+				res.SendFails++ // network cut at injection time
+				return
+			}
+			res.Sent++
+			bornAt[id] = now
+		}))
+	}
+
+	n.Run(p.Cycles)
+	drain := p.Run.DrainBudget
+	if drain <= 0 {
+		drain = 50000
+	}
+	n.Drain(drain)
+
+	res.Injected = len(inj.Log)
+	res.Skipped = inj.Skipped
+	res.Totals = n.FaultTotals()
+	res.Detections = res.Totals.Detections
+
+	// Detection latency: match each detection to the earliest logged
+	// fault implicating that channel.
+	for _, det := range res.Detections {
+		lat := int64(-1)
+		for _, ap := range inj.Log {
+			if ap.Watched == det.LinkID {
+				lat = det.DetectedAt - ap.At
+				break // Log is in application order; earliest wins
+			}
+		}
+		res.DetectionLatencies = append(res.DetectionLatencies, lat)
+	}
+
+	// Ledger sweep: packets born after the last detection engaged the
+	// reroute must all have arrived.
+	var engaged, postDelivered int64 = -1, 0
+	for _, det := range res.Detections {
+		if det.DetectedAt > engaged {
+			engaged = det.DetectedAt
+		}
+	}
+	if engaged >= 0 {
+		for id, born := range bornAt {
+			if born <= engaged {
+				continue
+			}
+			res.BornAfterEngage++
+			if arrived[id] {
+				postDelivered++
+			} else {
+				res.LostAfterEngage++
+			}
+		}
+		if window := p.Cycles - engaged; window > 0 {
+			res.PostFaultThroughput = float64(postDelivered) / float64(window) / float64(tiles)
+		}
+	}
+	return res, nil
+}
+
+// meanLatency averages the matched (non-negative) detection latencies.
+func meanLatency(lats []int64) float64 {
+	var sum, n int64
+	for _, l := range lats {
+		if l >= 0 {
+			sum += l
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(sum) / float64(n)
+}
+
+// E20Chaos exercises the runtime fault subsystem end to end: seeded
+// campaigns are reproducible, watchdogs localize kills and stalls, and
+// fault-aware rerouting restores full connectivity after any single-link
+// fault — the §2.5 fail-stop story carried from wires up to routes.
+func E20Chaos(quick bool) (*Table, error) {
+	t := &Table{
+		ID:    "E20",
+		Title: "Chaos campaign: runtime faults, detection, rerouting",
+		PaperClaim: "§2.5: faults are made fail-stop and routed around; the network " +
+			"degrades gracefully rather than silently corrupting or deadlocking",
+		Columns: []string{"scenario", "faults", "detected", "det lat", "delivered", "lost-post", "rerouted", "verdict"},
+	}
+	p := DefaultCampaignParams()
+	if quick {
+		p.Cycles = 2000
+	}
+
+	verdict := func(ok bool) string {
+		if ok {
+			return "PASS"
+		}
+		return "BROKEN"
+	}
+
+	// Scenario 1: seeded determinism — the acceptance criterion that two
+	// identical campaigns agree on every count.
+	det := p
+	det.Run.Seed = 7
+	det.Spec = "kill,link=9,at=300;stall,tile=6,port=W,at=800,until=1100"
+	a, err := RunCampaign(det)
+	if err != nil {
+		return nil, err
+	}
+	b, err := RunCampaign(det)
+	if err != nil {
+		return nil, err
+	}
+	same := a.Sent == b.Sent && a.Delivered == b.Delivered &&
+		a.Totals.Rerouted == b.Totals.Rerouted && len(a.Detections) == len(b.Detections)
+	for i := range a.Detections {
+		same = same && a.Detections[i] == b.Detections[i]
+	}
+	t.AddRow("seed-7 twice", fmt.Sprint(a.Injected), fmt.Sprint(len(a.Detections)),
+		fmt.Sprintf("%.0f", meanLatency(a.DetectionLatencies)), fmt.Sprint(a.Delivered),
+		fmt.Sprint(a.LostAfterEngage), fmt.Sprint(a.Totals.Rerouted), verdict(same))
+
+	// Scenario 2: single-link kill sweep — no permanent loss after the
+	// watchdog engages, for any link (quick mode samples every 8th).
+	topo, err := topology.NewFoldedTorus(p.Run.K, p.Run.K)
+	if err != nil {
+		return nil, err
+	}
+	numLinks := len(topology.Links(topo))
+	stride := 1
+	if quick {
+		stride = 8
+	}
+	var swept, sweptDet int
+	var sweptLost, sweptRerouted int64
+	var latSum float64
+	for link := 0; link < numLinks; link += stride {
+		kp := p
+		kp.Run.Seed = 11 + int64(link)
+		kp.Spec = fault.FormatEvents([]fault.Event{
+			{Kind: fault.LinkKill, At: 200, Link: link, From: -1, Tile: -1, VC: -1},
+		})
+		r, err := RunCampaign(kp)
+		if err != nil {
+			return nil, err
+		}
+		swept++
+		sweptDet += len(r.Detections)
+		sweptLost += r.LostAfterEngage
+		sweptRerouted += r.Totals.Rerouted
+		latSum += meanLatency(r.DetectionLatencies)
+	}
+	t.AddRow(fmt.Sprintf("kill sweep (%d links)", swept), fmt.Sprint(swept), fmt.Sprint(sweptDet),
+		fmt.Sprintf("%.0f", latSum/float64(swept)), "-", fmt.Sprint(sweptLost),
+		fmt.Sprint(sweptRerouted), verdict(sweptDet == swept && sweptLost == 0))
+
+	// Scenario 3: mixed scheduled campaign across all four fault models
+	// (flips need the physical wire layer; ECC masks them).
+	mix := p
+	mix.Run.Seed = 3
+	mix.Run.PhysWires = true
+	mix.Run.ECC = true
+	mix.Spec = "kill,link=20,at=300;flip,link=4,p=0.05,at=100,until=1500;" +
+		"stall,tile=5,port=W,at=600,until=900;stuck,tile=1,port=N,vc=3,at=100"
+	m, err := RunCampaign(mix)
+	if err != nil {
+		return nil, err
+	}
+	mixOK := m.Injected == 4 && len(m.Detections) >= 1 && m.LostAfterEngage == 0
+	t.AddRow("mixed models", fmt.Sprint(m.Injected), fmt.Sprint(len(m.Detections)),
+		fmt.Sprintf("%.0f", meanLatency(m.DetectionLatencies)), fmt.Sprint(m.Delivered),
+		fmt.Sprint(m.LostAfterEngage), fmt.Sprint(m.Totals.Rerouted), verdict(mixOK))
+
+	// Scenario 4: stochastic MTBF model — same seed, same campaign.
+	st := p
+	st.Run.Seed = 7
+	st.MTBF = float64(p.Cycles) / 2 // expect ~2 faults over the run
+	s1, err := RunCampaign(st)
+	if err != nil {
+		return nil, err
+	}
+	s2, err := RunCampaign(st)
+	if err != nil {
+		return nil, err
+	}
+	stOK := s1.Injected+s1.Skipped > 0 && s1.Injected == s2.Injected &&
+		s1.Delivered == s2.Delivered && s1.Sent == s2.Sent
+	t.AddRow(fmt.Sprintf("stochastic mtbf=%.0f", st.MTBF), fmt.Sprint(s1.Injected),
+		fmt.Sprint(len(s1.Detections)), fmt.Sprintf("%.0f", meanLatency(s1.DetectionLatencies)),
+		fmt.Sprint(s1.Delivered), fmt.Sprint(s1.LostAfterEngage), fmt.Sprint(s1.Totals.Rerouted),
+		verdict(stOK))
+
+	// Scenario 5: post-fault throughput — a single kill costs capacity,
+	// not connectivity; throughput stays within 2x of the healthy run.
+	healthy := p
+	healthy.Run.Seed = 19
+	h, err := RunCampaign(healthy)
+	if err != nil {
+		return nil, err
+	}
+	healthyTput := float64(h.Delivered) / float64(p.Cycles) / 16
+	faulted := p
+	faulted.Run.Seed = 19
+	faulted.Spec = "kill,link=12,at=200"
+	f, err := RunCampaign(faulted)
+	if err != nil {
+		return nil, err
+	}
+	tputOK := len(f.Detections) == 1 && f.PostFaultThroughput > 0.5*healthyTput
+	t.AddRow("post-fault tput", "1", fmt.Sprint(len(f.Detections)),
+		fmt.Sprintf("%.0f", meanLatency(f.DetectionLatencies)),
+		fmt.Sprintf("%.4f/cyc/node", f.PostFaultThroughput),
+		fmt.Sprint(f.LostAfterEngage), fmt.Sprint(f.Totals.Rerouted), verdict(tputOK))
+	t.AddNote("healthy throughput %.4f packets/cycle/node at rate %.2f", healthyTput, p.Run.Rate)
+	t.AddNote("det lat = mean cycles from fault injection to watchdog declaration (threshold %d)", p.Run.Watchdog)
+	t.AddNote("lost-post = packets born after the last detection that never arrived (acceptance: 0)")
+	return t, nil
+}

@@ -43,6 +43,14 @@ type RunParams struct {
 
 	Seed    int64
 	Metered bool
+
+	// Fault-tolerance options (§2.5 and the runtime fault subsystem).
+	// Watchdog arms per-link credit-starvation detection with the given
+	// threshold; PhysWires enables bit-level wire modelling (required for
+	// transient flip injection); ECC protects each link with SECDED.
+	Watchdog  int
+	PhysWires bool
+	ECC       bool
 }
 
 // DefaultRunParams returns the paper's baseline configuration under
@@ -137,6 +145,9 @@ func BuildNetwork(p RunParams) (*network.Network, *power.Meter, error) {
 		Meter:        meter,
 		Warmup:       p.WarmupCycles,
 		Seed:         p.Seed,
+		Watchdog:     p.Watchdog,
+		PhysWires:    p.PhysWires,
+		ECC:          p.ECC,
 	}
 	n, err := network.New(cfg)
 	if err != nil {

@@ -1,0 +1,274 @@
+package fault
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/route"
+	"repro/internal/sim"
+)
+
+// stubTarget is a minimal fault.Target over a 4x4 torus-shaped link list,
+// recording every manipulation.
+type stubTarget struct {
+	kernel   *sim.Kernel
+	links    [][3]int // from, dir, to
+	downs    map[int]bool
+	flips    map[int]float64
+	stalls   map[[2]int]bool
+	stucks   map[[3]int]bool
+	noPhys   bool
+	numTiles int
+}
+
+func newStubTarget(seed int64) *stubTarget {
+	st := &stubTarget{
+		kernel:   sim.NewKernel(seed),
+		downs:    map[int]bool{},
+		flips:    map[int]float64{},
+		stalls:   map[[2]int]bool{},
+		stucks:   map[[3]int]bool{},
+		numTiles: 16,
+	}
+	// 4x4 torus: every tile has all four outgoing channels.
+	for tile := 0; tile < 16; tile++ {
+		x, y := tile%4, tile/4
+		for _, d := range []route.Dir{route.North, route.East, route.South, route.West} {
+			dx, dy := d.Delta()
+			to := ((y+dy+4)%4)*4 + (x+dx+4)%4
+			st.links = append(st.links, [3]int{tile, int(d), to})
+		}
+	}
+	return st
+}
+
+func (s *stubTarget) Kernel() *sim.Kernel { return s.kernel }
+func (s *stubTarget) NumTiles() int       { return s.numTiles }
+func (s *stubTarget) NumLinks() int       { return len(s.links) }
+func (s *stubTarget) LinkEndpoints(i int) (int, route.Dir, int) {
+	return s.links[i][0], route.Dir(s.links[i][1]), s.links[i][2]
+}
+func (s *stubTarget) SetLinkDown(i int, down bool) { s.downs[i] = down }
+func (s *stubTarget) SetLinkFlip(i int, prob float64) error {
+	if s.noPhys {
+		return errNoPhys
+	}
+	s.flips[i] = prob
+	return nil
+}
+func (s *stubTarget) SetPortStall(tile int, port route.Dir, on bool) {
+	s.stalls[[2]int{tile, int(port)}] = on
+}
+func (s *stubTarget) SetVCStuck(tile int, port route.Dir, vc int, on bool) {
+	s.stucks[[3]int{tile, int(port), vc}] = on
+}
+
+var errNoPhys = &noPhysError{}
+
+type noPhysError struct{}
+
+func (*noPhysError) Error() string { return "no phys layer" }
+
+func TestParseFormatRoundTrip(t *testing.T) {
+	spec := "kill,link=12,at=500;" +
+		"kill,from=3,dir=E,at=500,until=900;" +
+		"flip,link=4,p=0.02,at=100,until=600;" +
+		"stall,tile=5,port=W,at=2000,until=2600;" +
+		"stuck,tile=1,port=N,vc=3,at=100"
+	events, err := ParseEvents(spec)
+	if err != nil {
+		t.Fatalf("ParseEvents: %v", err)
+	}
+	if len(events) != 5 {
+		t.Fatalf("got %d events, want 5", len(events))
+	}
+	formatted := FormatEvents(events)
+	again, err := ParseEvents(formatted)
+	if err != nil {
+		t.Fatalf("reparse of %q: %v", formatted, err)
+	}
+	if !reflect.DeepEqual(events, again) {
+		t.Fatalf("round trip mismatch:\n  first:  %#v\n  second: %#v", events, again)
+	}
+}
+
+func TestParseEmpty(t *testing.T) {
+	for _, spec := range []string{"", "   ", ";;"} {
+		events, err := ParseEvents(spec)
+		if err != nil || len(events) != 0 {
+			t.Fatalf("ParseEvents(%q) = %v, %v; want empty", spec, events, err)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"explode,link=1,at=0",        // unknown kind
+		"kill,at=5",                  // no target
+		"flip,link=1,p=0,at=5",       // probability out of range
+		"flip,link=1,p=1.5,at=5",     // probability out of range
+		"flip,link=1,p=NaN,at=5",     // NaN probability
+		"kill,link=1,at=10,until=10", // revoked not after injection
+		"kill,link=1,at=-3",          // negative cycle
+		"stall,port=W,at=0",          // no tile
+		"stuck,tile=1,port=N,at=0",   // no vc (stays -1)
+		"kill,link=1,frobnicate=2",   // unknown field
+		"kill,link",                  // not key=value
+		"stall,tile=2,port=Q,at=0",   // bad direction
+		"kill,link=two,at=0",         // non-numeric
+	}
+	for _, spec := range bad {
+		if _, err := ParseEvents(spec); err == nil {
+			t.Errorf("ParseEvents(%q) succeeded, want error", spec)
+		}
+	}
+}
+
+func TestInjectorScheduledApplyRevoke(t *testing.T) {
+	target := newStubTarget(1)
+	events, err := ParseEvents("stall,tile=5,port=W,at=3,until=7;kill,from=3,dir=E,at=4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj, err := NewInjector(target, events, 0, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj.Attach()
+	k := target.Kernel()
+	k.Run(3)
+	if target.stalls[[2]int{5, int(route.West)}] {
+		t.Fatal("stall applied before cycle 3")
+	}
+	k.Run(1) // cycle 3 runs
+	if !target.stalls[[2]int{5, int(route.West)}] {
+		t.Fatal("stall not applied at cycle 3")
+	}
+	k.Run(1) // cycle 4
+	killIdx := -1
+	for i := 0; i < target.NumLinks(); i++ {
+		from, dir, _ := target.LinkEndpoints(i)
+		if from == 3 && dir == route.East {
+			killIdx = i
+		}
+	}
+	if !target.downs[killIdx] {
+		t.Fatal("kill not applied at cycle 4")
+	}
+	k.Run(4) // through cycle 7: stall revoked
+	if target.stalls[[2]int{5, int(route.West)}] {
+		t.Fatal("stall not revoked at cycle 7")
+	}
+	if target.downs[killIdx] != true {
+		t.Fatal("permanent kill was revoked")
+	}
+	if len(inj.Log) != 2 {
+		t.Fatalf("Log has %d entries, want 2", len(inj.Log))
+	}
+	if inj.Log[1].Watched.From != 3 || inj.Log[1].Watched.Dir != route.East {
+		t.Fatalf("kill watched link = %+v, want {3 E}", inj.Log[1].Watched)
+	}
+	// The stall at tile 5 port W starves the link arriving from the west
+	// neighbor (tile 4) heading east.
+	if inj.Log[0].Watched.From != 4 || inj.Log[0].Watched.Dir != route.East {
+		t.Fatalf("stall watched link = %+v, want {4 E}", inj.Log[0].Watched)
+	}
+}
+
+func TestInjectorFlipWithoutPhysSkipped(t *testing.T) {
+	target := newStubTarget(1)
+	target.noPhys = true
+	events, _ := ParseEvents("flip,link=2,p=0.5,at=0")
+	inj, err := NewInjector(target, events, 0, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj.Attach()
+	target.Kernel().Run(2)
+	if inj.Skipped != 1 {
+		t.Fatalf("Skipped = %d, want 1", inj.Skipped)
+	}
+	if len(inj.Log) != 0 {
+		t.Fatalf("skipped event was logged: %+v", inj.Log)
+	}
+}
+
+func TestInjectorStochasticDeterminism(t *testing.T) {
+	expand := func(seed int64) []Event {
+		target := newStubTarget(seed)
+		inj, err := NewInjector(target, nil, 300, 10000, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return inj.Events()
+	}
+	a, b := expand(7), expand(7)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed produced different campaigns:\n%v\n%v", FormatEvents(a), FormatEvents(b))
+	}
+	if len(a) == 0 {
+		t.Fatal("mtbf=300 over 10000 cycles produced no faults")
+	}
+	c := expand(8)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical campaigns")
+	}
+	for _, e := range a {
+		if err := e.Validate(); err != nil {
+			t.Fatalf("expanded event %v invalid: %v", e, err)
+		}
+		if e.At >= 10000 {
+			t.Fatalf("event %v beyond horizon", e)
+		}
+	}
+}
+
+func TestInjectorRejectsBadTargets(t *testing.T) {
+	target := newStubTarget(1)
+	for _, spec := range []string{
+		"kill,link=999,at=0",
+		"kill,from=3,dir=E,at=0", // valid; control
+		"stall,tile=99,port=W,at=0",
+	} {
+		events, err := ParseEvents(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = NewInjector(target, events, 0, 0, nil)
+		wantErr := strings.Contains(spec, "999") || strings.Contains(spec, "99,")
+		if (err != nil) != wantErr {
+			t.Errorf("NewInjector(%q) err = %v, wantErr = %v", spec, err, wantErr)
+		}
+	}
+}
+
+func TestMapDetectionsSortedAndFailStop(t *testing.T) {
+	m := NewMap()
+	if !m.Empty() || m.Len() != 0 {
+		t.Fatal("new map not empty")
+	}
+	if !m.MarkDown(5, route.West, 100) {
+		t.Fatal("first MarkDown returned false")
+	}
+	if m.MarkDown(5, route.West, 200) {
+		t.Fatal("second MarkDown of same link returned true")
+	}
+	m.MarkDown(2, route.North, 150)
+	m.MarkDown(5, route.East, 120)
+	if m.Len() != 3 || m.Version() != 3 {
+		t.Fatalf("Len=%d Version=%d, want 3,3", m.Len(), m.Version())
+	}
+	if !m.IsDown(5, route.West) || m.IsDown(5, route.South) {
+		t.Fatal("IsDown wrong")
+	}
+	det := m.Detections()
+	want := []Detection{
+		{LinkID{2, route.North}, 150},
+		{LinkID{5, route.East}, 120},
+		{LinkID{5, route.West}, 100},
+	}
+	if !reflect.DeepEqual(det, want) {
+		t.Fatalf("Detections = %v, want %v", det, want)
+	}
+}

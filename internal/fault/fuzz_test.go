@@ -1,0 +1,37 @@
+package fault
+
+import "testing"
+
+// FuzzFaultPlan checks that any accepted campaign spec survives a
+// format/reparse round trip: ParseEvents(FormatEvents(ParseEvents(s)))
+// yields the same canonical rendering, and every accepted event validates.
+// Non-canonical inputs (e.g. both link= and from= given) are allowed to
+// normalize, which is why the comparison is on the canonical strings.
+func FuzzFaultPlan(f *testing.F) {
+	f.Add("kill,link=12,at=500")
+	f.Add("kill,from=3,dir=E,at=500,until=900")
+	f.Add("flip,link=4,p=0.02,at=100,until=600")
+	f.Add("stall,tile=5,port=W,at=2000,until=2600")
+	f.Add("stuck,tile=1,port=N,vc=3,at=100")
+	f.Add("kill,link=0,at=0;flip,link=1,p=1,at=1;stall,tile=0,port=S,at=2,until=3")
+	f.Add(";;  ;")
+	f.Fuzz(func(t *testing.T, spec string) {
+		events, err := ParseEvents(spec)
+		if err != nil {
+			return // rejected inputs are fine; we only check accepted ones
+		}
+		for _, e := range events {
+			if verr := e.Validate(); verr != nil {
+				t.Fatalf("accepted event %v fails Validate: %v (spec %q)", e, verr, spec)
+			}
+		}
+		canonical := FormatEvents(events)
+		again, err := ParseEvents(canonical)
+		if err != nil {
+			t.Fatalf("canonical form %q rejected: %v (spec %q)", canonical, err, spec)
+		}
+		if got := FormatEvents(again); got != canonical {
+			t.Fatalf("round trip diverged:\n  canonical: %q\n  reparsed:  %q\n  input: %q", canonical, got, spec)
+		}
+	})
+}

@@ -48,6 +48,16 @@ type Link struct {
 	// receiver end.
 	elastic bool
 	stages  []*flit.Flit
+
+	// down marks the channel dead (runtime fault injection or watchdog
+	// fencing): the wires still accept flits — the sender cannot tell —
+	// but everything in transit is lost, in both directions.
+	down bool
+
+	// FaultLostFlits and FaultLostCredits count traffic dropped while the
+	// link was down.
+	FaultLostFlits   int64
+	FaultLostCredits int64
 }
 
 // Config parameterizes NewLink.
@@ -92,6 +102,15 @@ func New(cfg Config) *Link {
 
 // Elastic reports whether the link is an elastic channel.
 func (l *Link) Elastic() bool { return l.elastic }
+
+// SetDown kills (or revives) the channel. A dead channel keeps accepting
+// traffic at the sending end but delivers nothing: flits and credits
+// vanish on the wires, which is what makes credit-starvation watchdogs the
+// right detector.
+func (l *Link) SetDown(down bool) { l.down = down }
+
+// Down reports whether the channel is dead.
+func (l *Link) Down() bool { return l.down }
 
 // CanSend reports whether a flit may enter the link this cycle (wires idle
 // and input register or entry stage free).
@@ -142,7 +161,11 @@ func (l *Link) Deliver() (f *flit.Flit, creditVCs []int) {
 		l.Util.Tick(0)
 	}
 	if vc, ok := l.credits.Shift(); ok {
-		creditVCs = append(creditVCs, vc)
+		if l.down {
+			l.FaultLostCredits++
+		} else {
+			creditVCs = append(creditVCs, vc)
+		}
 	}
 	if len(l.pendingCredits) > 0 && l.credits.CanSend() {
 		// One credit enters the reverse wires per cycle.
@@ -152,6 +175,10 @@ func (l *Link) Deliver() (f *flit.Flit, creditVCs []int) {
 	}
 	out, ok := l.pipe.Shift()
 	if !ok {
+		return nil, creditVCs
+	}
+	if l.down {
+		l.FaultLostFlits++
 		return nil, creditVCs
 	}
 	if l.Phys != nil && out.Data != nil {
@@ -176,7 +203,10 @@ func (l *Link) DeliverElastic(accept func(f *flit.Flit) bool) *flit.Flit {
 		l.Util.Tick(0)
 	}
 	var out *flit.Flit
-	if head := l.stages[0]; head != nil && accept(head) {
+	if head := l.stages[0]; head != nil && l.down {
+		l.FaultLostFlits++
+		l.stages[0] = nil
+	} else if head != nil && accept(head) {
 		out = head
 		l.stages[0] = nil
 	}

@@ -5,6 +5,7 @@ import (
 	"io"
 	"strings"
 
+	"repro/internal/fault"
 	"repro/internal/flit"
 	"repro/internal/link"
 	"repro/internal/power"
@@ -46,6 +47,14 @@ type Config struct {
 	// argument does not cover wraparound channels).
 	Adaptive bool
 
+	// Watchdog, when positive, arms per-link credit-starvation watchdogs:
+	// a link whose sending router has had flits wanting the link for
+	// Watchdog consecutive cycles without a single credit returning is
+	// declared dead (fail-stop) and published in the live fault map, and
+	// traffic is rerouted around it. Requires the credit-based VC router
+	// (no deflection, elastic links, or adaptive routing).
+	Watchdog int
+
 	Meter  *power.Meter
 	Warmup int64
 	Seed   int64
@@ -78,6 +87,14 @@ type Network struct {
 
 	recorder *Recorder
 	nextID   uint64
+
+	// Online fault detection and fault-aware rerouting state (faults.go).
+	faultMap   *fault.Map
+	wdStarve   []int64 // consecutive starved cycles per link
+	wdCredit   []bool  // credit arrived on link i this cycle
+	rerouted   int64   // route computations diverted around the fault map
+	unroutable int64   // sends refused because the fault map cut the network
+	aborted    int64   // partial packets discarded on an abort tail
 }
 
 // New builds the network described by cfg.
@@ -112,11 +129,20 @@ func New(cfg Config) (*Network, error) {
 		}
 		cfg.Router.Adaptive = true
 	}
+	if cfg.Watchdog < 0 {
+		return nil, fmt.Errorf("network: negative watchdog threshold %d", cfg.Watchdog)
+	}
+	if cfg.Watchdog > 0 {
+		if cfg.Deflect || cfg.ElasticLinks || cfg.Adaptive || cfg.Router.Mode != router.ModeVC {
+			return nil, fmt.Errorf("network: credit watchdogs require the credit-based VC router (no deflect/elastic/adaptive/drop)")
+		}
+	}
 	n := &Network{
 		cfg:      cfg,
 		topo:     cfg.Topo,
 		kernel:   sim.NewKernel(cfg.Seed),
 		recorder: NewRecorder(cfg.Warmup),
+		faultMap: fault.NewMap(),
 	}
 	tiles := cfg.Topo.NumTiles()
 	n.clients = make([]Client, tiles)
@@ -258,7 +284,7 @@ func (n *Network) preferredDir(tile, dst int) route.Dir {
 // deliver, route, link arbitration, switch arbitration, clients.
 func (n *Network) registerPhases() {
 	n.kernel.AddPhase("deliver", func(now sim.Cycle) {
-		for _, le := range n.links {
+		for i, le := range n.links {
 			if n.cfg.ElasticLinks {
 				to, in := n.routers[le.to], le.dir.Opposite()
 				f := le.l.DeliverElastic(func(f *flit.Flit) bool {
@@ -270,6 +296,9 @@ func (n *Network) registerPhases() {
 				continue
 			}
 			f, credits := le.l.Deliver()
+			if n.wdCredit != nil {
+				n.wdCredit[i] = len(credits) > 0
+			}
 			if !n.cfg.Deflect && len(credits) > 0 {
 				n.routers[le.from].HandleCredits(le.dir, credits)
 			}
@@ -322,6 +351,11 @@ func (n *Network) registerPhases() {
 			p.pump(now)
 		}
 	})
+	if n.cfg.Watchdog > 0 {
+		n.wdStarve = make([]int64, len(n.links))
+		n.wdCredit = make([]bool, len(n.links))
+		n.kernel.AddPhase("watchdog", n.watchdogTick)
+	}
 }
 
 // AttachClient installs the client logic for a tile.

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/flit"
 	"repro/internal/route"
+	"repro/internal/router"
 )
 
 // Client is the logic in a tile that uses the network. Tick runs once per
@@ -104,9 +105,14 @@ func (p *Port) Send(dst int, payload []byte, mask flit.VCMask, class int) (uint6
 		p.loopAt = append(p.loopAt, now+1)
 		return pkt.ID, nil
 	}
-	w, err := route.Compute(p.net.topo, p.tile, dst)
+	w, rerouted, err := p.net.routeFor(p.tile, dst)
 	if err != nil {
+		p.net.recorder.Generated--
+		p.net.unroutable++
 		return 0, err
+	}
+	if rerouted {
+		p.net.rerouted++
 	}
 	pkt.Route = w
 	fl := pkt.Flits()
@@ -178,6 +184,14 @@ func (p *Port) PendingInjections() int {
 // receive accepts ejected flits from the router and reassembles packets.
 func (p *Port) receive(flits []*flit.Flit, now int64) {
 	for _, f := range flits {
+		if f.Seq == router.AbortSeq {
+			// Synthetic abort tail: the packet was cut mid-flight by a
+			// dead link and will never complete. Discard the partial.
+			delete(p.partial, f.PacketID)
+			p.net.aborted++
+			p.net.trace("cycle=%d pkt=%d event=aborted dst=%d", now, f.PacketID, p.tile)
+			continue
+		}
 		p.partial[f.PacketID] = append(p.partial[f.PacketID], f)
 		if !f.Type.IsTail() {
 			continue

@@ -234,3 +234,44 @@ func TestChecksumDetectsMutation(t *testing.T) {
 		t.Fatal("clean message rejected")
 	}
 }
+
+func TestRetriesExhaustedSurfacesError(t *testing.T) {
+	// A receiver that never answers (no client attached at the
+	// destination) forces every message through the full backoff ladder;
+	// the sender must give up after MaxRetries and surface an error
+	// instead of retransmitting forever.
+	n := buildNet(t, 9, nil)
+	msgs := [][]byte{[]byte("into the void")}
+	snd := NewReliableSender(6, msgs, flit.MaskFor(0))
+	snd.Timeout = 20
+	snd.MaxRetries = 3
+	n.AttachClient(0, snd)
+	if !n.Kernel().RunUntil(func() bool { return snd.Done() }, 20000) {
+		t.Fatalf("sender never gave up (retransmits=%d)", snd.Retransmits)
+	}
+	if snd.Err() == nil {
+		t.Fatal("Done with no ack but Err() == nil")
+	}
+	if snd.FailedCount != 1 || snd.AckedCount != 0 {
+		t.Fatalf("failed=%d acked=%d, want 1,0", snd.FailedCount, snd.AckedCount)
+	}
+	if snd.Retransmits != int64(snd.MaxRetries) {
+		t.Fatalf("retransmits = %d, want %d", snd.Retransmits, snd.MaxRetries)
+	}
+}
+
+func TestRetryBackoffDoubles(t *testing.T) {
+	s := NewReliableSender(1, nil, flit.MaskFor(0))
+	s.Timeout = 100
+	// Default cap is 8x the base timeout.
+	want := []int64{100, 200, 400, 800, 800, 800}
+	for tries, w := range want {
+		if got := s.backoffFor(tries); got != w {
+			t.Fatalf("backoffFor(%d) = %d, want %d", tries, got, w)
+		}
+	}
+	s.MaxTimeout = 250
+	if got := s.backoffFor(4); got != 250 {
+		t.Fatalf("capped backoff = %d, want 250", got)
+	}
+}

@@ -2,6 +2,7 @@ package protocol
 
 import (
 	"encoding/binary"
+	"fmt"
 	"hash/fnv"
 
 	"repro/internal/flit"
@@ -62,34 +63,79 @@ func decodeRetry(p []byte, wantKind byte) (seq uint64, data []byte, ok bool) {
 	return seq, data, true
 }
 
-// ReliableSender transmits Messages to Dst with end-to-end retry.
+// ReliableSender transmits Messages to Dst with end-to-end retry. The
+// retransmit timeout backs off exponentially per message (Timeout, 2x,
+// 4x, ... capped at MaxTimeout) so a persistently faulty path is not
+// hammered, and after MaxRetries retransmissions of one message the
+// sender gives up and surfaces the failure through Err — silent infinite
+// retransmission would otherwise mask a dead route as livelock.
 type ReliableSender struct {
 	Dst     int
 	Mask    flit.VCMask
 	Class   int
-	Timeout int64 // cycles before retransmit
+	Timeout int64 // base cycles before the first retransmit
 	Window  int   // max unacked messages in flight
+
+	// MaxRetries caps retransmissions per message; at the cap the message
+	// is abandoned and counted failed. <0 retries forever (old behaviour).
+	MaxRetries int
+	// MaxTimeout caps the exponential backoff; 0 means 8x Timeout.
+	MaxTimeout int64
 
 	Messages [][]byte
 
 	nextSend int // next message index to transmit for the first time
 	unacked  map[uint64]int64
 	acked    map[uint64]bool
+	tries    map[uint64]int // retransmissions so far, per message
+	failed   map[uint64]bool
 
 	Retransmits int64
 	AckedCount  int64
+	FailedCount int64
 }
 
 // NewReliableSender returns a sender for the given message list.
 func NewReliableSender(dst int, msgs [][]byte, mask flit.VCMask) *ReliableSender {
 	return &ReliableSender{
-		Dst: dst, Mask: mask, Timeout: 200, Window: 4, Messages: msgs,
+		Dst: dst, Mask: mask, Timeout: 200, Window: 4, MaxRetries: 16, Messages: msgs,
 		unacked: make(map[uint64]int64), acked: make(map[uint64]bool),
+		tries: make(map[uint64]int), failed: make(map[uint64]bool),
 	}
 }
 
-// Done reports whether every message has been acknowledged.
-func (s *ReliableSender) Done() bool { return int(s.AckedCount) == len(s.Messages) }
+// Done reports whether every message has been resolved: acknowledged, or
+// abandoned after exhausting its retries.
+func (s *ReliableSender) Done() bool {
+	return int(s.AckedCount+s.FailedCount) == len(s.Messages)
+}
+
+// Err reports the retries-exhausted condition: non-nil once any message
+// has been abandoned after MaxRetries retransmissions.
+func (s *ReliableSender) Err() error {
+	if s.FailedCount == 0 {
+		return nil
+	}
+	return fmt.Errorf("protocol: %d of %d messages to tile %d exhausted %d retries",
+		s.FailedCount, len(s.Messages), s.Dst, s.MaxRetries)
+}
+
+// backoffFor reports the retransmit timeout for a message that has been
+// retransmitted tries times already: Timeout doubled per attempt, capped.
+func (s *ReliableSender) backoffFor(tries int) int64 {
+	maxT := s.MaxTimeout
+	if maxT <= 0 {
+		maxT = 8 * s.Timeout
+	}
+	t := s.Timeout
+	for i := 0; i < tries && t < maxT; i++ {
+		t *= 2
+	}
+	if t > maxT {
+		t = maxT
+	}
+	return t
+}
 
 // Tick implements network.Client.
 func (s *ReliableSender) Tick(now int64, p *network.Port) {
@@ -98,20 +144,30 @@ func (s *ReliableSender) Tick(now int64, p *network.Port) {
 		if !ok {
 			continue // corrupted ack: the data message will retransmit
 		}
-		if !s.acked[seq] {
+		if !s.acked[seq] && !s.failed[seq] {
+			// A late ack for an abandoned message stays failed: the
+			// sender already reported the loss upward.
 			s.acked[seq] = true
 			delete(s.unacked, seq)
 			s.AckedCount++
 		}
 	}
-	// Retransmit timed-out messages, in deterministic seq order.
+	// Retransmit timed-out messages, in deterministic seq order, with
+	// exponential backoff and a retry cap.
 	for seq := uint64(0); seq < uint64(s.nextSend); seq++ {
 		sentAt, pending := s.unacked[seq]
-		if !pending || now-sentAt < s.Timeout {
+		if !pending || now-sentAt < s.backoffFor(s.tries[seq]) {
+			continue
+		}
+		if s.MaxRetries >= 0 && s.tries[seq] >= s.MaxRetries {
+			delete(s.unacked, seq)
+			s.failed[seq] = true
+			s.FailedCount++
 			continue
 		}
 		if _, err := p.Send(s.Dst, encodeRetry(retryData, seq, s.Messages[seq]), s.Mask, s.Class); err == nil {
 			s.unacked[seq] = now
+			s.tries[seq]++
 			s.Retransmits++
 		}
 	}

@@ -18,11 +18,14 @@ func (r *Router) SwitchArbitrate(now int64) {
 		r.moveReserved(now)
 	}
 	for pi, ic := range r.inputs {
+		if r.stalledIn[pi] {
+			continue
+		}
 		req := ic.req
 		hasPrio := false
 		for v, st := range ic.vcs {
 			req[v] = false
-			if v == r.cfg.ReservedVC {
+			if v == r.cfg.ReservedVC || r.vcIsStuck(pi, v) {
 				continue
 			}
 			if r.eligible(pi, st, now) {
@@ -53,6 +56,9 @@ func (r *Router) SwitchArbitrate(now int64) {
 // moveReserved advances reserved-VC flits into their output bypasses.
 func (r *Router) moveReserved(now int64) {
 	for pi, ic := range r.inputs {
+		if r.stalledIn[pi] || r.vcIsStuck(pi, r.cfg.ReservedVC) {
+			continue
+		}
 		st := ic.vcs[r.cfg.ReservedVC]
 		if len(st.buf) == 0 || !st.routed {
 			continue
@@ -63,6 +69,11 @@ func (r *Router) moveReserved(now int64) {
 		st.buf = st.buf[1:]
 		if f.Type.IsTail() {
 			st.routed = false
+		}
+		if r.deadOut[portIndex(st.outPort)] {
+			r.creditUpstream(pi, inVC)
+			r.dropFaulted(f)
+			continue
 		}
 		oc.bypass = append(oc.bypass, f)
 		r.creditUpstream(pi, inVC)
@@ -83,6 +94,10 @@ func (r *Router) eligible(pi int, st *vcState, now int64) bool {
 	if r.cfg.NonSpeculative && f.Type.IsHead() && st.routedAt == now {
 		// Without speculation, VC allocation happens the cycle after
 		// route computation; the head only competes for the switch then.
+		return false
+	}
+	if r.deadOut[portIndex(st.outPort)] {
+		// The output died; FaultSweep will drain this VC.
 		return false
 	}
 	oc := r.outputs[portIndex(st.outPort)]

@@ -111,6 +111,13 @@ type vcState struct {
 	outVC    int
 	routed   bool
 	routedAt int64
+
+	// Identity of the packet currently occupying the VC, captured at route
+	// computation so AbandonInput can synthesize an abort tail even after
+	// the packet's flits have moved on.
+	pktID  uint64
+	pktSrc int
+	pktDst int
 }
 
 // inputController is one of the five input controllers.
@@ -144,6 +151,11 @@ type Stats struct {
 	DroppedFlits   int64
 	Ejected        int64
 	BypassMoves    int64
+
+	// Fault accounting (runtime fault injection).
+	FaultDroppedFlits   int64 // flits discarded because their output died
+	FaultDroppedPackets int64 // tails among those flits (≈ packets cut here)
+	AbortedPackets      int64 // mid-flight packets terminated by abort tails
 }
 
 // Router is the paper's virtual-channel router.
@@ -157,6 +169,12 @@ type Router struct {
 	// dst from this tile (empty when dst is this tile). Set by the
 	// network when Config.Adaptive is on.
 	adaptiveFn func(tile, dst int) []route.Dir
+
+	// Runtime fault state (see faults.go).
+	stalledIn [NumPorts]bool
+	stuckVC   [NumPorts][]bool // lazily allocated per-VC wedge flags
+	deadOut   [NumPorts]bool
+	anyDead   bool
 
 	ejectQ []*flit.Flit
 
@@ -362,14 +380,18 @@ func (r *Router) adaptiveChoice(f *flit.Flit) route.Dir {
 // ports").
 func (r *Router) RouteCompute(now int64) {
 	for pi, ic := range r.inputs {
-		for _, st := range ic.vcs {
-			if st.routed || len(st.buf) == 0 {
+		if r.stalledIn[pi] {
+			continue
+		}
+		for vi, st := range ic.vcs {
+			if st.routed || len(st.buf) == 0 || r.vcIsStuck(pi, vi) {
 				continue
 			}
 			f := st.buf[0]
 			if !f.Type.IsHead() {
 				panic(fmt.Sprintf("router %d: non-head flit %v at front of unrouted VC", r.cfg.ID, f))
 			}
+			st.pktID, st.pktSrc, st.pktDst = f.PacketID, f.Src, f.Dst
 			if r.cfg.Adaptive {
 				st.outPort = r.adaptiveChoice(f)
 			} else {

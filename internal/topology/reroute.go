@@ -1,0 +1,77 @@
+package topology
+
+import (
+	"fmt"
+
+	"repro/internal/route"
+)
+
+// ErrNetworkCut reports that every path between two tiles crosses a blocked
+// channel: the fault set has partitioned the network.
+var ErrNetworkCut = fmt.Errorf("topology: no fault-free path (network is cut)")
+
+// ShortestAvoiding computes a minimal path of absolute hop directions from
+// src to dst that avoids every channel for which blocked(from, d) is true.
+// It is the fault-aware route oracle: clients pass the live fault map's
+// IsDown as the predicate and re-encode the result with route.Encode.
+//
+// The search is a breadth-first search expanding neighbors in the fixed
+// N, E, S, W order, so the chosen path is deterministic for a given
+// topology and fault set. When src == dst the path is empty. When the
+// blocked channels cut src from dst it returns ErrNetworkCut.
+//
+// BFS paths are simple (no tile repeats), so the result never contains a
+// U-turn and always encodes into a route word — provided it fits the word's
+// step budget, which the caller's route.Encode call checks.
+func ShortestAvoiding(t Topology, src, dst int, blocked func(from int, d route.Dir) bool) ([]route.Dir, error) {
+	n := t.NumTiles()
+	if src < 0 || src >= n || dst < 0 || dst >= n {
+		return nil, fmt.Errorf("topology: tile out of range (src=%d dst=%d n=%d)", src, dst, n)
+	}
+	if src == dst {
+		return nil, nil
+	}
+	seen := make([]bool, n)
+	from := make([]hop, n)
+	seen[src] = true
+	queue := []int{src}
+	for len(queue) > 0 {
+		tile := queue[0]
+		queue = queue[1:]
+		for _, d := range []route.Dir{route.North, route.East, route.South, route.West} {
+			next, ok := t.Neighbor(tile, d)
+			if !ok || seen[next] {
+				continue
+			}
+			if blocked != nil && blocked(tile, d) {
+				continue
+			}
+			seen[next] = true
+			from[next] = hop{prev: tile, dir: d}
+			if next == dst {
+				return unwind(from, src, dst), nil
+			}
+			queue = append(queue, next)
+		}
+	}
+	return nil, ErrNetworkCut
+}
+
+// unwind reconstructs the BFS path from the predecessor table.
+func unwind(from []hop, src, dst int) []route.Dir {
+	var rev []route.Dir
+	for at := dst; at != src; at = from[at].prev {
+		rev = append(rev, from[at].dir)
+	}
+	path := make([]route.Dir, len(rev))
+	for i, d := range rev {
+		path[len(rev)-1-i] = d
+	}
+	return path
+}
+
+// hop is the BFS predecessor record.
+type hop struct {
+	prev int
+	dir  route.Dir
+}

@@ -1,0 +1,130 @@
+package topology
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/route"
+)
+
+// walkPath replays a path from src and returns the final tile, failing on
+// any blocked or missing channel.
+func walkPath(t *testing.T, topo Topology, src int, path []route.Dir, blocked func(int, route.Dir) bool) int {
+	t.Helper()
+	tile := src
+	for i, d := range path {
+		if blocked != nil && blocked(tile, d) {
+			t.Fatalf("path step %d crosses blocked channel (%d,%v)", i, tile, d)
+		}
+		next, ok := topo.Neighbor(tile, d)
+		if !ok {
+			t.Fatalf("path step %d leaves topology at (%d,%v)", i, tile, d)
+		}
+		tile = next
+	}
+	return tile
+}
+
+func TestShortestAvoidingNoFaultsMatchesHopCount(t *testing.T) {
+	topo := mustTorus(t, 4, 4)
+	for src := 0; src < topo.NumTiles(); src++ {
+		for dst := 0; dst < topo.NumTiles(); dst++ {
+			path, err := ShortestAvoiding(topo, src, dst, nil)
+			if err != nil {
+				t.Fatalf("%d->%d: %v", src, dst, err)
+			}
+			if src == dst {
+				if len(path) != 0 {
+					t.Fatalf("%d->%d: nonempty path for loopback", src, dst)
+				}
+				continue
+			}
+			kx, _ := topo.Radix()
+			want := len(route.DimensionOrder(topo, src%kx, src/kx, dst%kx, dst/kx))
+			if len(path) != want {
+				t.Fatalf("%d->%d: %d hops, dimension order needs %d", src, dst, len(path), want)
+			}
+			if end := walkPath(t, topo, src, path, nil); end != dst {
+				t.Fatalf("%d->%d: path ends at %d", src, dst, end)
+			}
+		}
+	}
+}
+
+func TestShortestAvoidingRoutesAroundEveryLink(t *testing.T) {
+	topo := mustTorus(t, 4, 4)
+	for _, dead := range Links(topo) {
+		blocked := func(from int, d route.Dir) bool {
+			return from == dead.From && d == dead.Dir
+		}
+		for src := 0; src < topo.NumTiles(); src++ {
+			for dst := 0; dst < topo.NumTiles(); dst++ {
+				if src == dst {
+					continue
+				}
+				path, err := ShortestAvoiding(topo, src, dst, blocked)
+				if err != nil {
+					t.Fatalf("dead (%d,%v): %d->%d: %v", dead.From, dead.Dir, src, dst, err)
+				}
+				if end := walkPath(t, topo, src, path, blocked); end != dst {
+					t.Fatalf("dead (%d,%v): %d->%d ends at %d", dead.From, dead.Dir, src, dst, end)
+				}
+				// A single dead link on a torus adds at most 2 hops to
+				// any minimal path.
+				clear, _ := ShortestAvoiding(topo, src, dst, nil)
+				if len(path) > len(clear)+2 {
+					t.Fatalf("dead (%d,%v): %d->%d detour %d hops vs %d clear", dead.From, dead.Dir, src, dst, len(path), len(clear))
+				}
+				// Paths must encode into a route word (no U-turns).
+				if _, err := route.Encode(path); err != nil {
+					t.Fatalf("dead (%d,%v): %d->%d: encode: %v", dead.From, dead.Dir, src, dst, err)
+				}
+			}
+		}
+	}
+}
+
+func TestShortestAvoidingDeterministic(t *testing.T) {
+	topo := mustTorus(t, 4, 4)
+	blocked := func(from int, d route.Dir) bool { return from == 5 && d == route.East }
+	a, err := ShortestAvoiding(topo, 4, 7, blocked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		b, err := ShortestAvoiding(topo, 4, 7, blocked)
+		if err != nil || !reflect.DeepEqual(a, b) {
+			t.Fatalf("run %d: %v (%v) != %v", i, b, err, a)
+		}
+	}
+}
+
+func TestShortestAvoidingCut(t *testing.T) {
+	// Mesh tile 0 has only two outgoing channels (N, E); blocking both
+	// from reaching it cuts the network.
+	mesh, err := NewMesh(3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocked := func(from int, d route.Dir) bool {
+		next, ok := mesh.Neighbor(from, d)
+		return ok && next == 0
+	}
+	if _, err := ShortestAvoiding(mesh, 8, 0, blocked); err != ErrNetworkCut {
+		t.Fatalf("err = %v, want ErrNetworkCut", err)
+	}
+	// Unblocked destinations stay reachable.
+	if _, err := ShortestAvoiding(mesh, 8, 1, blocked); err != nil {
+		t.Fatalf("8->1: %v", err)
+	}
+}
+
+func TestShortestAvoidingRange(t *testing.T) {
+	topo := mustTorus(t, 4, 4)
+	if _, err := ShortestAvoiding(topo, -1, 3, nil); err == nil {
+		t.Fatal("negative src accepted")
+	}
+	if _, err := ShortestAvoiding(topo, 0, 16, nil); err == nil {
+		t.Fatal("out-of-range dst accepted")
+	}
+}
