@@ -28,8 +28,13 @@ ci:
 fuzz:
 	$(GO) test ./internal/fault -run='^$$' -fuzz=FuzzFaultPlan -fuzztime=10s
 
+# bench is the regression harness: the cycle-loop microbenchmarks run
+# long enough for stable ns/op and allocs/op, the E-suite benchmarks run
+# once each, and cmd/benchjson folds everything into BENCH_cycles.json
+# (simulated cycles/sec, allocs/op) for diffing across commits.
 bench:
-	$(GO) test -bench . -benchtime 1x .
+	{ $(GO) test -run '^$$' -bench 'NetworkCycle|RouteCompute|ECCRoundTrip|PacketSegmentation' -benchtime 1s -benchmem . ; \
+	  $(GO) test -run '^$$' -bench 'BenchmarkE[0-9]' -benchtime 1x -benchmem . ; } | $(GO) run ./cmd/benchjson -o BENCH_cycles.json
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,122 @@
+// Command benchjson converts `go test -bench -benchmem` output on stdin
+// into the benchmark regression record BENCH_cycles.json. For the
+// cycle-loop microbenchmarks (one op = one simulated network cycle) it
+// also derives simulated cycles per second, the engine's headline speed
+// metric. `make bench` wires it up.
+//
+//	go test -run '^$' -bench NetworkCycle -benchmem . | benchjson -o BENCH_cycles.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	// CyclesPerSec is simulated cycles per wall-clock second, only set
+	// for benchmarks whose op is one network cycle (NetworkCycle*).
+	CyclesPerSec float64 `json:"cycles_per_sec,omitempty"`
+}
+
+// Record is the top-level BENCH_cycles.json document.
+type Record struct {
+	GeneratedAt string   `json:"generated_at"`
+	GoVersion   string   `json:"go_version"`
+	GOMAXPROCS  int      `json:"gomaxprocs"`
+	Benchmarks  []Result `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("o", "BENCH_cycles.json", "output JSON path")
+	flag.Parse()
+
+	rec := Record{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // pass through so the run stays visible
+		r, ok := parseLine(line)
+		if !ok {
+			continue
+		}
+		rec.Benchmarks = append(rec.Benchmarks, r)
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+	if len(rec.Benchmarks) == 0 {
+		fatal(fmt.Errorf("no benchmark lines on stdin (pipe `go test -bench -benchmem` output)"))
+	}
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(rec.Benchmarks), *out)
+}
+
+// parseLine parses one `go test -bench` result line, e.g.
+//
+//	BenchmarkNetworkCycle   233782   9793 ns/op   0 B/op   0 allocs/op
+func parseLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Result{}, false
+	}
+	name := strings.TrimPrefix(fields[0], "Benchmark")
+	// Strip the -<procs> suffix go test appends (Benchmark...-8).
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{Name: name, Iterations: iters}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v := fields[i]
+		switch fields[i+1] {
+		case "ns/op":
+			r.NsPerOp, _ = strconv.ParseFloat(v, 64)
+		case "B/op":
+			r.BytesPerOp, _ = strconv.ParseInt(v, 10, 64)
+		case "allocs/op":
+			r.AllocsPerOp, _ = strconv.ParseInt(v, 10, 64)
+		}
+	}
+	if r.NsPerOp == 0 {
+		return Result{}, false
+	}
+	if strings.HasPrefix(name, "NetworkCycle") {
+		r.CyclesPerSec = 1e9 / r.NsPerOp
+	}
+	return r, true
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

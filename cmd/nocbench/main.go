@@ -6,14 +6,17 @@
 //	nocbench -run E3      # one experiment
 //	nocbench -quick       # shorter measurement windows
 //	nocbench -markdown    # emit Markdown (the source of EXPERIMENTS.md)
+//	nocbench -parallel 8  # worker-pool width (0 = GOMAXPROCS)
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/sim"
 )
 
 func main() {
@@ -21,8 +24,10 @@ func main() {
 		runID    = flag.String("run", "", "run a single experiment (E1..E20)")
 		quick    = flag.Bool("quick", false, "shorter measurement windows")
 		markdown = flag.Bool("markdown", false, "emit Markdown tables")
+		par      = flag.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
+	core.SetParallelism(*par)
 
 	experiments := core.All()
 	if *runID != "" {
@@ -33,20 +38,33 @@ func main() {
 		}
 		experiments = []core.Experiment{e}
 	}
+	start := time.Now()
+	// Experiments run concurrently (each fans its own simulations across
+	// the same pool); tables are collected per index and printed in the
+	// E1..E20 order regardless of completion order.
+	tables := make([]*core.Table, len(experiments))
+	errs := make([]error, len(experiments))
+	_ = sim.ForEach(len(experiments), core.Parallelism(), func(i int) error {
+		tables[i], errs[i] = experiments[i].Run(*quick)
+		return nil
+	})
 	failed := 0
-	for _, e := range experiments {
-		tbl, err := e.Run(*quick)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "nocbench: %s: %v\n", e.ID, err)
+	for i, e := range experiments {
+		if errs[i] != nil {
+			fmt.Fprintf(os.Stderr, "nocbench: %s: %v\n", e.ID, errs[i])
 			failed++
 			continue
 		}
 		if *markdown {
-			fmt.Print(tbl.Markdown())
+			fmt.Print(tables[i].Markdown())
 		} else {
-			fmt.Println(tbl.Format())
+			fmt.Println(tables[i].Format())
 		}
 	}
+	elapsed := time.Since(start)
+	cycles := core.SimulatedCycles()
+	fmt.Fprintf(os.Stderr, "%d experiments in %.2fs wall clock, %d simulated cycles (%.2fM cycles/s)\n",
+		len(experiments), elapsed.Seconds(), cycles, float64(cycles)/elapsed.Seconds()/1e6)
 	if failed > 0 {
 		os.Exit(1)
 	}

@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/fault"
@@ -174,10 +175,12 @@ func main() {
 		return
 	}
 
+	start := time.Now()
 	res, err := core.Run(p)
 	if err != nil {
 		fatal(err)
 	}
+	elapsed := time.Since(start)
 	fmt.Printf("topology          %s-%dx%d, %s traffic, %d-flit packets\n",
 		p.Topology, p.K, p.K, p.Pattern, p.FlitsPerPacket)
 	fmt.Printf("offered           %.3f flits/cycle/node\n", res.OfferedFlits)
@@ -195,6 +198,9 @@ func main() {
 		fmt.Printf("energy            %.3g J/flit (hop %.3g J + wire %.3g J total)\n",
 			res.EnergyPerFlit, res.HopEnergyJ, res.WireEnergyJ)
 	}
+	cycles := core.SimulatedCycles()
+	fmt.Printf("engine            %d simulated cycles in %.2fs wall clock (%.2fM cycles/s)\n",
+		cycles, elapsed.Seconds(), float64(cycles)/elapsed.Seconds()/1e6)
 	if *heatmap {
 		// Re-run with the same parameters to expose the network for the
 		// heatmap (core.Run owns its network); cheap at these sizes.

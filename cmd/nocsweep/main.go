@@ -11,6 +11,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 )
@@ -25,19 +26,30 @@ func main() {
 		warmup   = flag.Int64("warmup", 1000, "warmup cycles")
 		measure  = flag.Int64("measure", 4000, "measurement cycles")
 		seed     = flag.Int64("seed", 1, "random seed")
+		par      = flag.Int("parallel", 0, "concurrent sweep points (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
+	core.SetParallelism(*par)
 
 	var rates []float64
 	for _, s := range strings.Split(*rateList, ",") {
-		v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
-		if err != nil || v <= 0 {
-			fmt.Fprintf(os.Stderr, "nocsweep: bad rate %q\n", s)
+		s = strings.TrimSpace(s)
+		if s == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil || v <= 0 || v > 1.0 {
+			fmt.Fprintf(os.Stderr, "nocsweep: bad rate %q (need 0 < rate <= 1.0 flits/node/cycle)\n", s)
 			os.Exit(1)
 		}
 		rates = append(rates, v)
 	}
+	if len(rates) == 0 {
+		fmt.Fprintln(os.Stderr, "nocsweep: -rates is empty; nothing to sweep")
+		os.Exit(1)
+	}
 
+	start := time.Now()
 	base := core.DefaultRunParams()
 	base.Topology = *topoName
 	base.K = *k
@@ -60,4 +72,8 @@ func main() {
 			r.MaxLatency, r.LinkUtilMean, r.LinkUtilMax)
 	}
 	fmt.Fprintf(os.Stderr, "saturation ≈ %.3f flits/node/cycle\n", core.SaturationRate(points))
+	elapsed := time.Since(start)
+	cycles := core.SimulatedCycles()
+	fmt.Fprintf(os.Stderr, "%d points in %.2fs wall clock, %d simulated cycles (%.2fM cycles/s)\n",
+		len(points), elapsed.Seconds(), cycles, float64(cycles)/elapsed.Seconds()/1e6)
 }

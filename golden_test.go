@@ -1,0 +1,106 @@
+package noc
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// The golden determinism suite pins the simulation engine's observable
+// output: experiment tables and sweep CSVs captured from the pre-
+// optimization ("seed") engine. Any engine change — flit pooling, route
+// caching, active-set skips, parallel sweep execution — must reproduce
+// these bytes exactly for the same seeds, or it changed behaviour, not
+// just speed. Regenerate deliberately with `go test -run Golden -update`.
+
+var update = flag.Bool("update", false, "rewrite golden files from the current engine")
+
+// goldenSweepCSV renders a load-latency sweep in cmd/nocsweep's CSV format.
+func goldenSweepCSV(t *testing.T, seed int64) string {
+	t.Helper()
+	base := core.DefaultRunParams()
+	base.WarmupCycles = 500
+	base.MeasureCycles = 1500
+	base.FlitsPerPacket = 2
+	base.Seed = seed
+	points, err := core.Sweep(base, []float64{0.1, 0.3, 0.5, 0.7, 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	sb.WriteString("offered,accepted,avg_latency,p50,p99,max,util_mean,util_max\n")
+	for _, pt := range points {
+		r := pt.Result
+		fmt.Fprintf(&sb, "%.3f,%.4f,%.2f,%d,%d,%d,%.4f,%.4f\n",
+			pt.Rate, r.AcceptedFlits, r.AvgLatency, r.P50Latency, r.P99Latency,
+			r.MaxLatency, r.LinkUtilMean, r.LinkUtilMax)
+	}
+	return sb.String()
+}
+
+// checkGolden compares got against testdata/name, rewriting it under
+// -update.
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if string(want) != got {
+		t.Errorf("%s: output diverged from the seed engine\n--- want ---\n%s\n--- got ---\n%s",
+			name, want, got)
+	}
+}
+
+// TestGoldenSweep pins the full load-latency sweep (the core.Sweep path the
+// parallel runner fans out) for three seeds.
+func TestGoldenSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden sweeps are not -short")
+	}
+	for _, seed := range []int64{1, 2, 3} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			checkGolden(t, fmt.Sprintf("golden_sweep_seed%d.csv", seed), goldenSweepCSV(t, seed))
+		})
+	}
+}
+
+// TestGoldenExperiments pins the E1, E4, and E20 quick-mode tables: the
+// baseline network, the mesh-vs-torus load sweep, and the chaos campaign
+// (whose fault detection cycles and reroute counts are extremely sensitive
+// to any change in simulation order).
+func TestGoldenExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden experiments are not -short")
+	}
+	for _, id := range []string{"E1", "E4", "E20"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			e, err := core.ByID(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tbl, err := e.Run(true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkGolden(t, fmt.Sprintf("golden_%s_quick.txt", strings.ToLower(id)), tbl.Format())
+		})
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/flit"
 	"repro/internal/network"
+	"repro/internal/sim"
 	"repro/internal/topology"
 )
 
@@ -127,6 +128,7 @@ func RunCampaign(p CampaignParams) (CampaignResult, error) {
 		drain = 50000
 	}
 	n.Drain(drain)
+	countCycles(n.Kernel().Now())
 
 	res.Injected = len(inj.Log)
 	res.Skipped = inj.Skipped
@@ -245,19 +247,34 @@ func E20Chaos(quick bool) (*Table, error) {
 	if quick {
 		stride = 8
 	}
-	var swept, sweptDet int
-	var sweptLost, sweptRerouted int64
-	var latSum float64
+	var links []int
 	for link := 0; link < numLinks; link += stride {
+		links = append(links, link)
+	}
+	// One campaign per killed link, fanned across the worker pool; each
+	// campaign owns its network, so results match the sequential sweep.
+	results := make([]CampaignResult, len(links))
+	err = sim.ForEach(len(links), Parallelism(), func(i int) error {
 		kp := p
-		kp.Run.Seed = 11 + int64(link)
+		kp.Run.Seed = 11 + int64(links[i])
 		kp.Spec = fault.FormatEvents([]fault.Event{
-			{Kind: fault.LinkKill, At: 200, Link: link, From: -1, Tile: -1, VC: -1},
+			{Kind: fault.LinkKill, At: 200, Link: links[i], From: -1, Tile: -1, VC: -1},
 		})
 		r, err := RunCampaign(kp)
 		if err != nil {
-			return nil, err
+			return err
 		}
+		results[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Aggregate in link order so the table is deterministic.
+	var swept, sweptDet int
+	var sweptLost, sweptRerouted int64
+	var latSum float64
+	for _, r := range results {
 		swept++
 		sweptDet += len(r.Detections)
 		sweptLost += r.LostAfterEngage

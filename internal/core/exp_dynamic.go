@@ -7,6 +7,7 @@ import (
 	"repro/internal/area"
 	"repro/internal/bus"
 	"repro/internal/router"
+	"repro/internal/sim"
 )
 
 // E4LoadLatency sweeps offered load on the mesh and the folded torus under
@@ -83,7 +84,10 @@ func E5FlowControl(quick bool) (*Table, error) {
 		{"misroute (deflect), 1-flit regs", func(p *RunParams) { p.Deflect = true }, 1, 1},
 	}
 	const rate = 0.35
-	for _, v := range variants {
+	// Each variant is an independent network; fan them across the pool and
+	// emit rows in declaration order.
+	results := make([]RunResult, len(variants))
+	err := sim.ForEach(len(variants), Parallelism(), func(i int) error {
 		p := DefaultRunParams()
 		p.Topology = "mesh" // elastic links need acyclic channels; keep all variants comparable
 		p.Rate = rate
@@ -92,11 +96,19 @@ func E5FlowControl(quick bool) (*Table, error) {
 		if quick {
 			p.WarmupCycles, p.MeasureCycles = 500, 1500
 		}
-		v.mut(&p)
+		variants[i].mut(&p)
 		res, err := Run(p)
 		if err != nil {
-			return nil, err
+			return err
 		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, v := range variants {
+		res := results[i]
 		ap := area.Paper().WithBuffers(v.vcs, v.buf)
 		var wirePerFlit float64
 		if res.DeliveredPackets > 0 {

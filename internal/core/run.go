@@ -8,15 +8,49 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/circuits"
 	"repro/internal/flit"
 	"repro/internal/network"
 	"repro/internal/power"
 	"repro/internal/router"
+	"repro/internal/sim"
 	"repro/internal/topology"
 	"repro/internal/traffic"
 )
+
+// parallelism is the worker-pool width used by Sweep and the multi-point
+// experiments; 0 selects sim.DefaultParallelism() (GOMAXPROCS).
+var parallelism int64
+
+// SetParallelism sets the number of simulations run concurrently by Sweep
+// and the multi-point experiments. n <= 0 restores the default
+// (GOMAXPROCS). Each point always runs on its own network and kernel, so
+// the results are identical at any parallelism.
+func SetParallelism(n int) {
+	if n < 0 {
+		n = 0
+	}
+	atomic.StoreInt64(&parallelism, int64(n))
+}
+
+// Parallelism reports the current worker-pool width (0 = GOMAXPROCS).
+func Parallelism() int { return int(atomic.LoadInt64(&parallelism)) }
+
+// simulatedCycles accumulates the kernel cycles executed by Run and
+// RunCampaign across all goroutines, so the CLIs can report simulated
+// cycles per wall-clock second.
+var simulatedCycles int64
+
+// SimulatedCycles reports the total kernel cycles executed by this
+// package's runners since process start (or the last Reset).
+func SimulatedCycles() int64 { return atomic.LoadInt64(&simulatedCycles) }
+
+// ResetSimulatedCycles zeroes the simulated-cycle counter.
+func ResetSimulatedCycles() { atomic.StoreInt64(&simulatedCycles, 0) }
+
+func countCycles(n int64) { atomic.AddInt64(&simulatedCycles, n) }
 
 // RunParams describes one simulation measurement.
 type RunParams struct {
@@ -188,6 +222,7 @@ func Run(p RunParams) (RunResult, error) {
 		drain = 50000
 	}
 	n.Drain(drain)
+	countCycles(n.Kernel().Now())
 
 	rec := n.Recorder()
 	res := RunResult{
@@ -229,17 +264,24 @@ type SweepPoint struct {
 	Result RunResult
 }
 
-// Sweep runs the same configuration across offered rates.
+// Sweep runs the same configuration across offered rates. Points run
+// concurrently on the SetParallelism worker pool; each owns an
+// independent network, kernel, and seed, so the table is bit-identical to
+// a sequential sweep and ordered by rate as given.
 func Sweep(base RunParams, rates []float64) ([]SweepPoint, error) {
-	out := make([]SweepPoint, 0, len(rates))
-	for _, r := range rates {
+	out := make([]SweepPoint, len(rates))
+	err := sim.ForEach(len(rates), Parallelism(), func(i int) error {
 		p := base
-		p.Rate = r
+		p.Rate = rates[i]
 		res, err := Run(p)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out = append(out, SweepPoint{Rate: r, Result: res})
+		out[i] = SweepPoint{Rate: rates[i], Result: res}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

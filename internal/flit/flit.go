@@ -206,16 +206,25 @@ type Packet struct {
 // An empty payload yields one HeadTail flit with size code 0 (1 valid bit),
 // matching the paper's minimum flit.
 func (p *Packet) Flits() []*Flit {
-	chunks := segment(p.Payload)
-	out := make([]*Flit, 0, len(chunks))
-	for i, chunk := range chunks {
+	return p.AppendFlits(nil, nil)
+}
+
+// AppendFlits segments the packet into flits appended to dst, drawing flit
+// objects from pool when it is non-nil (each flit then owns a private copy
+// of its payload slice in recycled buffer capacity). This is the
+// allocation-free form of Flits for the injection hot path: with a reused
+// dst and a pool, a steady-state call allocates nothing.
+func (p *Packet) AppendFlits(dst []*Flit, pool *Pool) []*Flit {
+	n := p.NumFlits()
+	for i := 0; i < n; i++ {
+		chunk := p.Payload[min(i*DataBytes, len(p.Payload)):min((i+1)*DataBytes, len(p.Payload))]
 		t := Body
 		switch {
-		case len(chunks) == 1:
+		case n == 1:
 			t = HeadTail
 		case i == 0:
 			t = Head
-		case i == len(chunks)-1:
+		case i == n-1:
 			t = Tail
 		}
 		bits := len(chunk) * 8
@@ -224,25 +233,37 @@ func (p *Packet) Flits() []*Flit {
 		}
 		sc, err := EncodeSize(bits)
 		if err != nil {
-			// unreachable: segment caps chunk length at DataBytes
+			// unreachable: NumFlits caps chunk length at DataBytes
 			panic(err)
 		}
-		out = append(out, &Flit{
-			Type:       t,
-			Size:       sc,
-			Mask:       p.Mask,
-			Route:      p.Route,
-			Data:       chunk,
-			PacketID:   p.ID,
-			Seq:        i,
-			TotalFlits: len(chunks),
-			Src:        p.Src,
-			Dst:        p.Dst,
-			Birth:      p.Birth,
-			Class:      p.Class,
-		})
+		var f *Flit
+		if pool != nil {
+			f = pool.Get()
+		} else {
+			f = &Flit{}
+		}
+		f.Type = t
+		f.Size = sc
+		f.Mask = p.Mask
+		f.Route = p.Route
+		f.Data = append(f.Data[:0], chunk...)
+		f.PacketID = p.ID
+		f.Seq = i
+		f.TotalFlits = n
+		f.Src = p.Src
+		f.Dst = p.Dst
+		f.Birth = p.Birth
+		f.Class = p.Class
+		dst = append(dst, f)
 	}
-	return out
+	return dst
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
 }
 
 // NumFlits reports how many flits the packet segments into.
@@ -252,23 +273,6 @@ func (p *Packet) NumFlits() int {
 		n = 1
 	}
 	return n
-}
-
-func segment(payload []byte) [][]byte {
-	if len(payload) == 0 {
-		return [][]byte{nil}
-	}
-	var chunks [][]byte
-	for len(payload) > 0 {
-		n := len(payload)
-		if n > DataBytes {
-			n = DataBytes
-		}
-		chunk := append([]byte(nil), payload[:n]...)
-		chunks = append(chunks, chunk)
-		payload = payload[n:]
-	}
-	return chunks
 }
 
 // Reassemble concatenates the payloads of a packet's flits, in sequence

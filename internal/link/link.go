@@ -39,7 +39,20 @@ type Link struct {
 	// Util counts occupied cycles; Util.Rate() is the §4.4 duty factor.
 	Util stats.Counter
 
+	// pendingCredits is a queue of freed-slot VC indices awaiting the
+	// reverse wires; creditHead indexes its logical front so dequeuing is
+	// O(1) without reslicing away reusable capacity.
 	pendingCredits []int
+	creditHead     int
+
+	// creditBuf backs the creditVCs slice returned by Deliver, reused
+	// every cycle (see Deliver's contract).
+	creditBuf []int
+
+	// pool, when non-nil, receives flits the link destroys (dead-channel
+	// drops) or replaces (physical-layer copies), so a pooled network's
+	// flit accounting stays balanced.
+	pool *flit.Pool
 
 	// Elastic channel state (§3.3, ref [4] "Elastic Interconnects"):
 	// the repeaters along the wire double as flit latches with local
@@ -103,6 +116,28 @@ func New(cfg Config) *Link {
 // Elastic reports whether the link is an elastic channel.
 func (l *Link) Elastic() bool { return l.elastic }
 
+// SetPool attaches the owning network's flit pool. Flits the link drops
+// (dead channel) or replaces (physical-layer copy) are recycled into it.
+func (l *Link) SetPool(p *flit.Pool) { l.pool = p }
+
+// Idle reports whether the link has nothing to do this cycle beyond
+// ticking its utilization counter: wires free, no flits or credits in
+// flight, none waiting. The delivery phase uses it to skip idle links.
+func (l *Link) Idle() bool {
+	if l.busy != 0 || l.creditHead < len(l.pendingCredits) || !l.credits.Empty() {
+		return false
+	}
+	if l.elastic {
+		for _, f := range l.stages {
+			if f != nil {
+				return false
+			}
+		}
+		return true
+	}
+	return l.pipe.Empty()
+}
+
 // SetDown kills (or revives) the channel. A dead channel keeps accepting
 // traffic at the sending end but delivers nothing: flits and credits
 // vanish on the wires, which is what makes credit-starvation watchdogs the
@@ -145,14 +180,21 @@ func (l *Link) Send(f *flit.Flit) error {
 // upstream router. Multiple credits per cycle are coalesced onto the
 // reverse channel over successive cycles.
 func (l *Link) SendCredit(vc int) {
+	if l.creditHead == len(l.pendingCredits) {
+		// Queue drained: rewind so the backing array is reused instead of
+		// growing without bound.
+		l.pendingCredits = l.pendingCredits[:0]
+		l.creditHead = 0
+	}
 	l.pendingCredits = append(l.pendingCredits, vc)
 }
 
 // Deliver advances the link by one cycle. It returns the flit completing
 // its traversal this cycle (with the physical layer applied to its
 // payload), or nil. Credits completing their reverse traversal are
-// returned in creditVCs. Call exactly once per cycle, in the global
-// delivery phase.
+// returned in creditVCs, a slice that is only valid until the next
+// Deliver call (the link reuses its backing array every cycle). Call
+// exactly once per cycle, in the global delivery phase.
 func (l *Link) Deliver() (f *flit.Flit, creditVCs []int) {
 	if l.busy > 0 {
 		l.busy--
@@ -160,6 +202,7 @@ func (l *Link) Deliver() (f *flit.Flit, creditVCs []int) {
 	} else {
 		l.Util.Tick(0)
 	}
+	creditVCs = l.creditBuf[:0]
 	if vc, ok := l.credits.Shift(); ok {
 		if l.down {
 			l.FaultLostCredits++
@@ -167,10 +210,11 @@ func (l *Link) Deliver() (f *flit.Flit, creditVCs []int) {
 			creditVCs = append(creditVCs, vc)
 		}
 	}
-	if len(l.pendingCredits) > 0 && l.credits.CanSend() {
+	l.creditBuf = creditVCs
+	if l.creditHead < len(l.pendingCredits) && l.credits.CanSend() {
 		// One credit enters the reverse wires per cycle.
-		if err := l.credits.Send(l.pendingCredits[0]); err == nil {
-			l.pendingCredits = l.pendingCredits[1:]
+		if err := l.credits.Send(l.pendingCredits[l.creditHead]); err == nil {
+			l.creditHead++
 		}
 	}
 	out, ok := l.pipe.Shift()
@@ -179,13 +223,35 @@ func (l *Link) Deliver() (f *flit.Flit, creditVCs []int) {
 	}
 	if l.down {
 		l.FaultLostFlits++
+		if l.pool != nil {
+			l.pool.Put(out)
+		}
 		return nil, creditVCs
 	}
 	if l.Phys != nil && out.Data != nil {
-		out = out.Clone()
-		out.Data = l.Phys.Traverse(out.Data, len(out.Data)*8)
+		out = l.physCopy(out)
 	}
 	return out, creditVCs
+}
+
+// physCopy applies the physical layer to a copy of the flit, so the
+// sender's flit is never mutated (steering and transient faults change the
+// delivered bits, not the injected ones). With a pool attached the copy
+// comes from the pool and the original goes back, keeping get/put counts
+// balanced.
+func (l *Link) physCopy(src *flit.Flit) *flit.Flit {
+	var out *flit.Flit
+	if l.pool != nil {
+		out = l.pool.Get()
+	} else {
+		out = &flit.Flit{}
+	}
+	*out = *src
+	out.Data = l.Phys.Traverse(src.Data, len(src.Data)*8)
+	if l.pool != nil {
+		l.pool.Put(src)
+	}
+	return out
 }
 
 // DeliverElastic advances an elastic link by one cycle: the head flit is
@@ -206,6 +272,9 @@ func (l *Link) DeliverElastic(accept func(f *flit.Flit) bool) *flit.Flit {
 	if head := l.stages[0]; head != nil && l.down {
 		l.FaultLostFlits++
 		l.stages[0] = nil
+		if l.pool != nil {
+			l.pool.Put(head)
+		}
 	} else if head != nil && accept(head) {
 		out = head
 		l.stages[0] = nil
@@ -217,8 +286,7 @@ func (l *Link) DeliverElastic(accept func(f *flit.Flit) bool) *flit.Flit {
 		}
 	}
 	if out != nil && l.Phys != nil && out.Data != nil {
-		out = out.Clone()
-		out.Data = l.Phys.Traverse(out.Data, len(out.Data)*8)
+		out = l.physCopy(out)
 	}
 	return out
 }

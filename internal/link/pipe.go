@@ -12,6 +12,7 @@ import "fmt"
 // the single-word-per-cycle discipline of a clocked channel.
 type Pipe[T any] struct {
 	slots []slot[T]
+	count int // occupied slots, maintained so InFlight/Empty are O(1)
 }
 
 type slot[T any] struct {
@@ -41,6 +42,7 @@ func (p *Pipe[T]) Send(v T) error {
 		return fmt.Errorf("link: pipe input occupied")
 	}
 	p.slots[last] = slot[T]{v: v, full: true}
+	p.count++
 	return nil
 }
 
@@ -48,20 +50,24 @@ func (p *Pipe[T]) Send(v T) error {
 // has completed its traversal. Call exactly once per cycle, in the global
 // delivery phase, before any Send of the same cycle.
 func (p *Pipe[T]) Shift() (T, bool) {
+	if p.count == 0 {
+		// Nothing in flight: shifting empty slots is a no-op, so skip the
+		// copy. This is the idle fast path of the delivery phase.
+		var zero T
+		return zero, false
+	}
 	out := p.slots[0]
 	copy(p.slots, p.slots[1:])
 	var zero slot[T]
 	p.slots[len(p.slots)-1] = zero
+	if out.full {
+		p.count--
+	}
 	return out.v, out.full
 }
 
 // InFlight reports how many values are currently inside the pipe.
-func (p *Pipe[T]) InFlight() int {
-	n := 0
-	for _, s := range p.slots {
-		if s.full {
-			n++
-		}
-	}
-	return n
-}
+func (p *Pipe[T]) InFlight() int { return p.count }
+
+// Empty reports whether the pipe holds no values.
+func (p *Pipe[T]) Empty() bool { return p.count == 0 }

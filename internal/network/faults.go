@@ -71,10 +71,28 @@ func (n *Network) declareDead(i int, now int64) {
 // diverted the route; the error is topology.ErrNetworkCut when no
 // fault-free path exists.
 func (n *Network) routeFor(src, dst int) (w route.Word, rerouted bool, err error) {
-	w, err = route.Compute(n.topo, src, dst)
 	if n.faultMap.Empty() {
+		// Fault-free routes are a pure function of the topology, so they
+		// are memoized per (src,dst). The cache is simply bypassed once
+		// the (grow-only) fault map is nonempty.
+		if n.routeOK != nil {
+			if row := n.routeOK[src]; row != nil && row[dst] {
+				return n.routeCache[src][dst], false, nil
+			}
+		}
+		w, err = route.Compute(n.topo, src, dst)
+		if err == nil && n.routeOK != nil {
+			if n.routeOK[src] == nil {
+				tiles := n.topo.NumTiles()
+				n.routeOK[src] = make([]bool, tiles)
+				n.routeCache[src] = make([]route.Word, tiles)
+			}
+			n.routeOK[src][dst] = true
+			n.routeCache[src][dst] = w
+		}
 		return w, false, err
 	}
+	w, err = route.Compute(n.topo, src, dst)
 	if err == nil && n.pathClear(src, w) {
 		return w, false, nil
 	}
@@ -121,6 +139,12 @@ func (n *Network) reroutePending() {
 			w, rr, err := n.routeFor(p.tile, head.Dst)
 			if err != nil {
 				n.unroutable++
+				// The injection never started, so every flit is still
+				// ours: recycle them and the injection itself.
+				for _, f := range in.flits {
+					n.pool.Put(f)
+				}
+				p.putInjection(in)
 				continue
 			}
 			if rr {

@@ -65,6 +65,10 @@ type Config struct {
 	TraceWriter io.Writer
 }
 
+// routeCacheMaxTiles bounds the route cache: above this tile count the
+// tiles² cache rows would cost more memory than recomputation is worth.
+const routeCacheMaxTiles = 1024
+
 // linkEntry couples a link to its position in the topology.
 type linkEntry struct {
 	l    *link.Link
@@ -87,6 +91,21 @@ type Network struct {
 
 	recorder *Recorder
 	nextID   uint64
+
+	// pool recycles every flit the network creates: segments drawn at
+	// injection return at ejection, on drop, or on abort. One pool per
+	// network; the cycle loop is single-goroutine, so no locking.
+	pool flit.Pool
+
+	// tracing caches cfg.TraceWriter != nil so hot paths skip the variadic
+	// trace call (whose argument boxing allocates) when tracing is off.
+	tracing bool
+
+	// routeCache memoizes source routes per (src,dst) while the fault map
+	// is empty (routes are then a pure function of the topology). Rows
+	// allocate lazily; nil outer slices disable caching on huge networks.
+	routeCache [][]route.Word
+	routeOK    [][]bool
 
 	// Online fault detection and fault-aware rerouting state (faults.go).
 	faultMap   *fault.Map
@@ -143,9 +162,14 @@ func New(cfg Config) (*Network, error) {
 		kernel:   sim.NewKernel(cfg.Seed),
 		recorder: NewRecorder(cfg.Warmup),
 		faultMap: fault.NewMap(),
+		tracing:  cfg.TraceWriter != nil,
 	}
 	tiles := cfg.Topo.NumTiles()
 	n.clients = make([]Client, tiles)
+	if tiles <= routeCacheMaxTiles {
+		n.routeCache = make([][]route.Word, tiles)
+		n.routeOK = make([][]bool, tiles)
+	}
 	// Tori deadlock under dimension-ordered routing without dateline VC
 	// classes; enable them whenever wraparound channels exist. (Dropping
 	// and deflection flow control never block, so they need no classes.)
@@ -197,13 +221,14 @@ func New(cfg Config) (*Network, error) {
 			}
 		}
 	}
+	for _, r := range n.routers {
+		r.SetPool(&n.pool)
+	}
+	for _, le := range n.links {
+		le.l.SetPool(&n.pool)
+	}
 	for tile := 0; tile < tiles; tile++ {
-		p := &Port{
-			tile:    tile,
-			net:     n,
-			active:  make(map[int]*injection),
-			partial: make(map[uint64][]*flit.Flit),
-		}
+		p := &Port{tile: tile, net: n}
 		tile := tile
 		if cfg.Deflect {
 			p.canInject = func(int) bool { return n.defls[tile].CanInject() }
@@ -285,6 +310,15 @@ func (n *Network) preferredDir(tile, dst int) route.Dir {
 func (n *Network) registerPhases() {
 	n.kernel.AddPhase("deliver", func(now sim.Cycle) {
 		for i, le := range n.links {
+			if le.l.Idle() {
+				// Active-set skip: nothing in flight in either direction.
+				// Only the utilization counter needs its idle tick.
+				le.l.Util.Tick(0)
+				if n.wdCredit != nil {
+					n.wdCredit[i] = false
+				}
+				continue
+			}
 			if n.cfg.ElasticLinks {
 				to, in := n.routers[le.to], le.dir.Opposite()
 				f := le.l.DeliverElastic(func(f *flit.Flit) bool {
@@ -311,19 +345,29 @@ func (n *Network) registerPhases() {
 			}
 		}
 	})
+	// The per-router phases skip routers holding no flits: with nothing
+	// buffered, staged, or bypassed, route computation and both
+	// arbitrations are no-ops (the round-robin arbiters only advance on a
+	// grant), so an idle router's cycle is free.
 	n.kernel.AddPhase("route", func(now sim.Cycle) {
 		for _, r := range n.routers {
-			r.RouteCompute(now)
+			if r.Occupancy() != 0 {
+				r.RouteCompute(now)
+			}
 		}
 	})
 	n.kernel.AddPhase("linkarb", func(now sim.Cycle) {
 		for _, r := range n.routers {
-			r.LinkArbitrate(now)
+			if r.Occupancy() != 0 {
+				r.LinkArbitrate(now)
+			}
 		}
 	})
 	n.kernel.AddPhase("switcharb", func(now sim.Cycle) {
 		for _, r := range n.routers {
-			r.SwitchArbitrate(now)
+			if r.Occupancy() != 0 {
+				r.SwitchArbitrate(now)
+			}
 		}
 		for _, d := range n.defls {
 			d.Arbitrate(now)
@@ -374,6 +418,10 @@ func (n *Network) Router(tile int) *router.Router {
 
 // Kernel exposes the simulation kernel.
 func (n *Network) Kernel() *sim.Kernel { return n.kernel }
+
+// FlitPool exposes the network's flit free-list for leak accounting: after
+// a Drain, Outstanding() must equal zero.
+func (n *Network) FlitPool() *flit.Pool { return &n.pool }
 
 // Recorder exposes the measurement recorder.
 func (n *Network) Recorder() *Recorder { return n.recorder }

@@ -49,7 +49,9 @@ func TestSinglePacketLatency(t *testing.T) {
 	var got *Delivery
 	n.AttachClient(5, ClientFunc(func(now int64, p *Port) {
 		for _, d := range p.Deliveries() {
-			got = d
+			cp := *d
+			cp.Payload = append([]byte(nil), d.Payload...)
+			got = &cp
 		}
 	}))
 	if _, err := n.Port(0).Send(5, payload, flit.MaskFor(0), 0); err != nil {
@@ -80,7 +82,7 @@ func TestAllPairsDelivery(t *testing.T) {
 			tile := tile
 			n.AttachClient(tile, ClientFunc(func(now int64, p *Port) {
 				for _, d := range p.Deliveries() {
-					received[key{d.Src, tile}] = d.Payload
+					received[key{d.Src, tile}] = append([]byte(nil), d.Payload...)
 				}
 			}))
 		}
@@ -191,7 +193,9 @@ func TestLoopback(t *testing.T) {
 	var got *Delivery
 	n.AttachClient(3, ClientFunc(func(now int64, p *Port) {
 		for _, d := range p.Deliveries() {
-			got = d
+			cp := *d
+			cp.Payload = append([]byte(nil), d.Payload...)
+			got = &cp
 		}
 	}))
 	if _, err := n.Port(3).Send(3, []byte("self"), flit.MaskFor(0), 0); err != nil {

@@ -2,7 +2,6 @@ package network
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/flit"
 	"repro/internal/route"
@@ -46,6 +45,17 @@ type injection struct {
 
 func (in *injection) done() bool { return in.next >= len(in.flits) }
 
+// partialSlot accumulates the flits of one in-flight packet at the
+// delivery side. id 0 marks a free slot (packet ids start at 1); the flits
+// slice keeps its capacity across packets. A small linear-searched slice
+// replaces the map the port used to key by packet id: only a handful of
+// packets interleave at one port (at most one per input VC), so the scan
+// is shorter than a map lookup and never allocates.
+type partialSlot struct {
+	id    uint64
+	flits []*flit.Flit
+}
+
 // Port is the paper's §2.1 tile interface: a 256-bit injection port with
 // per-VC ready signals and a delivery port. One flit moves in each
 // direction per cycle.
@@ -58,10 +68,22 @@ type Port struct {
 
 	pending  []*injection
 	reserved []*injection
-	active   map[int]*injection // by VC
+	active   [flit.NumVCs]*injection // in-progress packet per VC; nil = idle
 
-	partial map[uint64][]*flit.Flit
-	rx      []*Delivery
+	partials []partialSlot
+
+	// rx accumulates this cycle's deliveries; lent is the slice handed out
+	// by the previous Deliveries call. The two swap every call, and lent's
+	// Delivery objects are recycled through freeDel — which is why a
+	// Deliveries result is only valid until the next call.
+	rx, lent []*Delivery
+	freeDel  []*Delivery
+
+	freeInj []*injection
+
+	// pkt is the segmentation scratch packet, reused so Send never
+	// heap-allocates a Packet.
+	pkt flit.Packet
 
 	loopback []*Delivery // src == dst deliveries, available next cycle
 	loopAt   []int64
@@ -75,11 +97,49 @@ type Port struct {
 // Tile reports the port's tile id.
 func (p *Port) Tile() int { return p.tile }
 
+func (p *Port) getDelivery() *Delivery {
+	n := len(p.freeDel)
+	if n == 0 {
+		return &Delivery{}
+	}
+	d := p.freeDel[n-1]
+	p.freeDel[n-1] = nil
+	p.freeDel = p.freeDel[:n-1]
+	return d
+}
+
+func (p *Port) putDelivery(d *Delivery) {
+	payload := d.Payload[:0]
+	*d = Delivery{Payload: payload}
+	p.freeDel = append(p.freeDel, d)
+}
+
+func (p *Port) getInjection() *injection {
+	n := len(p.freeInj)
+	if n == 0 {
+		return &injection{vc: -1}
+	}
+	in := p.freeInj[n-1]
+	p.freeInj[n-1] = nil
+	p.freeInj = p.freeInj[:n-1]
+	return in
+}
+
+func (p *Port) putInjection(in *injection) {
+	for i := range in.flits {
+		in.flits[i] = nil
+	}
+	flits := in.flits[:0]
+	*in = injection{flits: flits, vc: -1}
+	p.freeInj = append(p.freeInj, in)
+}
+
 // Send queues a packet for injection and returns its id. The virtual
 // channel is chosen from mask at injection time; class sets the
 // arbitration priority among this tile's own packets (higher wins, and the
 // paper's "long, low priority packet may be interrupted" behaviour follows
-// from per-flit re-arbitration).
+// from per-flit re-arbitration). The payload is copied; the caller may
+// reuse its buffer.
 func (p *Port) Send(dst int, payload []byte, mask flit.VCMask, class int) (uint64, error) {
 	if dst < 0 || dst >= p.net.topo.NumTiles() {
 		return 0, fmt.Errorf("network: destination %d out of range", dst)
@@ -88,22 +148,19 @@ func (p *Port) Send(dst int, payload []byte, mask flit.VCMask, class int) (uint6
 		return 0, fmt.Errorf("network: empty VC mask")
 	}
 	now := p.net.kernel.Now()
-	pkt := &flit.Packet{
-		ID: p.net.nextPacketID(), Src: p.tile, Dst: dst,
-		Mask: mask, Payload: payload, Birth: now, Class: class,
-	}
+	id := p.net.nextPacketID()
 	p.net.recorder.Generated++
 	if dst == p.tile {
 		// Loopback: the network never sees the packet; it is delivered
 		// through the port pair directly on the next cycle.
-		fl := pkt.Flits()
-		p.loopback = append(p.loopback, &Delivery{
-			PacketID: pkt.ID, Src: p.tile, Dst: dst,
-			Payload: append([]byte(nil), payload...),
-			Class:   class, Birth: now, Flits: len(fl),
-		})
+		p.pkt = flit.Packet{Payload: payload}
+		d := p.getDelivery()
+		d.PacketID, d.Src, d.Dst = id, p.tile, dst
+		d.Payload = append(d.Payload[:0], payload...)
+		d.Class, d.Birth, d.Flits = class, now, p.pkt.NumFlits()
+		p.loopback = append(p.loopback, d)
 		p.loopAt = append(p.loopAt, now+1)
-		return pkt.ID, nil
+		return id, nil
 	}
 	w, rerouted, err := p.net.routeFor(p.tile, dst)
 	if err != nil {
@@ -114,20 +171,28 @@ func (p *Port) Send(dst int, payload []byte, mask flit.VCMask, class int) (uint6
 	if rerouted {
 		p.net.rerouted++
 	}
-	pkt.Route = w
-	fl := pkt.Flits()
+	p.pkt = flit.Packet{
+		ID: id, Src: p.tile, Dst: dst,
+		Mask: mask, Route: w, Payload: payload, Birth: now, Class: class,
+	}
+	nf := p.pkt.NumFlits()
 	if p.net.cfg.Deflect || p.net.cfg.Router.Mode != 0 {
-		if len(fl) > 1 {
+		if nf > 1 {
 			return 0, fmt.Errorf("network: multi-flit packet in single-flit flow-control mode")
 		}
 	}
-	if rc := p.net.cfg.Router; rc.CutThrough && len(fl) > rc.BufFlits {
-		return 0, fmt.Errorf("network: %d-flit packet exceeds the %d-flit buffers cut-through requires", len(fl), rc.BufFlits)
+	if rc := p.net.cfg.Router; rc.CutThrough && nf > rc.BufFlits {
+		return 0, fmt.Errorf("network: %d-flit packet exceeds the %d-flit buffers cut-through requires", nf, rc.BufFlits)
 	}
-	p.pending = append(p.pending, &injection{flits: fl, vc: -1, class: class, seq: pkt.ID})
-	p.net.trace("cycle=%d pkt=%d event=generated src=%d dst=%d bytes=%d class=%d flits=%d route=%v",
-		now, pkt.ID, p.tile, dst, len(payload), class, len(fl), w)
-	return pkt.ID, nil
+	in := p.getInjection()
+	in.flits = p.pkt.AppendFlits(in.flits[:0], &p.net.pool)
+	in.class, in.seq = class, id
+	p.pending = append(p.pending, in)
+	if p.net.tracing {
+		p.net.trace("cycle=%d pkt=%d event=generated src=%d dst=%d bytes=%d class=%d flits=%d route=%v",
+			now, id, p.tile, dst, len(payload), class, nf, w)
+	}
+	return id, nil
 }
 
 // SendReserved queues a single-flit packet of a pre-scheduled flow for
@@ -143,29 +208,40 @@ func (p *Port) SendReserved(dst int, payload []byte, flow int) (uint64, error) {
 		return 0, fmt.Errorf("network: reserved packets are single-flit (%d bytes max)", flit.DataBytes)
 	}
 	now := p.net.kernel.Now()
-	pkt := &flit.Packet{
-		ID: p.net.nextPacketID(), Src: p.tile, Dst: dst,
-		Mask: flit.MaskFor(rvc), Payload: payload, Birth: now, Class: 0,
-	}
+	id := p.net.nextPacketID()
 	w, err := route.Compute(p.net.topo, p.tile, dst)
 	if err != nil {
 		return 0, err
 	}
-	pkt.Route = w
+	p.pkt = flit.Packet{
+		ID: id, Src: p.tile, Dst: dst,
+		Mask: flit.MaskFor(rvc), Route: w, Payload: payload, Birth: now, Class: 0,
+	}
 	p.net.recorder.Generated++
-	fl := pkt.Flits()
-	for _, f := range fl {
+	in := p.getInjection()
+	in.flits = p.pkt.AppendFlits(in.flits[:0], &p.net.pool)
+	for _, f := range in.flits {
 		f.VC = rvc
 		f.Flow = flow
 	}
-	p.reserved = append(p.reserved, &injection{flits: fl, vc: rvc, class: 1 << 30, seq: pkt.ID})
-	return pkt.ID, nil
+	in.vc, in.class, in.seq = rvc, 1<<30, id
+	p.reserved = append(p.reserved, in)
+	return id, nil
 }
 
 // Deliveries returns and clears the packets delivered since the last call.
+// The returned slice and the Delivery values in it (including their
+// Payload bytes) are only valid until the next Deliveries call on this
+// port: the port recycles them. Callers that keep a delivery or its
+// payload across cycles must copy what they keep.
 func (p *Port) Deliveries() []*Delivery {
+	for i, d := range p.lent {
+		p.putDelivery(d)
+		p.lent[i] = nil
+	}
 	out := p.rx
-	p.rx = nil
+	p.rx = p.lent[:0]
+	p.lent = out
 	return out
 }
 
@@ -174,50 +250,134 @@ func (p *Port) Deliveries() []*Delivery {
 func (p *Port) PendingInjections() int {
 	n := len(p.pending) + len(p.reserved)
 	for v := 0; v < flit.NumVCs; v++ {
-		if in, ok := p.active[v]; ok && !in.done() {
+		if in := p.active[v]; in != nil && !in.done() {
 			n++
 		}
 	}
 	return n
 }
 
+// findPartial returns the reassembly slot for packet id, or nil.
+func (p *Port) findPartial(id uint64) *partialSlot {
+	for i := range p.partials {
+		if p.partials[i].id == id {
+			return &p.partials[i]
+		}
+	}
+	return nil
+}
+
+// findOrAddPartial returns the reassembly slot for packet id, claiming a
+// free slot (or growing the slot list) if the packet is new.
+func (p *Port) findOrAddPartial(id uint64) *partialSlot {
+	var free *partialSlot
+	for i := range p.partials {
+		s := &p.partials[i]
+		if s.id == id {
+			return s
+		}
+		if s.id == 0 && free == nil {
+			free = s
+		}
+	}
+	if free != nil {
+		free.id = id
+		return free
+	}
+	p.partials = append(p.partials, partialSlot{id: id})
+	return &p.partials[len(p.partials)-1]
+}
+
+// releasePartial recycles a slot's flits into the pool and frees the slot.
+func (p *Port) releasePartial(s *partialSlot) {
+	for i, f := range s.flits {
+		p.net.pool.Put(f)
+		s.flits[i] = nil
+	}
+	s.flits = s.flits[:0]
+	s.id = 0
+}
+
 // receive accepts ejected flits from the router and reassembles packets.
+// Every flit handed in is consumed: reassembled into a Delivery payload
+// and recycled, or (abort tails, aborted partials) recycled directly.
 func (p *Port) receive(flits []*flit.Flit, now int64) {
 	for _, f := range flits {
 		if f.Seq == router.AbortSeq {
 			// Synthetic abort tail: the packet was cut mid-flight by a
 			// dead link and will never complete. Discard the partial.
-			delete(p.partial, f.PacketID)
+			if s := p.findPartial(f.PacketID); s != nil {
+				p.releasePartial(s)
+			}
 			p.net.aborted++
-			p.net.trace("cycle=%d pkt=%d event=aborted dst=%d", now, f.PacketID, p.tile)
+			if p.net.tracing {
+				p.net.trace("cycle=%d pkt=%d event=aborted dst=%d", now, f.PacketID, p.tile)
+			}
+			p.net.pool.Put(f)
 			continue
 		}
-		p.partial[f.PacketID] = append(p.partial[f.PacketID], f)
+		s := p.findOrAddPartial(f.PacketID)
+		s.flits = append(s.flits, f)
 		if !f.Type.IsTail() {
 			continue
 		}
-		parts := p.partial[f.PacketID]
+		parts := s.flits
 		if len(parts) != f.Seq+1 {
 			continue // flits still in flight (cannot happen per-VC, but be safe)
 		}
-		delete(p.partial, f.PacketID)
-		payload, err := flit.Reassemble(parts)
-		if err != nil {
+		d := p.getDelivery()
+		if err := reassembleInto(d, parts); err != nil {
 			panic(fmt.Sprintf("network: tile %d packet %d reassembly: %v", p.tile, f.PacketID, err))
 		}
-		p.rx = append(p.rx, &Delivery{
-			PacketID: f.PacketID, Src: f.Src, Dst: f.Dst,
-			Payload: payload, Class: f.Class, Flow: f.Flow,
-			Birth: f.Birth, Arrived: now, Flits: len(parts),
-		})
+		d.PacketID, d.Src, d.Dst = f.PacketID, f.Src, f.Dst
+		d.Class, d.Flow = f.Class, f.Flow
+		d.Birth, d.Arrived, d.Flits = f.Birth, now, len(parts)
+		p.rx = append(p.rx, d)
 		p.net.recorder.packetDone(f, len(parts), now)
-		p.net.trace("cycle=%d pkt=%d event=delivered src=%d dst=%d latency=%d netlatency=%d",
-			now, f.PacketID, f.Src, f.Dst, now-f.Birth, now-f.Inject)
+		if p.net.tracing {
+			p.net.trace("cycle=%d pkt=%d event=delivered src=%d dst=%d latency=%d netlatency=%d",
+				now, f.PacketID, f.Src, f.Dst, now-f.Birth, now-f.Inject)
+		}
+		p.releasePartial(s)
 	}
+}
+
+// reassembleInto concatenates the packet's payload into the delivery's
+// reused buffer. Wormhole routing delivers a packet's flits in sequence
+// order on one VC, so the in-order fast path almost always applies; the
+// allocation-heavy flit.Reassemble handles (and diagnoses) anything else.
+func reassembleInto(d *Delivery, parts []*flit.Flit) error {
+	n := len(parts)
+	ok := n > 0 && parts[0].Type.IsHead() && parts[n-1].Type.IsTail()
+	if ok {
+		for i, f := range parts {
+			if f.Seq != i {
+				ok = false
+				break
+			}
+		}
+	}
+	if ok {
+		buf := d.Payload[:0]
+		for _, f := range parts {
+			buf = append(buf, f.Data...)
+		}
+		d.Payload = buf
+		return nil
+	}
+	payload, err := flit.Reassemble(parts)
+	if err != nil {
+		return err
+	}
+	d.Payload = append(d.Payload[:0], payload...)
+	return nil
 }
 
 // deliverLoopbacks releases matured loopback packets.
 func (p *Port) deliverLoopbacks(now int64) {
+	if len(p.loopback) == 0 {
+		return
+	}
 	keep := p.loopback[:0]
 	keepAt := p.loopAt[:0]
 	for i, d := range p.loopback {
@@ -251,52 +411,59 @@ func (p *Port) pump(now int64) {
 		p.injectFlit(in, now)
 		if in.done() {
 			p.reserved = p.reserved[1:]
+			p.putInjection(in)
 		}
 		return
 	}
 
-	type cand struct {
-		in    *injection
-		fresh bool
+	// Pick the winner directly: highest class, then lowest seq. Packet
+	// ids are unique, so this total order selects exactly the candidate
+	// the old stable sort put first — without building or sorting a
+	// candidate slice.
+	var best *injection
+	bestFresh := false
+	better := func(in *injection) bool {
+		if best == nil {
+			return true
+		}
+		if in.class != best.class {
+			return in.class > best.class
+		}
+		return in.seq < best.seq
 	}
-	var cands []cand
 	for v := 0; v < flit.NumVCs; v++ {
-		in, ok := p.active[v]
-		if !ok || in.done() {
+		in := p.active[v]
+		if in == nil || in.done() {
 			continue
 		}
-		if p.canInject(v) {
-			cands = append(cands, cand{in, false})
+		if p.canInject(v) && better(in) {
+			best, bestFresh = in, false
 		}
 	}
 	for _, in := range p.pending {
 		if vc := p.freeVCFor(in); vc >= 0 {
-			cands = append(cands, cand{in, true})
+			if better(in) {
+				best, bestFresh = in, true
+			}
 			break // only the oldest startable pending packet competes
 		}
 	}
-	if len(cands) == 0 {
+	if best == nil {
 		return
 	}
-	sort.SliceStable(cands, func(i, j int) bool {
-		if cands[i].in.class != cands[j].in.class {
-			return cands[i].in.class > cands[j].in.class
-		}
-		return cands[i].in.seq < cands[j].in.seq
-	})
-	win := cands[0]
-	if win.fresh {
-		vc := p.freeVCFor(win.in)
-		win.in.vc = vc
-		for _, f := range win.in.flits {
+	if bestFresh {
+		vc := p.freeVCFor(best)
+		best.vc = vc
+		for _, f := range best.flits {
 			f.VC = vc
 		}
-		p.active[vc] = win.in
-		p.removePending(win.in)
+		p.active[vc] = best
+		p.removePending(best)
 	}
-	p.injectFlit(win.in, now)
-	if win.in.done() {
-		delete(p.active, win.in.vc)
+	p.injectFlit(best, now)
+	if best.done() {
+		p.active[best.vc] = nil
+		p.putInjection(best)
 	}
 }
 
@@ -328,7 +495,7 @@ func (p *Port) freeVCFor(in *injection) int {
 		if !mask.Has(v) || reserved(v) {
 			continue
 		}
-		if _, busy := p.active[v]; busy {
+		if p.active[v] != nil {
 			continue
 		}
 		if p.canInject(v) {
@@ -352,8 +519,10 @@ func (p *Port) injectFlit(in *injection, now int64) {
 	if in.next == 0 {
 		in.inject = now
 		p.net.recorder.InjectedPackets++
-		p.net.trace("cycle=%d pkt=%d event=injected src=%d dst=%d vc=%d queued=%d",
-			now, f.PacketID, f.Src, f.Dst, f.VC, now-f.Birth)
+		if p.net.tracing {
+			p.net.trace("cycle=%d pkt=%d event=injected src=%d dst=%d vc=%d queued=%d",
+				now, f.PacketID, f.Src, f.Dst, f.VC, now-f.Birth)
+		}
 	}
 	f.Inject = in.inject
 	in.next++

@@ -172,7 +172,7 @@ func TestRegisterQueryReadback(t *testing.T) {
 	n.AttachClient(15, network.ClientFunc(func(now int64, p *network.Port) {
 		for _, d := range p.Deliveries() {
 			if len(d.Payload) > 0 && d.Payload[0] == ctlQueryAck {
-				got = d.Payload
+				got = append([]byte(nil), d.Payload...)
 			}
 		}
 	}))

@@ -61,7 +61,11 @@ func (io *IOPad) Pending() int { return len(io.ingress) }
 // Tick implements network.Client.
 func (io *IOPad) Tick(now int64, p *network.Port) {
 	for _, d := range p.Deliveries() {
-		io.egress = append(io.egress, d)
+		// The port recycles Delivery objects after the next Deliveries
+		// call; egress outlives that, so keep a private copy.
+		cp := *d
+		cp.Payload = append([]byte(nil), d.Payload...)
+		io.egress = append(io.egress, &cp)
 		io.Received++
 	}
 	// One injection attempt per cycle, like any 256-bit port client.

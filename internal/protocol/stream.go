@@ -104,7 +104,9 @@ func (r *StreamReceiver) Tick(now int64, p *network.Port) {
 			continue
 		}
 		seq := binary.LittleEndian.Uint64(d.Payload[1:])
-		r.pending[seq] = d.Payload[9:]
+		// Copy: the payload buffer is recycled by the port after the
+		// next Deliveries call, and pending entries outlive that.
+		r.pending[seq] = append([]byte(nil), d.Payload[9:]...)
 		r.src, r.srcKnown = d.Src, true
 	}
 	if len(r.pending) > r.MaxQueued {

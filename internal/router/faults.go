@@ -58,10 +58,12 @@ func (r *Router) KillOutput(d route.Dir) {
 		if f != nil {
 			r.dropFaulted(f)
 			oc.staging[i] = nil
+			r.occ--
 		}
 	}
 	for _, f := range oc.bypass {
 		r.dropFaulted(f)
+		r.occ--
 	}
 	oc.bypass = nil
 }
@@ -73,11 +75,15 @@ func (r *Router) OutputDead(d route.Dir) bool { return r.deadOut[portIndex(d)] }
 // can skip FaultSweep on healthy routers.
 func (r *Router) HasDeadOutput() bool { return r.anyDead }
 
-// dropFaulted accounts one flit discarded because of a dead output.
+// dropFaulted accounts one flit discarded because of a dead output and
+// recycles it. The flit is dead after this call.
 func (r *Router) dropFaulted(f *flit.Flit) {
 	r.Stats.FaultDroppedFlits++
 	if f.Type.IsTail() && f.Seq != AbortSeq {
 		r.Stats.FaultDroppedPackets++
+	}
+	if r.pool != nil {
+		r.pool.Put(f)
 	}
 }
 
@@ -95,12 +101,13 @@ func (r *Router) FaultSweep(now int64) {
 			if !st.routed || !r.deadOut[portIndex(st.outPort)] {
 				continue
 			}
-			for len(st.buf) > 0 {
-				f := st.buf[0]
-				st.buf = st.buf[1:]
+			for st.bufLen() > 0 {
+				f := st.popFront()
+				r.occ--
 				r.creditUpstream(pi, f.VC)
+				isTail := f.Type.IsTail()
 				r.dropFaulted(f)
-				if f.Type.IsTail() {
+				if isTail {
 					st.routed = false
 					st.outVC = -1
 					break
@@ -123,8 +130,8 @@ func (r *Router) AbandonInput(d route.Dir, now int64) {
 		var cut bool
 		var id uint64
 		var src, dst int
-		if n := len(st.buf); n > 0 {
-			if last := st.buf[n-1]; !last.Type.IsTail() {
+		if st.bufLen() > 0 {
+			if last := st.back(); !last.Type.IsTail() {
 				cut = true
 				id, src, dst = last.PacketID, last.Src, last.Dst
 			}
@@ -136,14 +143,20 @@ func (r *Router) AbandonInput(d route.Dir, now int64) {
 			continue
 		}
 		r.Stats.AbortedPackets++
-		st.buf = append(st.buf, &flit.Flit{
-			Type:     flit.Tail,
-			VC:       vi,
-			PacketID: id,
-			Seq:      AbortSeq,
-			Src:      src,
-			Dst:      dst,
-		})
+		var abort *flit.Flit
+		if r.pool != nil {
+			abort = r.pool.Get()
+		} else {
+			abort = &flit.Flit{}
+		}
+		abort.Type = flit.Tail
+		abort.VC = vi
+		abort.PacketID = id
+		abort.Seq = AbortSeq
+		abort.Src = src
+		abort.Dst = dst
+		st.pushBack(abort)
+		r.occ++
 	}
 }
 
@@ -163,7 +176,7 @@ func (r *Router) HasDemand(d route.Dir) bool {
 	}
 	for _, ic := range r.inputs {
 		for _, st := range ic.vcs {
-			if st.routed && st.outPort == d && len(st.buf) > 0 {
+			if st.routed && st.outPort == d && st.bufLen() > 0 {
 				return true
 			}
 		}

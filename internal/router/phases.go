@@ -60,18 +60,18 @@ func (r *Router) moveReserved(now int64) {
 			continue
 		}
 		st := ic.vcs[r.cfg.ReservedVC]
-		if len(st.buf) == 0 || !st.routed {
+		if st.bufLen() == 0 || !st.routed {
 			continue
 		}
-		f := st.buf[0]
+		f := st.popFront()
 		oc := r.outputs[portIndex(st.outPort)]
 		inVC := f.VC
-		st.buf = st.buf[1:]
 		if f.Type.IsTail() {
 			st.routed = false
 		}
 		if r.deadOut[portIndex(st.outPort)] {
 			r.creditUpstream(pi, inVC)
+			r.occ--
 			r.dropFaulted(f)
 			continue
 		}
@@ -87,10 +87,10 @@ func (r *Router) moveReserved(now int64) {
 // eligible reports whether the flit at the front of st can traverse the
 // switch this cycle.
 func (r *Router) eligible(pi int, st *vcState, now int64) bool {
-	if len(st.buf) == 0 || !st.routed {
+	if st.bufLen() == 0 || !st.routed {
 		return false
 	}
-	f := st.buf[0]
+	f := st.front()
 	if r.cfg.NonSpeculative && f.Type.IsHead() && st.routedAt == now {
 		// Without speculation, VC allocation happens the cycle after
 		// route computation; the head only competes for the switch then.
@@ -226,10 +226,9 @@ func (r *Router) chooseVCNeed(oc *outputController, mask flit.VCMask, high bool,
 // acquires its downstream VC and a credit if needed, and lands in the
 // output's staging buffer for its input port.
 func (r *Router) moveFlit(pi int, st *vcState, now int64) {
-	f := st.buf[0]
+	f := st.popFront()
 	oc := r.outputs[portIndex(st.outPort)]
 	inVC := f.VC
-	st.buf = st.buf[1:]
 	if r.cfg.Mode == ModeVC && oc.dir != route.Local {
 		if f.Type.IsHead() {
 			v := r.chooseVCFor(oc, f, r.downstreamClass(route.Dir(pi), oc, f))
@@ -287,7 +286,7 @@ func (r *Router) CanAccept(from route.Dir, vc int) bool {
 	if vc < 0 || vc >= r.cfg.NumVCs {
 		return false
 	}
-	return len(r.inputs[portIndex(from)].vcs[vc].buf) < r.cfg.BufFlits
+	return r.inputs[portIndex(from)].vcs[vc].bufLen() < r.cfg.BufFlits
 }
 
 // LinkArbitrate lets the flits staged at each output port compete for the
@@ -337,6 +336,7 @@ func (r *Router) mustSend(oc *outputController, f *flit.Flit) {
 	if err := oc.link.Send(f); err != nil {
 		panic(fmt.Sprintf("router %d: %v", r.cfg.ID, err))
 	}
+	r.occ--
 	if r.cfg.Mode == ModeVC && f.Type.IsTail() && f.VC < len(oc.vcOwner) {
 		oc.vcOwner[f.VC] = 0
 	}
@@ -391,20 +391,30 @@ func (r *Router) HandleCredits(d route.Dir, vcs []int) {
 	}
 }
 
-// Eject returns the flits delivered to the tile this cycle.
+// Eject returns the flits delivered to the tile this cycle. The returned
+// slice is only valid until the next cycle: the router reuses its backing
+// array. Callers must consume (or copy) the flits before then.
 func (r *Router) Eject() []*flit.Flit {
 	out := r.ejectQ
-	r.ejectQ = nil
+	r.ejectQ = r.ejectQ[:0]
+	r.occ -= len(out)
 	return out
 }
 
 // Occupancy reports the total number of flits buffered in the router
-// (input buffers, staging, and bypass), for drain detection and tests.
-func (r *Router) Occupancy() int {
+// (input buffers, staging, bypass, and the eject queue), for drain
+// detection, the network's active-set skip, and tests. It is O(1): the
+// count is maintained incrementally; OccupancyRecount walks the real
+// structures so tests can check the bookkeeping.
+func (r *Router) Occupancy() int { return r.occ }
+
+// OccupancyRecount recomputes the occupancy from the buffer structures.
+// It must always equal Occupancy(); the invariant test enforces that.
+func (r *Router) OccupancyRecount() int {
 	n := 0
 	for _, ic := range r.inputs {
 		for _, st := range ic.vcs {
-			n += len(st.buf)
+			n += st.bufLen()
 		}
 	}
 	for _, oc := range r.outputs {

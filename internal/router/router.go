@@ -106,7 +106,12 @@ func DefaultConfig(id int) Config {
 // vcState is the per-virtual-channel input state of Figure 3: an input
 // buffer plus the routing/allocation state machine.
 type vcState struct {
-	buf      []*flit.Flit
+	// buf[head:] are the buffered flits. Dequeuing advances head instead
+	// of re-slicing away the front, so the backing array's capacity is
+	// reused forever and the steady-state buffer never allocates.
+	buf  []*flit.Flit
+	head int
+
 	outPort  route.Dir
 	outVC    int
 	routed   bool
@@ -118,6 +123,41 @@ type vcState struct {
 	pktID  uint64
 	pktSrc int
 	pktDst int
+}
+
+// bufLen reports the number of buffered flits.
+func (st *vcState) bufLen() int { return len(st.buf) - st.head }
+
+// front returns the flit at the front of the buffer.
+func (st *vcState) front() *flit.Flit { return st.buf[st.head] }
+
+// back returns the most recently buffered flit.
+func (st *vcState) back() *flit.Flit { return st.buf[len(st.buf)-1] }
+
+// popFront dequeues and returns the front flit.
+func (st *vcState) popFront() *flit.Flit {
+	f := st.buf[st.head]
+	st.buf[st.head] = nil
+	st.head++
+	if st.head == len(st.buf) {
+		st.buf = st.buf[:0]
+		st.head = 0
+	}
+	return f
+}
+
+// pushBack enqueues a flit, compacting the array in place when the dead
+// front space is needed.
+func (st *vcState) pushBack(f *flit.Flit) {
+	if st.head > 0 && len(st.buf) == cap(st.buf) {
+		n := copy(st.buf, st.buf[st.head:])
+		for i := n; i < len(st.buf); i++ {
+			st.buf[i] = nil
+		}
+		st.buf = st.buf[:n]
+		st.head = 0
+	}
+	st.buf = append(st.buf, f)
 }
 
 // inputController is one of the five input controllers.
@@ -177,6 +217,16 @@ type Router struct {
 	anyDead   bool
 
 	ejectQ []*flit.Flit
+
+	// occ mirrors Occupancy() incrementally: flits in input buffers,
+	// staging, bypass, and the eject queue. The network's active-set skip
+	// bypasses the per-cycle phases of routers with occ == 0.
+	occ int
+
+	// pool, when non-nil, receives flits the router destroys (drop-mode
+	// and fault discards) and supplies synthetic abort tails, keeping a
+	// pooled network's flit accounting balanced.
+	pool *flit.Pool
 
 	Stats Stats
 }
@@ -247,7 +297,8 @@ func New(cfg Config) (*Router, error) {
 	for _, d := range dirs {
 		ic := &inputController{dir: d, arb: newRRArbiter(cfg.NumVCs), req: make([]bool, cfg.NumVCs)}
 		for v := 0; v < cfg.NumVCs; v++ {
-			ic.vcs = append(ic.vcs, &vcState{outVC: -1})
+			// +1: AbandonInput may append an abort tail to a full buffer.
+			ic.vcs = append(ic.vcs, &vcState{outVC: -1, buf: make([]*flit.Flit, 0, cfg.BufFlits+1)})
 		}
 		r.inputs[portIndex(d)] = ic
 		oc := &outputController{
@@ -298,6 +349,10 @@ func (r *Router) SetAdaptiveRoute(fn func(tile, dst int) []route.Dir) {
 	r.adaptiveFn = fn
 }
 
+// SetPool attaches the owning network's flit pool; flits the router
+// discards are recycled into it and abort tails are drawn from it.
+func (r *Router) SetPool(p *flit.Pool) { r.pool = p }
+
 // Reservations exposes the reservation table of the output port in
 // direction d, so the network-level scheduler can book slots.
 func (r *Router) Reservations(d route.Dir) *ResTable {
@@ -310,7 +365,7 @@ func (r *Router) CanInject(vc int) bool {
 	if vc < 0 || vc >= r.cfg.NumVCs {
 		return false
 	}
-	return len(r.inputs[portIndex(route.Local)].vcs[vc].buf) < r.cfg.BufFlits
+	return r.inputs[portIndex(route.Local)].vcs[vc].bufLen() < r.cfg.BufFlits
 }
 
 // AcceptFlit receives a flit on the input controller for direction from
@@ -330,19 +385,24 @@ func (r *Router) AcceptFlit(f *flit.Flit, from route.Dir) {
 		if f.Type != flit.HeadTail {
 			panic(fmt.Sprintf("router %d: multi-flit packet %v in drop mode", r.cfg.ID, f))
 		}
-		if len(st.buf) >= r.cfg.BufFlits {
+		if st.bufLen() >= r.cfg.BufFlits {
 			r.Stats.DroppedFlits++
 			r.Stats.DroppedPackets++
+			if r.pool != nil {
+				r.pool.Put(f)
+			}
 			return
 		}
-		st.buf = append(st.buf, f)
+		st.pushBack(f)
+		r.occ++
 		return
 	}
-	if len(st.buf) >= r.cfg.BufFlits {
+	if st.bufLen() >= r.cfg.BufFlits {
 		panic(fmt.Sprintf("router %d: input %v VC %d overflow (credit protocol violation)",
 			r.cfg.ID, from, f.VC))
 	}
-	st.buf = append(st.buf, f)
+	st.pushBack(f)
+	r.occ++
 }
 
 // adaptiveChoice picks the candidate output with the most free downstream
@@ -384,10 +444,10 @@ func (r *Router) RouteCompute(now int64) {
 			continue
 		}
 		for vi, st := range ic.vcs {
-			if st.routed || len(st.buf) == 0 || r.vcIsStuck(pi, vi) {
+			if st.routed || st.bufLen() == 0 || r.vcIsStuck(pi, vi) {
 				continue
 			}
-			f := st.buf[0]
+			f := st.front()
 			if !f.Type.IsHead() {
 				panic(fmt.Sprintf("router %d: non-head flit %v at front of unrouted VC", r.cfg.ID, f))
 			}

@@ -144,7 +144,7 @@ func TestRouteComputeTurns(t *testing.T) {
 			t.Fatalf("code %v: routed to %v, want %v", c.code, st.outPort, c.want)
 		}
 		// Clear for next case.
-		st.buf = nil
+		st.buf, st.head = nil, 0
 		st.routed = false
 	}
 	// From the local (injection) port the code is an absolute direction.

@@ -165,6 +165,11 @@ type Generator struct {
 	StopAt         int64 // stop generating at this cycle (0 = never)
 	rng            *rand.Rand
 
+	// payloadBuf is the reusable injection payload: Port.Send copies the
+	// bytes into the packet's flits, so one scratch buffer serves every
+	// packet this generator offers.
+	payloadBuf []byte
+
 	GeneratedPackets int64
 }
 
@@ -194,7 +199,10 @@ func (g *Generator) Tick(now int64, p *network.Port) {
 	if dst == g.Tile {
 		return
 	}
-	payload := make([]byte, g.payloadBytes())
+	if n := g.payloadBytes(); cap(g.payloadBuf) < n {
+		g.payloadBuf = make([]byte, n)
+	}
+	payload := g.payloadBuf[:g.payloadBytes()]
 	if _, err := p.Send(dst, payload, g.Mask, g.Class); err == nil {
 		g.GeneratedPackets++
 	}
@@ -222,6 +230,8 @@ type StreamSource struct {
 	StopAt    int64
 	Payload   int // bytes per packet (default 8)
 
+	payloadBuf []byte
+
 	Sent int64
 }
 
@@ -238,7 +248,10 @@ func (s *StreamSource) Tick(now int64, p *network.Port) {
 	if nbytes <= 0 {
 		nbytes = 8
 	}
-	payload := make([]byte, nbytes)
+	if cap(s.payloadBuf) < nbytes {
+		s.payloadBuf = make([]byte, nbytes)
+	}
+	payload := s.payloadBuf[:nbytes]
 	payload[0] = byte(now)
 	var err error
 	if s.Reserved {

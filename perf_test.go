@@ -1,0 +1,230 @@
+package noc
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/flit"
+	"repro/internal/network"
+	"repro/internal/router"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// buildLoadedNet returns the benchmark network: the 4x4 folded torus under
+// 30% uniform Bernoulli load with 2-flit packets.
+func buildLoadedNet(t testing.TB, stopAt int64, extra func(*network.Config)) *network.Network {
+	t.Helper()
+	topo, err := topology.NewFoldedTorus(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := network.Config{Topo: topo, Router: router.DefaultConfig(0), Seed: 1}
+	if extra != nil {
+		extra(&cfg)
+	}
+	n, err := network.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tile := 0; tile < topo.NumTiles(); tile++ {
+		g := traffic.NewGenerator(tile, traffic.Uniform{Tiles: 16}, 0.3, 2, flit.VCMask(0xFF), 1)
+		g.StopAt = stopAt
+		n.AttachClient(tile, g)
+	}
+	return n
+}
+
+// TestCycleLoopAllocFree pins the tentpole property of the fast-path
+// engine: after warmup, the five-phase cycle loop allocates (almost)
+// nothing — flits come from the network's pool, credit and delivery
+// slices are reused, and payloads live in per-generator scratch buffers.
+// The seed engine allocated ~106 objects per cycle on this workload.
+func TestCycleLoopAllocFree(t *testing.T) {
+	n := buildLoadedNet(t, 0, nil)
+	n.Run(2000) // warm the pool, buffers, and route cache
+	const cyclesPerRun = 200
+	allocs := testing.AllocsPerRun(5, func() {
+		n.Run(cyclesPerRun)
+	})
+	perCycle := allocs / cyclesPerRun
+	if perCycle > 1 {
+		t.Fatalf("steady-state cycle loop allocates %.2f objects/cycle, want ~0", perCycle)
+	}
+}
+
+// TestDrainReturnsEveryFlit is the pool leak check: after a drain, every
+// flit drawn from the network's pool has been recycled — whether it was
+// delivered normally, dropped at a full buffer (drop mode), discarded on
+// a dead link, swept toward a dead output, or synthesized as an abort
+// tail.
+func TestDrainReturnsEveryFlit(t *testing.T) {
+	check := func(t *testing.T, n *network.Network) {
+		t.Helper()
+		if !n.Drain(100000) {
+			t.Fatalf("network did not drain (occupancy %d)", n.Occupancy())
+		}
+		pool := n.FlitPool()
+		if got := pool.Outstanding(); got != 0 {
+			t.Fatalf("pool leak: %d of %d flits never recycled", got, pool.Gets())
+		}
+		if pool.Gets() == 0 {
+			t.Fatal("pool was never used; leak check is vacuous")
+		}
+	}
+
+	t.Run("normal-traffic", func(t *testing.T) {
+		n := buildLoadedNet(t, 3000, nil)
+		n.Run(3000)
+		check(t, n)
+	})
+
+	t.Run("drop-mode", func(t *testing.T) {
+		topo, err := topology.NewFoldedTorus(4, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rc := router.DefaultConfig(0)
+		rc.Mode = router.ModeDrop
+		rc.BufFlits = 1
+		n, err := network.New(network.Config{Topo: topo, Router: rc, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for tile := 0; tile < topo.NumTiles(); tile++ {
+			// Single-flit packets at high load so drops actually happen.
+			g := traffic.NewGenerator(tile, traffic.Uniform{Tiles: 16}, 0.6, 1, flit.VCMask(0xFF), 3)
+			g.StopAt = 3000
+			n.AttachClient(tile, g)
+		}
+		n.Run(3000)
+		dropped := int64(0)
+		for tile := 0; tile < topo.NumTiles(); tile++ {
+			dropped += n.Router(tile).Stats.DroppedFlits
+		}
+		if dropped == 0 {
+			t.Fatal("no drops occurred; drop-path leak check is vacuous")
+		}
+		check(t, n)
+	})
+
+	t.Run("link-kill-abort-tails", func(t *testing.T) {
+		// A killed link exercises the fault recycle points: flits lost on
+		// the dead wire, FaultSweep discards, and pool-drawn abort tails.
+		n := buildLoadedNet(t, 4000, func(cfg *network.Config) {
+			cfg.Watchdog = 64
+			cfg.Seed = 7
+		})
+		inj, err := fault.NewInjector(n, []fault.Event{
+			{Kind: fault.LinkKill, At: 500, Link: 9, From: -1, Tile: -1, VC: -1},
+		}, 0, 4000, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inj.Attach()
+		n.Run(4000)
+		tot := n.FaultTotals()
+		if len(tot.Detections) == 0 {
+			t.Fatal("link kill was never detected; fault-path leak check is vacuous")
+		}
+		check(t, n)
+	})
+}
+
+// TestOccupancyBookkeeping checks the O(1) occupancy mirror against a full
+// recount of the router's buffers, including after faults have dropped
+// and synthesized flits.
+func TestOccupancyBookkeeping(t *testing.T) {
+	n := buildLoadedNet(t, 0, func(cfg *network.Config) {
+		cfg.Watchdog = 64
+		cfg.Seed = 11
+	})
+	inj, err := fault.NewInjector(n, []fault.Event{
+		{Kind: fault.LinkKill, At: 400, Link: 5, From: -1, Tile: -1, VC: -1},
+	}, 0, 2500, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj.Attach()
+	for step := 0; step < 25; step++ {
+		n.Run(100)
+		for tile := 0; tile < n.Topology().NumTiles(); tile++ {
+			r := n.Router(tile)
+			if got, want := r.Occupancy(), r.OccupancyRecount(); got != want {
+				t.Fatalf("cycle %d router %d: Occupancy()=%d, recount=%d", (step+1)*100, tile, got, want)
+			}
+		}
+	}
+}
+
+// TestSweepParallelism pins the Level-1 contract: a sweep fanned across
+// the worker pool produces byte-identical results to the sequential path,
+// point for point.
+func TestSweepParallelism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run sweep comparison")
+	}
+	base := core.DefaultRunParams()
+	base.WarmupCycles, base.MeasureCycles = 300, 900
+	base.FlitsPerPacket = 2
+	rates := []float64{0.1, 0.25, 0.4, 0.55, 0.7}
+
+	defer core.SetParallelism(0)
+	core.SetParallelism(1)
+	seq, err := core.Sweep(base, rates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	core.SetParallelism(4)
+	par, err := core.Sweep(base, rates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != len(par) {
+		t.Fatalf("point counts differ: %d vs %d", len(seq), len(par))
+	}
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Fatalf("rate %.2f: parallel result differs from sequential:\nseq: %+v\npar: %+v",
+				rates[i], seq[i].Result, par[i].Result)
+		}
+	}
+}
+
+// TestSweepParallelSpeedup checks the headline Level-1 win: on a machine
+// with at least 4 cores, a parallel sweep finishes at least 2x faster
+// than the sequential one. Skipped on smaller machines (CI containers
+// with 1-2 cores can't demonstrate the speedup).
+func TestSweepParallelSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock benchmark")
+	}
+	if runtime.NumCPU() < 4 {
+		t.Skipf("need >= 4 CPUs to measure speedup, have %d", runtime.NumCPU())
+	}
+	base := core.DefaultRunParams()
+	base.WarmupCycles, base.MeasureCycles = 500, 2500
+	base.FlitsPerPacket = 2
+	rates := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8}
+
+	defer core.SetParallelism(0)
+	core.SetParallelism(1)
+	t0 := time.Now()
+	if _, err := core.Sweep(base, rates); err != nil {
+		t.Fatal(err)
+	}
+	seq := time.Since(t0)
+	core.SetParallelism(4)
+	t0 = time.Now()
+	if _, err := core.Sweep(base, rates); err != nil {
+		t.Fatal(err)
+	}
+	par := time.Since(t0)
+	if speedup := seq.Seconds() / par.Seconds(); speedup < 2 {
+		t.Fatalf("parallel sweep speedup %.2fx (seq %v, par %v), want >= 2x on %d CPUs",
+			speedup, seq, par, runtime.NumCPU())
+	}
+}
