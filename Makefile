@@ -17,10 +17,14 @@ race:
 	$(GO) test -race ./...
 
 # ci is the gate: everything compiles, vets clean, and passes under the
-# race detector.
+# race detector. The telemetry layer and its CLI glue are vetted and
+# race-tested explicitly so a future build-tag or test-cache quirk can't
+# silently drop them from the sweep.
 ci:
 	$(GO) build ./...
 	$(GO) vet ./...
+	$(GO) vet ./internal/telemetry ./cmd/internal/obs
+	$(GO) test -race ./internal/telemetry
 	$(GO) test -race ./...
 
 # fuzz gives the fault-campaign parser a short randomized budget; the
@@ -31,7 +35,10 @@ fuzz:
 # bench is the regression harness: the cycle-loop microbenchmarks run
 # long enough for stable ns/op and allocs/op, the E-suite benchmarks run
 # once each, and cmd/benchjson folds everything into BENCH_cycles.json
-# (simulated cycles/sec, allocs/op) for diffing across commits.
+# (simulated cycles/sec, allocs/op) for diffing across commits. The
+# NetworkCycle pattern also matches NetworkCycleProbesOff/ProbesOn, the
+# telemetry-overhead pair, so the probe-layer cost is tracked in the same
+# JSON.
 bench:
 	{ $(GO) test -run '^$$' -bench 'NetworkCycle|RouteCompute|ECCRoundTrip|PacketSegmentation' -benchtime 1s -benchmem . ; \
 	  $(GO) test -run '^$$' -bench 'BenchmarkE[0-9]' -benchtime 1x -benchmem . ; } | $(GO) run ./cmd/benchjson -o BENCH_cycles.json

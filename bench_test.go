@@ -9,6 +9,7 @@ import (
 	"repro/internal/network"
 	"repro/internal/route"
 	"repro/internal/router"
+	"repro/internal/telemetry"
 	"repro/internal/topology"
 	"repro/internal/traffic"
 )
@@ -73,6 +74,36 @@ func BenchmarkNetworkCycle(b *testing.B) {
 	}
 	// Warm the flit pool and buffers so the loop measures the steady
 	// state; allocs/op should then be ~0 (see TestCycleLoopAllocFree).
+	n.Run(2000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	n.Run(int64(b.N))
+}
+
+// BenchmarkNetworkCycleProbesOff and BenchmarkNetworkCycleProbesOn bound
+// the telemetry overhead: the Off/On pair runs the exact baseline loop
+// with no probe vs. a counters-only probe attached, so their delta is the
+// cost of the always-on hook sites plus the counter increments. Both fold
+// into BENCH_cycles.json via `make bench`.
+func BenchmarkNetworkCycleProbesOff(b *testing.B) { benchCycleProbes(b, nil) }
+
+func BenchmarkNetworkCycleProbesOn(b *testing.B) {
+	benchCycleProbes(b, telemetry.New(telemetry.Config{}))
+}
+
+func benchCycleProbes(b *testing.B, probe *telemetry.Probe) {
+	b.Helper()
+	topo, err := topology.NewFoldedTorus(4, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n, err := network.New(network.Config{Topo: topo, Router: router.DefaultConfig(0), Seed: 1, Probe: probe})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for tile := 0; tile < topo.NumTiles(); tile++ {
+		n.AttachClient(tile, traffic.NewGenerator(tile, traffic.Uniform{Tiles: 16}, 0.3, 2, flit.VCMask(0xFF), 1))
+	}
 	n.Run(2000)
 	b.ReportAllocs()
 	b.ResetTimer()

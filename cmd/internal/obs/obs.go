@@ -1,0 +1,121 @@
+// Package obs wires the shared observability flags (-metrics,
+// -metrics-every, -metrics-out, -tracefile-out, -pprof) into the command
+// binaries: it builds the telemetry probe the flags ask for, starts and
+// stops CPU profiling, and exports the collected artifacts after a run.
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime/pprof"
+
+	"repro/internal/telemetry"
+)
+
+// Flags holds the parsed observability options.
+type Flags struct {
+	Metrics      bool
+	MetricsEvery int64
+	MetricsOut   string
+	TraceOut     string
+	Pprof        string
+}
+
+// Register installs the observability flags on the default flag set.
+func Register() *Flags {
+	f := &Flags{}
+	flag.BoolVar(&f.Metrics, "metrics", false, "attach telemetry probes and print the metrics table after the run")
+	flag.Int64Var(&f.MetricsEvery, "metrics-every", 0, "telemetry time-series sampling interval, cycles (0 disables the series)")
+	flag.StringVar(&f.MetricsOut, "metrics-out", "", "write per-component telemetry counters and the sampled series as CSV to this file")
+	flag.StringVar(&f.TraceOut, "tracefile-out", "", "record per-packet lifecycle events and write Chrome trace-event JSON (chrome://tracing) to this file")
+	flag.StringVar(&f.Pprof, "pprof", "", "write a CPU profile of the run to this file")
+	return f
+}
+
+// Enabled reports whether any flag requires a telemetry probe.
+func (f *Flags) Enabled() bool {
+	return f.Metrics || f.MetricsEvery > 0 || f.MetricsOut != "" || f.TraceOut != ""
+}
+
+// HeatmapProbe returns a counters-only probe (no series, no tracing) for
+// commands that want the telemetry heatmap without the other flags.
+func HeatmapProbe() *telemetry.Probe { return telemetry.New(telemetry.Config{}) }
+
+// NewProbe builds the probe the flags describe, or nil when telemetry is
+// off (the network's zero-overhead path).
+func (f *Flags) NewProbe() *telemetry.Probe {
+	if !f.Enabled() {
+		return nil
+	}
+	return telemetry.New(telemetry.Config{
+		SampleEvery: f.MetricsEvery,
+		Trace:       f.TraceOut != "",
+	})
+}
+
+// StartPprof begins CPU profiling when -pprof was given. The returned stop
+// function is safe to call unconditionally.
+func (f *Flags) StartPprof() (stop func(), err error) {
+	if f.Pprof == "" {
+		return func() {}, nil
+	}
+	out, err := os.Create(f.Pprof)
+	if err != nil {
+		return nil, err
+	}
+	if err := pprof.StartCPUProfile(out); err != nil {
+		out.Close()
+		return nil, err
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		out.Close()
+	}, nil
+}
+
+// Emit writes every artifact the flags asked for from the collected probe:
+// the text table and optional heatmap to w, the CSV metrics and the Chrome
+// trace to their files. A nil probe is a no-op. Commands whose stdout is
+// machine-readable (nocsweep's CSV) pass stderr as w.
+func (f *Flags) Emit(w io.Writer, p *telemetry.Probe, heatmap bool) error {
+	if p == nil {
+		return nil
+	}
+	if f.Metrics {
+		fmt.Fprint(w, p.MetricsTable())
+	}
+	if heatmap {
+		fmt.Fprint(w, p.Heatmap())
+	}
+	if f.MetricsOut != "" {
+		out, err := os.Create(f.MetricsOut)
+		if err != nil {
+			return err
+		}
+		if err := p.WriteMetricsCSV(out); err != nil {
+			out.Close()
+			return err
+		}
+		if err := out.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "telemetry metrics written to %s\n", f.MetricsOut)
+	}
+	if f.TraceOut != "" {
+		out, err := os.Create(f.TraceOut)
+		if err != nil {
+			return err
+		}
+		if err := p.WriteChromeTrace(out); err != nil {
+			out.Close()
+			return err
+		}
+		if err := out.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "execution trace written to %s (load in chrome://tracing)\n", f.TraceOut)
+	}
+	return nil
+}

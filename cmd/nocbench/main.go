@@ -15,6 +15,7 @@ import (
 	"os"
 	"time"
 
+	"repro/cmd/internal/obs"
 	"repro/internal/core"
 	"repro/internal/sim"
 )
@@ -26,8 +27,16 @@ func main() {
 		markdown = flag.Bool("markdown", false, "emit Markdown tables")
 		par      = flag.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS)")
 	)
+	obsFlags := obs.Register()
 	flag.Parse()
 	core.SetParallelism(*par)
+
+	stopProf, err := obsFlags.StartPprof()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nocbench:", err)
+		os.Exit(1)
+	}
+	defer stopProf()
 
 	experiments := core.All()
 	if *runID != "" {
@@ -65,6 +74,24 @@ func main() {
 	cycles := core.SimulatedCycles()
 	fmt.Fprintf(os.Stderr, "%d experiments in %.2fs wall clock, %d simulated cycles (%.2fM cycles/s)\n",
 		len(experiments), elapsed.Seconds(), cycles, float64(cycles)/elapsed.Seconds()/1e6)
+
+	// The experiments own their networks, so telemetry instruments one
+	// extra run of the paper's baseline configuration.
+	if obsFlags.Enabled() {
+		inst := core.DefaultRunParams()
+		inst.Rate = 0.3
+		inst.Probe = obsFlags.NewProbe()
+		if _, err := core.Run(inst); err != nil {
+			fmt.Fprintln(os.Stderr, "nocbench: telemetry run:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "telemetry run (baseline %s-%dx%d, rate %.2f):\n",
+			inst.Topology, inst.K, inst.K, inst.Rate)
+		if err := obsFlags.Emit(os.Stderr, inst.Probe, false); err != nil {
+			fmt.Fprintln(os.Stderr, "nocbench:", err)
+			os.Exit(1)
+		}
+	}
 	if failed > 0 {
 		os.Exit(1)
 	}

@@ -18,10 +18,10 @@ import (
 	"os"
 	"time"
 
+	"repro/cmd/internal/obs"
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/flit"
-	"repro/internal/network"
 	"repro/internal/router"
 	"repro/internal/topology"
 	"repro/internal/traffic"
@@ -50,6 +50,7 @@ func main() {
 		mtbf     = flag.Float64("mtbf", 0, "mean cycles between stochastic faults (0 disables)")
 		watchdog = flag.Int("watchdog", 64, "credit-starvation watchdog threshold, cycles (campaign runs)")
 	)
+	obsFlags := obs.Register()
 	flag.Parse()
 
 	if *layout {
@@ -161,15 +162,33 @@ func main() {
 	}
 	p.Adaptive = *adaptive
 
+	// -heatmap reads the telemetry layer's counters, so it implies a
+	// (counters-only) probe even without -metrics.
+	p.Probe = obsFlags.NewProbe()
+	if p.Probe == nil && *heatmap {
+		p.Probe = obs.HeatmapProbe()
+	}
+	stopProf, err := obsFlags.StartPprof()
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProf()
+
 	if campaign {
 		if err := runCampaign(p, *faults, *mtbf, *watchdog); err != nil {
+			fatal(err)
+		}
+		if err := obsFlags.Emit(os.Stdout, p.Probe, *heatmap); err != nil {
 			fatal(err)
 		}
 		return
 	}
 
 	if *trace != "" {
-		if err := runTrace(p, *trace, *heatmap); err != nil {
+		if err := runTrace(p, *trace); err != nil {
+			fatal(err)
+		}
+		if err := obsFlags.Emit(os.Stdout, p.Probe, *heatmap); err != nil {
 			fatal(err)
 		}
 		return
@@ -201,16 +220,8 @@ func main() {
 	cycles := core.SimulatedCycles()
 	fmt.Printf("engine            %d simulated cycles in %.2fs wall clock (%.2fM cycles/s)\n",
 		cycles, elapsed.Seconds(), float64(cycles)/elapsed.Seconds()/1e6)
-	if *heatmap {
-		// Re-run with the same parameters to expose the network for the
-		// heatmap (core.Run owns its network); cheap at these sizes.
-		n, _, err := core.BuildNetwork(p)
-		if err != nil {
-			fatal(err)
-		}
-		attachGenerators(n, p)
-		n.Run(p.WarmupCycles + p.MeasureCycles)
-		fmt.Print(n.Heatmap())
+	if err := obsFlags.Emit(os.Stdout, p.Probe, *heatmap); err != nil {
+		fatal(err)
 	}
 }
 
@@ -261,23 +272,9 @@ func runCampaign(p core.RunParams, spec string, mtbf float64, watchdog int) erro
 	return nil
 }
 
-// attachGenerators mirrors core.Run's traffic setup for the heatmap rerun.
-func attachGenerators(n *network.Network, p core.RunParams) {
-	pattern, err := traffic.ByName(p.Pattern, p.K, p.K)
-	if err != nil {
-		fatal(err)
-	}
-	mask := flit.VCMask(0xFF)
-	for tile := 0; tile < n.Topology().NumTiles(); tile++ {
-		g := traffic.NewGenerator(tile, pattern, p.Rate, p.FlitsPerPacket, mask, p.Seed)
-		g.StopAt = p.WarmupCycles + p.MeasureCycles
-		n.AttachClient(tile, g)
-	}
-}
-
 // runTrace replays a trace file through the configured network and prints
 // delivery statistics.
-func runTrace(p core.RunParams, path string, heatmap bool) error {
+func runTrace(p core.RunParams, path string) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -315,9 +312,6 @@ func runTrace(p core.RunParams, path string, heatmap bool) error {
 	fmt.Printf("packets delivered %d (of %d generated)\n", rec.DeliveredPackets, rec.Generated)
 	fmt.Printf("latency           %s\n", rec.PacketLatency.String())
 	fmt.Printf("finished at cycle %d\n", n.Kernel().Now())
-	if heatmap {
-		fmt.Print(n.Heatmap())
-	}
 	return nil
 }
 

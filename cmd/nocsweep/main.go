@@ -13,6 +13,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/cmd/internal/obs"
 	"repro/internal/core"
 )
 
@@ -28,6 +29,7 @@ func main() {
 		seed     = flag.Int64("seed", 1, "random seed")
 		par      = flag.Int("parallel", 0, "concurrent sweep points (0 = GOMAXPROCS)")
 	)
+	obsFlags := obs.Register()
 	flag.Parse()
 	core.SetParallelism(*par)
 
@@ -48,6 +50,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "nocsweep: -rates is empty; nothing to sweep")
 		os.Exit(1)
 	}
+
+	stopProf, err := obsFlags.StartPprof()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nocsweep:", err)
+		os.Exit(1)
+	}
+	defer stopProf()
 
 	start := time.Now()
 	base := core.DefaultRunParams()
@@ -76,4 +85,26 @@ func main() {
 	cycles := core.SimulatedCycles()
 	fmt.Fprintf(os.Stderr, "%d points in %.2fs wall clock, %d simulated cycles (%.2fM cycles/s)\n",
 		len(points), elapsed.Seconds(), cycles, float64(cycles)/elapsed.Seconds()/1e6)
+
+	// Sweep points run concurrently on throwaway networks, so telemetry
+	// instruments one extra sequential run at the heaviest load instead.
+	if obsFlags.Enabled() {
+		inst := base
+		inst.Rate = rates[len(rates)-1]
+		for _, r := range rates {
+			if r > inst.Rate {
+				inst.Rate = r
+			}
+		}
+		inst.Probe = obsFlags.NewProbe()
+		if _, err := core.Run(inst); err != nil {
+			fmt.Fprintln(os.Stderr, "nocsweep: telemetry run:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "telemetry run at rate %.3f:\n", inst.Rate)
+		if err := obsFlags.Emit(os.Stderr, inst.Probe, false); err != nil {
+			fmt.Fprintln(os.Stderr, "nocsweep:", err)
+			os.Exit(1)
+		}
+	}
 }

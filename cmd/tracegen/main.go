@@ -1,8 +1,17 @@
-// Command tracegen synthesizes traffic traces in the nocsim trace format
-// (cycle src dst bytes class), for replay with `nocsim -trace`.
+// Command tracegen synthesizes *input traffic* traces in the nocsim trace
+// format — one "cycle src dst bytes class" line per packet injection —
+// for replay with `nocsim -trace`. This is the workload fed INTO the
+// simulator.
+//
+// It is unrelated to the *execution* trace the simulator writes OUT with
+// `-tracefile-out`: that file is Chrome trace-event JSON recording what
+// happened to each packet (inject, route, arbitrate, traverse, eject),
+// produced by internal/telemetry and viewed in chrome://tracing or
+// Perfetto. The README's "Observability" section documents both formats
+// side by side.
 //
 //	tracegen -k 4 -cycles 1000 -rate 0.2 -pattern uniform > uniform.trace
-//	nocsim -trace uniform.trace -heatmap
+//	nocsim -trace uniform.trace -heatmap -tracefile-out exec.json
 package main
 
 import (

@@ -9,6 +9,12 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/flit"
+	"repro/internal/network"
+	"repro/internal/router"
+	"repro/internal/telemetry"
+	"repro/internal/topology"
+	"repro/internal/traffic"
 )
 
 // The golden determinism suite pins the simulation engine's observable
@@ -79,6 +85,53 @@ func TestGoldenSweep(t *testing.T) {
 			checkGolden(t, fmt.Sprintf("golden_sweep_seed%d.csv", seed), goldenSweepCSV(t, seed))
 		})
 	}
+}
+
+// goldenTelemetryProbe runs a small seeded 4x4 torus at light load with
+// full telemetry (sampling + lifecycle tracing) and returns the drained
+// probe. Light load and a short horizon keep the Chrome trace golden
+// small while still exercising every event kind except faults.
+func goldenTelemetryProbe(t *testing.T) *telemetry.Probe {
+	t.Helper()
+	probe := telemetry.New(telemetry.Config{SampleEvery: 20, Trace: true})
+	topo, err := topology.NewFoldedTorus(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := network.New(network.Config{Topo: topo, Router: router.DefaultConfig(0), Seed: 5, Probe: probe})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tile := 0; tile < topo.NumTiles(); tile++ {
+		g := traffic.NewGenerator(tile, traffic.Uniform{Tiles: 16}, 0.05, 2, flit.VCMask(0xFF), 1)
+		g.StopAt = 80
+		n.AttachClient(tile, g)
+	}
+	n.Run(80)
+	if !n.Drain(10000) {
+		t.Fatal("golden telemetry run did not drain")
+	}
+	return probe
+}
+
+// TestGoldenTelemetry pins the telemetry exporters byte-for-byte: the
+// metrics CSV (counters, per-VC occupancy, link totals, time series) and
+// the Chrome trace-event JSON for every packet in a small seeded run.
+// These are the formats external tools parse, so format drift is a break.
+func TestGoldenTelemetry(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden telemetry runs are not -short")
+	}
+	probe := goldenTelemetryProbe(t)
+	var csv, trace strings.Builder
+	if err := probe.WriteMetricsCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if err := probe.WriteChromeTrace(&trace); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "golden_telemetry_metrics.csv", csv.String())
+	checkGolden(t, "golden_telemetry_trace.json", trace.String())
 }
 
 // TestGoldenExperiments pins the E1, E4, and E20 quick-mode tables: the

@@ -82,6 +82,9 @@ func RunCampaign(p CampaignParams) (CampaignResult, error) {
 	if err != nil {
 		return CampaignResult{}, err
 	}
+	if p.Run.Probe != nil {
+		inj.SetProbe(p.Run.Probe)
+	}
 	inj.Attach()
 
 	// Packet ledger: birth cycle per accepted send, arrivals by id. The

@@ -16,6 +16,7 @@ import (
 	"repro/internal/power"
 	"repro/internal/router"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/topology"
 	"repro/internal/traffic"
 )
@@ -85,6 +86,11 @@ type RunParams struct {
 	Watchdog  int
 	PhysWires bool
 	ECC       bool
+
+	// Probe, when non-nil, attaches the telemetry layer to the network
+	// built for this run. The same probe must not be shared across
+	// concurrent runs (Sweep); instrument a dedicated run instead.
+	Probe *telemetry.Probe
 }
 
 // DefaultRunParams returns the paper's baseline configuration under
@@ -182,6 +188,7 @@ func BuildNetwork(p RunParams) (*network.Network, *power.Meter, error) {
 		Watchdog:     p.Watchdog,
 		PhysWires:    p.PhysWires,
 		ECC:          p.ECC,
+		Probe:        p.Probe,
 	}
 	n, err := network.New(cfg)
 	if err != nil {

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/route"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // Target is the slice of a network the injector manipulates. It is an
@@ -63,7 +64,14 @@ type Injector struct {
 	// Skipped counts events that could not be applied (e.g. a BitFlip on
 	// a network without physical wires).
 	Skipped int
+
+	// probe, when non-nil, receives an OnFault notification for every
+	// event that takes effect.
+	probe *telemetry.Probe
 }
+
+// SetProbe attaches the telemetry probe (nil disables notifications).
+func (inj *Injector) SetProbe(p *telemetry.Probe) { inj.probe = p }
 
 // NewInjector builds an injector over target from scheduled events plus an
 // optional stochastic model: when mtbf > 0, fault arrivals are drawn as a
@@ -219,6 +227,13 @@ func (inj *Injector) apply(e Event, on bool, now int64) bool {
 	}
 	if on {
 		inj.Log = append(inj.Log, Applied{Event: e, At: now, Watched: watched})
+		if inj.probe != nil {
+			where := e.Link
+			if e.Kind == PortStall || e.Kind == VCStuck {
+				where = e.Tile
+			}
+			inj.probe.OnFault(now, int(e.Kind), where)
+		}
 	}
 	return true
 }

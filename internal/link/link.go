@@ -6,6 +6,7 @@ import (
 	"repro/internal/flit"
 	"repro/internal/power"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 )
 
 // Link is one unidirectional inter-router channel: a fixed-latency pipe
@@ -53,6 +54,10 @@ type Link struct {
 	// drops) or replaces (physical-layer copies), so a pooled network's
 	// flit accounting stays balanced.
 	pool *flit.Pool
+
+	// probe, when non-nil, accrues the channel's telemetry counters
+	// (flits, credits); nil is the zero-overhead disabled path.
+	probe *telemetry.LinkProbe
 
 	// Elastic channel state (§3.3, ref [4] "Elastic Interconnects"):
 	// the repeaters along the wire double as flit latches with local
@@ -120,6 +125,9 @@ func (l *Link) Elastic() bool { return l.elastic }
 // (dead channel) or replaces (physical-layer copy) are recycled into it.
 func (l *Link) SetPool(p *flit.Pool) { l.pool = p }
 
+// SetProbe attaches the channel's telemetry probe (nil disables it).
+func (l *Link) SetProbe(p *telemetry.LinkProbe) { l.probe = p }
+
 // Idle reports whether the link has nothing to do this cycle beyond
 // ticking its utilization counter: wires free, no flits or credits in
 // flight, none waiting. The delivery phase uses it to skip idle links.
@@ -170,6 +178,9 @@ func (l *Link) Send(f *flit.Flit) error {
 		return err
 	}
 	l.busy = l.SerdesCycles
+	if l.probe != nil {
+		l.probe.OnSend(f.Type.IsHead())
+	}
 	if l.Meter != nil {
 		l.Meter.AddWire(f.PayloadBits(), flit.OverheadBits, l.LengthPitches)
 	}
@@ -208,6 +219,9 @@ func (l *Link) Deliver() (f *flit.Flit, creditVCs []int) {
 			l.FaultLostCredits++
 		} else {
 			creditVCs = append(creditVCs, vc)
+			if l.probe != nil {
+				l.probe.OnCredit()
+			}
 		}
 	}
 	l.creditBuf = creditVCs

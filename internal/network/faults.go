@@ -61,6 +61,9 @@ func (n *Network) declareDead(i int, now int64) {
 	n.routers[le.from].KillOutput(le.dir)
 	n.routers[le.to].AbandonInput(le.dir.Opposite(), now)
 	n.reroutePending()
+	if n.probe != nil {
+		n.probe.OnLinkDead(i, now)
+	}
 	n.trace("cycle=%d event=link-dead link=%d from=%d dir=%v starved=%d", now, i, le.from, le.dir, n.cfg.Watchdog)
 }
 

@@ -13,6 +13,7 @@ import (
 	"repro/internal/router"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/topology"
 )
 
@@ -63,6 +64,12 @@ type Config struct {
 	// (generation, head injection, delivery) for debugging. Tracing does
 	// not alter simulation behaviour.
 	TraceWriter io.Writer
+
+	// Probe, when non-nil, attaches the telemetry layer: per-component
+	// counters, optional cycle-sampled series, and optional per-packet
+	// lifecycle tracing. Nil keeps every hook on its zero-cost path and
+	// registers no extra phase.
+	Probe *telemetry.Probe
 }
 
 // routeCacheMaxTiles bounds the route cache: above this tile count the
@@ -100,6 +107,12 @@ type Network struct {
 	// tracing caches cfg.TraceWriter != nil so hot paths skip the variadic
 	// trace call (whose argument boxing allocates) when tracing is off.
 	tracing bool
+
+	// probe is the telemetry root (nil when disabled); traceLinks caches
+	// whether lifecycle tracing is live so the deliver loop pays one
+	// boolean test, not a probe-and-tracer chase, per flit.
+	probe      *telemetry.Probe
+	traceLinks bool
 
 	// routeCache memoizes source routes per (src,dst) while the fault map
 	// is empty (routes are then a pure function of the topology). Rows
@@ -163,6 +176,12 @@ func New(cfg Config) (*Network, error) {
 		recorder: NewRecorder(cfg.Warmup),
 		faultMap: fault.NewMap(),
 		tracing:  cfg.TraceWriter != nil,
+		probe:    cfg.Probe,
+	}
+	if cfg.Probe != nil {
+		n.traceLinks = cfg.Probe.Tracer() != nil
+		kx, ky := cfg.Topo.Radix()
+		cfg.Probe.SetGrid(kx, ky)
 	}
 	tiles := cfg.Topo.NumTiles()
 	n.clients = make([]Client, tiles)
@@ -227,8 +246,25 @@ func New(cfg Config) (*Network, error) {
 	for _, le := range n.links {
 		le.l.SetPool(&n.pool)
 	}
+	if n.probe != nil {
+		// Every tile gets a probe (the port-level counters apply in all
+		// modes); the router-phase hooks exist on the VC router only.
+		for tile := 0; tile < tiles; tile++ {
+			rp := n.probe.RegisterRouter(tile, n.cfg.Router.NumVCs)
+			if !cfg.Deflect {
+				n.routers[tile].SetProbe(rp)
+			}
+		}
+		for i, le := range n.links {
+			px, py := cfg.Topo.PhysPos(le.from)
+			le.l.SetProbe(n.probe.RegisterLink(i, le.from, le.to, le.dir, cfg.SerdesCycles, px, py))
+		}
+	}
 	for tile := 0; tile < tiles; tile++ {
 		p := &Port{tile: tile, net: n}
+		if n.probe != nil {
+			p.probe = n.probe.Routers[tile]
+		}
 		tile := tile
 		if cfg.Deflect {
 			p.canInject = func(int) bool { return n.defls[tile].CanInject() }
@@ -337,6 +373,9 @@ func (n *Network) registerPhases() {
 				n.routers[le.from].HandleCredits(le.dir, credits)
 			}
 			if f != nil {
+				if n.traceLinks && f.Type.IsHead() {
+					n.probe.Links[i].TraceHead(int64(now), f.PacketID)
+				}
 				if n.cfg.Deflect {
 					n.defls[le.to].AcceptFlit(f, le.dir.Opposite())
 				} else {
@@ -400,6 +439,26 @@ func (n *Network) registerPhases() {
 		n.wdCredit = make([]bool, len(n.links))
 		n.kernel.AddPhase("watchdog", n.watchdogTick)
 	}
+	// The sampling phase exists only when a probe asked for a series, so a
+	// probe-less (or counters-only) network's cycle loop is untouched.
+	if n.probe != nil && n.probe.SampleEvery() > 0 {
+		every := n.probe.SampleEvery()
+		n.kernel.AddPhase("telemetry", func(now sim.Cycle) {
+			if int64(now)%every != 0 {
+				return
+			}
+			var bufOcc int64
+			for _, r := range n.routers {
+				r.SampleTelemetry()
+				bufOcc += int64(r.Occupancy())
+			}
+			var inFlight int64
+			for _, le := range n.links {
+				inFlight += int64(le.l.InFlight())
+			}
+			n.probe.AddSample(int64(now), bufOcc, inFlight)
+		})
+	}
 }
 
 // AttachClient installs the client logic for a tile.
@@ -426,11 +485,19 @@ func (n *Network) FlitPool() *flit.Pool { return &n.pool }
 // Recorder exposes the measurement recorder.
 func (n *Network) Recorder() *Recorder { return n.recorder }
 
+// Probe exposes the telemetry probe (nil when telemetry is disabled).
+func (n *Network) Probe() *telemetry.Probe { return n.probe }
+
 // Topology reports the network's topology.
 func (n *Network) Topology() topology.Topology { return n.topo }
 
 // Run advances the simulation by the given number of cycles.
-func (n *Network) Run(cycles int64) { n.kernel.Run(cycles) }
+func (n *Network) Run(cycles int64) {
+	n.kernel.Run(cycles)
+	if n.probe != nil {
+		n.probe.Observe(int64(n.kernel.Now()))
+	}
+}
 
 // Occupancy reports flits buffered anywhere in the network (routers and
 // links).
@@ -452,7 +519,7 @@ func (n *Network) Occupancy() int {
 // have stopped injecting) or the budget is exhausted, and reports whether
 // it drained.
 func (n *Network) Drain(budget int64) bool {
-	return n.kernel.RunUntil(func() bool {
+	drained := n.kernel.RunUntil(func() bool {
 		if n.Occupancy() != 0 {
 			return false
 		}
@@ -463,6 +530,10 @@ func (n *Network) Drain(budget int64) bool {
 		}
 		return true
 	}, budget)
+	if n.probe != nil {
+		n.probe.Observe(int64(n.kernel.Now()))
+	}
+	return drained
 }
 
 // ReservationSlot reports the link slot hop i of a flow with the given

@@ -6,6 +6,7 @@ import (
 	"repro/internal/flit"
 	"repro/internal/route"
 	"repro/internal/router"
+	"repro/internal/telemetry"
 )
 
 // Client is the logic in a tile that uses the network. Tick runs once per
@@ -65,6 +66,10 @@ type Port struct {
 
 	canInject func(vc int) bool
 	accept    func(f *flit.Flit)
+
+	// probe is the tile's telemetry probe (shared with the tile's router);
+	// nil is the disabled fast path.
+	probe *telemetry.RouterProbe
 
 	pending  []*injection
 	reserved []*injection
@@ -310,6 +315,10 @@ func (p *Port) receive(flits []*flit.Flit, now int64) {
 				p.releasePartial(s)
 			}
 			p.net.aborted++
+			if p.probe != nil {
+				p.probe.AbortedPackets++
+				p.probe.Trace(telemetry.EvAbort, now, f.PacketID, int32(p.tile), 0)
+			}
 			if p.net.tracing {
 				p.net.trace("cycle=%d pkt=%d event=aborted dst=%d", now, f.PacketID, p.tile)
 			}
@@ -333,6 +342,11 @@ func (p *Port) receive(flits []*flit.Flit, now int64) {
 		d.Class, d.Flow = f.Class, f.Flow
 		d.Birth, d.Arrived, d.Flits = f.Birth, now, len(parts)
 		p.rx = append(p.rx, d)
+		if p.probe != nil {
+			p.probe.DeliveredFlits += int64(len(parts))
+			p.probe.DeliveredPackets++
+			p.probe.Trace(telemetry.EvEject, now, f.PacketID, int32(p.tile), int32(len(parts)))
+		}
 		p.net.recorder.packetDone(f, len(parts), now)
 		if p.net.tracing {
 			p.net.trace("cycle=%d pkt=%d event=delivered src=%d dst=%d latency=%d netlatency=%d",
@@ -519,10 +533,16 @@ func (p *Port) injectFlit(in *injection, now int64) {
 	if in.next == 0 {
 		in.inject = now
 		p.net.recorder.InjectedPackets++
+		if p.probe != nil {
+			p.probe.Trace(telemetry.EvInject, now, f.PacketID, int32(f.Src), int32(f.Dst))
+		}
 		if p.net.tracing {
 			p.net.trace("cycle=%d pkt=%d event=injected src=%d dst=%d vc=%d queued=%d",
 				now, f.PacketID, f.Src, f.Dst, f.VC, now-f.Birth)
 		}
+	}
+	if p.probe != nil {
+		p.probe.InjectedFlits++
 	}
 	f.Inject = in.inject
 	in.next++

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/flit"
 	"repro/internal/route"
+	"repro/internal/telemetry"
 )
 
 // SwitchArbitrate performs virtual-channel allocation and switch
@@ -46,10 +47,50 @@ func (r *Router) SwitchArbitrate(now int64) {
 			}
 		}
 		win := ic.arb.Grant(req)
+		if r.probe != nil {
+			r.noteArbitration(pi, ic, req, win, now)
+		}
 		if win < 0 {
 			continue
 		}
 		r.moveFlit(pi, ic.vcs[win], now)
+	}
+}
+
+// noteArbitration classifies, for telemetry, why each waiting flit of input
+// port pi did not move this cycle: it lost the switch grant (or was masked
+// out by a priority class), its output's staging buffer was occupied, or it
+// lacked a downstream VC/credit. Only runs with a probe attached, so the
+// disabled path pays nothing.
+func (r *Router) noteArbitration(pi int, ic *inputController, req []bool, win int, now int64) {
+	for v, st := range ic.vcs {
+		if v == r.cfg.ReservedVC || r.vcIsStuck(pi, v) || st.bufLen() == 0 || !st.routed {
+			continue
+		}
+		if req[v] {
+			if v != win {
+				r.probe.ArbLosses++
+			}
+			continue
+		}
+		if r.eligible(pi, st, now) {
+			// Eligible but masked out of the request vector by a
+			// priority class: an arbitration loss to higher traffic.
+			r.probe.ArbLosses++
+			continue
+		}
+		f := st.front()
+		if r.deadOut[portIndex(st.outPort)] {
+			continue // drained by FaultSweep, not a flow-control stall
+		}
+		if r.cfg.NonSpeculative && f.Type.IsHead() && st.routedAt == now {
+			continue // the deliberate non-speculative pipeline bubble
+		}
+		if r.outputs[portIndex(st.outPort)].staging[pi] != nil {
+			r.probe.StageStalls++
+		} else {
+			r.probe.CreditStalls++
+		}
 	}
 }
 
@@ -78,6 +119,9 @@ func (r *Router) moveReserved(now int64) {
 		oc.bypass = append(oc.bypass, f)
 		r.creditUpstream(pi, inVC)
 		r.Stats.BypassMoves++
+		if r.probe != nil {
+			r.probe.BypassMoves++
+		}
 		if r.cfg.Meter != nil {
 			r.cfg.Meter.AddHop()
 		}
@@ -261,6 +305,12 @@ func (r *Router) moveFlit(pi int, st *vcState, now int64) {
 	oc.staging[pi] = f
 	r.creditUpstream(pi, inVC)
 	r.Stats.SwitchMoves++
+	if r.probe != nil {
+		r.probe.SwitchMoves++
+		if f.Type.IsHead() {
+			r.probe.Trace(telemetry.EvXbar, now, f.PacketID, int32(r.cfg.ID), int32(f.VC))
+		}
+	}
 	if r.cfg.Meter != nil {
 		r.cfg.Meter.AddHop()
 	}
@@ -307,8 +357,14 @@ func (r *Router) LinkArbitrate(now int64) {
 			if idx := findFlow(oc.bypass, flow); idx >= 0 {
 				f := oc.bypass[idx]
 				oc.bypass = append(oc.bypass[:idx], oc.bypass[idx+1:]...)
+				if r.probe != nil {
+					r.probe.ResHits++
+				}
 				r.mustSend(oc, f)
 				continue
+			}
+			if r.probe != nil {
+				r.probe.ResMisses++
 			}
 			if !oc.table.WorkConserving {
 				continue // strict TDM: unclaimed reserved slot idles
@@ -350,6 +406,9 @@ func (r *Router) ejectOne(oc *outputController) {
 		oc.bypass = oc.bypass[1:]
 		r.ejectQ = append(r.ejectQ, f)
 		r.Stats.Ejected++
+		if r.probe != nil {
+			r.probe.EjectedFlits++
+		}
 		return
 	}
 	req := oc.req
@@ -368,6 +427,9 @@ func (r *Router) ejectOne(oc *outputController) {
 	oc.staging[w] = nil
 	r.ejectQ = append(r.ejectQ, f)
 	r.Stats.Ejected++
+	if r.probe != nil {
+		r.probe.EjectedFlits++
+	}
 }
 
 func findFlow(flits []*flit.Flit, flow int) int {

@@ -8,6 +8,7 @@ import (
 	"repro/internal/link"
 	"repro/internal/power"
 	"repro/internal/route"
+	"repro/internal/telemetry"
 )
 
 // NumPorts is the number of router ports: four compass directions plus the
@@ -228,6 +229,10 @@ type Router struct {
 	// pooled network's flit accounting balanced.
 	pool *flit.Pool
 
+	// probe, when non-nil, receives telemetry events from the router
+	// phases. The nil fast path keeps the cycle loop allocation-free.
+	probe *telemetry.RouterProbe
+
 	Stats Stats
 }
 
@@ -353,6 +358,24 @@ func (r *Router) SetAdaptiveRoute(fn func(tile, dst int) []route.Dir) {
 // discards are recycled into it and abort tails are drawn from it.
 func (r *Router) SetPool(p *flit.Pool) { r.pool = p }
 
+// SetProbe attaches the router's telemetry probe (nil disables telemetry).
+func (r *Router) SetProbe(rp *telemetry.RouterProbe) { r.probe = rp }
+
+// SampleTelemetry contributes the current per-VC input-buffer occupancy to
+// the probe's time series. Called by the network's sampling phase; no-op
+// without a probe.
+func (r *Router) SampleTelemetry() {
+	if r.probe == nil {
+		return
+	}
+	for _, ic := range r.inputs {
+		for v, st := range ic.vcs {
+			r.probe.VCOccSum[v] += int64(st.bufLen())
+		}
+	}
+	r.probe.Samples++
+}
+
 // Reservations exposes the reservation table of the output port in
 // direction d, so the network-level scheduler can book slots.
 func (r *Router) Reservations(d route.Dir) *ResTable {
@@ -466,6 +489,10 @@ func (r *Router) RouteCompute(now int64) {
 			}
 			st.routed = true
 			st.routedAt = now
+			if r.probe != nil {
+				r.probe.Routed++
+				r.probe.Trace(telemetry.EvRoute, now, f.PacketID, int32(r.cfg.ID), int32(st.outPort))
+			}
 		}
 	}
 }

@@ -1,0 +1,257 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/route"
+)
+
+func TestRegisterIdempotent(t *testing.T) {
+	p := New(Config{})
+	a := p.RegisterRouter(3, 4)
+	b := p.RegisterRouter(3, 4)
+	if a != b {
+		t.Fatal("RegisterRouter(3) returned two probes")
+	}
+	if len(a.VCOccSum) != 4 {
+		t.Fatalf("VCOccSum len = %d, want 4", len(a.VCOccSum))
+	}
+	la := p.RegisterLink(2, 0, 1, route.East, 1, 0, 0)
+	lb := p.RegisterLink(2, 0, 1, route.East, 1, 0, 0)
+	if la != lb {
+		t.Fatal("RegisterLink(2) returned two probes")
+	}
+	if p.Links[0] != nil || p.Links[1] != nil {
+		t.Fatal("unregistered link slots should stay nil")
+	}
+	if la.DeadAt != -1 {
+		t.Fatalf("fresh link DeadAt = %d, want -1", la.DeadAt)
+	}
+}
+
+func TestLinkUtil(t *testing.T) {
+	lp := &LinkProbe{Serdes: 2}
+	for i := 0; i < 10; i++ {
+		lp.OnSend(i%2 == 0)
+	}
+	if lp.Flits != 10 || lp.HeadFlits != 5 {
+		t.Fatalf("Flits=%d HeadFlits=%d, want 10/5", lp.Flits, lp.HeadFlits)
+	}
+	if got := lp.Util(40); got != 0.5 {
+		t.Fatalf("Util(40) = %v, want 0.5 (10 flits x serdes 2)", got)
+	}
+	if got := lp.Util(10); got != 1 {
+		t.Fatalf("Util must cap at 1, got %v", got)
+	}
+	if got := lp.Util(0); got != 0 {
+		t.Fatalf("Util(0) = %v, want 0", got)
+	}
+}
+
+func TestAddSampleCumulative(t *testing.T) {
+	p := New(Config{SampleEvery: 10})
+	rp := p.RegisterRouter(0, 2)
+	lp := p.RegisterLink(0, 0, 1, route.East, 1, 0, 0)
+	rp.SwitchMoves, rp.ArbLosses, rp.EjectedFlits = 7, 2, 5
+	lp.Flits = 11
+	p.AddSample(10, 3, 1)
+	rp.SwitchMoves = 9
+	p.AddSample(20, 0, 0)
+	if len(p.Series) != 2 {
+		t.Fatalf("series rows = %d, want 2", len(p.Series))
+	}
+	r0, r1 := p.Series[0], p.Series[1]
+	if r0.Cycle != 10 || r0.BufOcc != 3 || r0.LinkInFlight != 1 {
+		t.Fatalf("row0 = %+v", r0)
+	}
+	if r0.SwitchMoves != 7 || r0.ArbLosses != 2 || r0.Delivered != 5 || r0.LinkFlits != 11 {
+		t.Fatalf("row0 counters = %+v", r0)
+	}
+	if r1.SwitchMoves != 9 {
+		t.Fatalf("row1.SwitchMoves = %d, want cumulative 9", r1.SwitchMoves)
+	}
+}
+
+func TestTracerBounded(t *testing.T) {
+	p := New(Config{Trace: true, MaxTraceEvents: 3})
+	rp := p.RegisterRouter(0, 1)
+	for i := 0; i < 5; i++ {
+		rp.Trace(EvRoute, int64(i), 1, 0, 0)
+	}
+	tr := p.Tracer()
+	if len(tr.Events()) != 3 {
+		t.Fatalf("recorded %d events, want 3 (cap)", len(tr.Events()))
+	}
+	if tr.Dropped() != 2 {
+		t.Fatalf("dropped = %d, want 2", tr.Dropped())
+	}
+}
+
+func TestTraceDisabledIsNilSafe(t *testing.T) {
+	p := New(Config{})
+	rp := p.RegisterRouter(0, 1)
+	if rp.Tracing() {
+		t.Fatal("Tracing() true without Config.Trace")
+	}
+	rp.Trace(EvRoute, 1, 1, 0, 0) // must not panic
+	if p.Tracer() != nil {
+		t.Fatal("Tracer() non-nil without Config.Trace")
+	}
+	var sb strings.Builder
+	if err := p.WriteChromeTrace(&sb); err == nil {
+		t.Fatal("WriteChromeTrace should error when tracing is off")
+	}
+}
+
+func TestChromeTraceAndTimeline(t *testing.T) {
+	p := New(Config{Trace: true})
+	rp := p.RegisterRouter(0, 1)
+	lp := p.RegisterLink(0, 0, 1, route.East, 1, 0, 0)
+	rp.Trace(EvInject, 0, 1, 0, 1)
+	rp.Trace(EvRoute, 1, 1, 0, int32(route.East))
+	rp.Trace(EvXbar, 1, 1, 0, 0)
+	lp.TraceHead(2, 1)
+	rp.Trace(EvEject, 3, 1, 1, 2)
+	p.OnLinkDead(0, 4)
+
+	var sb strings.Builder
+	if err := p.WriteChromeTrace(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`"traceEvents"`, `"ph": "X"`, `"ph": "i"`, `"ph": "M"`,
+		`pkt 1 0-`, `"inject"`, `"route"`, `"xbar"`, `"link"`, `"eject"`, `"link-dead"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chrome trace missing %s", want)
+		}
+	}
+
+	line := p.PacketTimeline(1)
+	for _, want := range []string{"pkt 1:", "inject@0[0->1]", "route@1[t0 E]", "wire@2[L0]", "eject@3[t1] net=3"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("timeline %q missing %q", line, want)
+		}
+	}
+	if p.PacketTimeline(99) != "" {
+		t.Error("unknown packet should have an empty timeline")
+	}
+	var tl strings.Builder
+	if err := p.WriteTimelines(&tl, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tl.String(), "pkt 1:") {
+		t.Errorf("WriteTimelines output %q missing packet 1", tl.String())
+	}
+}
+
+func TestMetricsCSVSections(t *testing.T) {
+	p := New(Config{SampleEvery: 5})
+	rp := p.RegisterRouter(0, 2)
+	p.RegisterLink(0, 0, 1, route.East, 1, 0, 0)
+	rp.VCOccSum[0], rp.VCOccSum[1], rp.Samples = 4, 2, 2
+	p.AddSample(5, 6, 0)
+	p.Elapsed = 100
+	var sb strings.Builder
+	if err := p.WriteMetricsCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, section := range []string{"# routers", "# vcs", "# links", "# series"} {
+		if !strings.Contains(out, section+"\n") {
+			t.Errorf("CSV missing section %q", section)
+		}
+	}
+	if !strings.Contains(out, "0,0,2.0000\n") || !strings.Contains(out, "0,1,1.0000\n") {
+		t.Errorf("per-VC mean occupancy rows wrong:\n%s", out)
+	}
+}
+
+func TestHeatmapGrid(t *testing.T) {
+	p := New(Config{})
+	p.SetGrid(2, 2)
+	// Tiles 0..3 at physical positions (0,0) (1,0) (0,1) (1,1), one
+	// outgoing link each; tile 3's is saturated.
+	for tile := 0; tile < 4; tile++ {
+		lp := p.RegisterLink(tile, tile, (tile+1)%4, route.East, 1, tile%2, tile/2)
+		if tile == 3 {
+			lp.Flits = 100
+		}
+	}
+	p.Elapsed = 100
+	hm := p.Heatmap()
+	lines := strings.Split(strings.TrimRight(hm, "\n"), "\n")
+	if len(lines) != 3 { // header + 2 rows
+		t.Fatalf("heatmap has %d lines, want 3:\n%s", len(lines), hm)
+	}
+	// Row order is y=1 first; tile 3 sits at (1,1) so its 100% cell
+	// belongs on the first grid row.
+	if !strings.Contains(lines[1], "3:100%") {
+		t.Errorf("top row %q missing saturated tile 3", lines[1])
+	}
+	if !strings.Contains(lines[2], "0:  0%") {
+		t.Errorf("bottom row %q missing idle tile 0", lines[2])
+	}
+
+	var sb strings.Builder
+	if err := p.WriteHeatmapCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	rows := strings.Split(strings.TrimRight(sb.String(), "\n"), "\n")
+	if len(rows) != 2 || rows[0] != "0.0000,1.0000" || rows[1] != "0.0000,0.0000" {
+		t.Errorf("heatmap CSV = %q", sb.String())
+	}
+
+	if (&Probe{}).Heatmap() != "" {
+		t.Error("grid-less probe should render an empty heatmap")
+	}
+	if err := (&Probe{}).WriteHeatmapCSV(&sb); err == nil {
+		t.Error("grid-less WriteHeatmapCSV should error")
+	}
+}
+
+func TestMetricsTableTotals(t *testing.T) {
+	p := New(Config{})
+	for tile := 0; tile < 2; tile++ {
+		rp := p.RegisterRouter(tile, 1)
+		rp.InjectedFlits, rp.EjectedFlits = 10, 10
+		rp.DeliveredFlits, rp.DeliveredPackets = 10, 5
+		rp.SwitchMoves, rp.ArbLosses = 20, int64(tile)
+	}
+	lp := p.RegisterLink(0, 0, 1, route.East, 1, 0, 0)
+	lp.Flits = 7
+	p.Elapsed = 50
+	out := p.MetricsTable()
+	for _, want := range []string{
+		"telemetry over 50 cycles",
+		"injected 20  ejected 20  delivered 20 (10 packets)",
+		"moves 40",
+		"arbitration losses 1",
+		"most-contended routers (stall events):  t1:1",
+		"L0 0-E: 7 flits",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	if p.TotalLinkFlits() != 7 || p.TotalDeliveredFlits() != 20 || p.TotalEjectedFlits() != 20 {
+		t.Errorf("totals: link=%d delivered=%d ejected=%d", p.TotalLinkFlits(), p.TotalDeliveredFlits(), p.TotalEjectedFlits())
+	}
+}
+
+func TestFaultAccounting(t *testing.T) {
+	p := New(Config{})
+	p.RegisterLink(1, 0, 1, route.East, 1, 0, 0)
+	p.OnLinkDead(1, 42)
+	p.OnFault(40, 2, 7)
+	if p.DeadLinks != 1 || p.Links[1].DeadAt != 42 || p.FaultsApplied != 1 {
+		t.Errorf("dead=%d deadAt=%d faults=%d", p.DeadLinks, p.Links[1].DeadAt, p.FaultsApplied)
+	}
+	p.Observe(100)
+	p.Observe(50)
+	if p.Elapsed != 100 {
+		t.Errorf("Observe must be monotonic, Elapsed=%d", p.Elapsed)
+	}
+}
