@@ -16,16 +16,22 @@ vet:
 race:
 	$(GO) test -race ./...
 
-# ci is the gate: everything compiles, vets clean, and passes under the
-# race detector. The telemetry layer and its CLI glue are vetted and
-# race-tested explicitly so a future build-tag or test-cache quirk can't
-# silently drop them from the sweep.
+# ci is the gate: everything compiles, vets clean, passes under the race
+# detector (which includes the cross-shard determinism suite exercising
+# the lockstep worker pool), and the hot-path benchmarks stay within 50%
+# of the committed BENCH_cycles.json snapshot with no new allocations.
+# The loose margin absorbs machine-to-machine noise on a short benchtime;
+# `make bench` is the precise record. The telemetry layer and its CLI
+# glue are vetted and race-tested explicitly so a future build-tag or
+# test-cache quirk can't silently drop them from the sweep.
 ci:
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) vet ./internal/telemetry ./cmd/internal/obs
 	$(GO) test -race ./internal/telemetry
 	$(GO) test -race ./...
+	$(GO) test -run '^$$' -bench 'NetworkCycle$$|NetworkCycle64$$|RouteCompute' -benchtime 200ms -benchmem . \
+		| $(GO) run ./cmd/benchjson -against BENCH_cycles.json -max-regress 50
 
 # fuzz gives the fault-campaign parser a short randomized budget; the
 # corpus seeds in internal/fault/fuzz_test.go always run under plain test.
@@ -36,11 +42,14 @@ fuzz:
 # long enough for stable ns/op and allocs/op, the E-suite benchmarks run
 # once each, and cmd/benchjson folds everything into BENCH_cycles.json
 # (simulated cycles/sec, allocs/op) for diffing across commits. The
-# NetworkCycle pattern also matches NetworkCycleProbesOff/ProbesOn, the
-# telemetry-overhead pair, so the probe-layer cost is tracked in the same
-# JSON.
+# NetworkCycle pattern also matches NetworkCycleProbesOff/ProbesOn (the
+# telemetry-overhead pair) and the NetworkCycle64Shards{2,4,8} lockstep
+# worker-pool runs; the shard benchmarks are recorded at GOMAXPROCS=1
+# (barrier overhead, no speedup possible) and GOMAXPROCS=8 (the parallel
+# case), keyed by the -procs suffix benchjson parses into each row.
 bench:
-	{ $(GO) test -run '^$$' -bench 'NetworkCycle|RouteCompute|ECCRoundTrip|PacketSegmentation' -benchtime 1s -benchmem . ; \
+	{ GOMAXPROCS=1 $(GO) test -run '^$$' -bench 'NetworkCycle|RouteCompute|ECCRoundTrip|PacketSegmentation' -benchtime 1s -benchmem . ; \
+	  GOMAXPROCS=8 $(GO) test -run '^$$' -bench 'NetworkCycle64' -benchtime 1s -benchmem . ; \
 	  $(GO) test -run '^$$' -bench 'BenchmarkE[0-9]' -benchtime 1x -benchmem . ; } | $(GO) run ./cmd/benchjson -o BENCH_cycles.json
 
 clean:

@@ -5,6 +5,13 @@
 // metric. `make bench` wires it up.
 //
 //	go test -run '^$' -bench NetworkCycle -benchmem . | benchjson -o BENCH_cycles.json
+//
+// With -against it is the regression gate instead: parsed results are
+// compared to a previously written record and the process exits non-zero
+// when ns/op or allocs/op regress beyond -max-regress percent. `make ci`
+// runs a short pass against the committed snapshot.
+//
+//	go test -run '^$' -bench NetworkCycle -benchmem . | benchjson -against BENCH_cycles.json -max-regress 10
 package main
 
 import (
@@ -21,8 +28,12 @@ import (
 
 // Result is one parsed benchmark line.
 type Result struct {
-	Name        string  `json:"name"`
-	Iterations  int64   `json:"iterations"`
+	Name       string `json:"name"`
+	Iterations int64  `json:"iterations"`
+	// Procs is the GOMAXPROCS the benchmark ran at (go test's -N name
+	// suffix; 1 when absent). The shard benchmarks run at several widths,
+	// so (name, procs) is the record key.
+	Procs       int     `json:"procs,omitempty"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
@@ -41,7 +52,15 @@ type Record struct {
 
 func main() {
 	out := flag.String("o", "BENCH_cycles.json", "output JSON path")
+	against := flag.String("against", "", "baseline record to compare against (regression gate)")
+	maxRegress := flag.Float64("max-regress", 10, "allowed ns/op and allocs/op regression, percent")
 	flag.Parse()
+	outSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "o" {
+			outSet = true
+		}
+	})
 
 	rec := Record{
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
@@ -65,6 +84,21 @@ func main() {
 	if len(rec.Benchmarks) == 0 {
 		fatal(fmt.Errorf("no benchmark lines on stdin (pipe `go test -bench -benchmem` output)"))
 	}
+	if *against != "" {
+		regressions, err := compare(*against, rec.Benchmarks, *maxRegress)
+		if err != nil {
+			fatal(err)
+		}
+		if regressions > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: %d regression(s) beyond %.0f%%\n", regressions, *maxRegress)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: no regressions beyond %.0f%% across %d benchmarks\n",
+			*maxRegress, len(rec.Benchmarks))
+		if !outSet {
+			return // compare mode only rewrites the record when asked
+		}
+	}
 	data, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {
 		fatal(err)
@@ -76,26 +110,86 @@ func main() {
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(rec.Benchmarks), *out)
 }
 
+// compare checks every new result against the baseline record and reports
+// the number of regressions. A result matches its baseline by (name,
+// procs), falling back to a name-only match so records written before
+// multi-procs runs (or at another machine's width) still gate. New ns/op
+// may exceed old by at most maxPct percent; allocs/op likewise, except
+// that any allocation appearing in a previously allocation-free benchmark
+// is a regression outright (0 * 1.10 is still 0).
+func compare(path string, results []Result, maxPct float64) (regressions int, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	var base Record
+	if err := json.Unmarshal(data, &base); err != nil {
+		return 0, fmt.Errorf("%s: %w", path, err)
+	}
+	find := func(name string, procs int) *Result {
+		var byName *Result
+		for i := range base.Benchmarks {
+			b := &base.Benchmarks[i]
+			if b.Name != name {
+				continue
+			}
+			bp := b.Procs
+			if bp == 0 {
+				bp = 1
+			}
+			if bp == procs {
+				return b
+			}
+			if byName == nil {
+				byName = b
+			}
+		}
+		return byName
+	}
+	for _, r := range results {
+		old := find(r.Name, r.Procs)
+		if old == nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %s-%d: new benchmark, no baseline\n", r.Name, r.Procs)
+			continue
+		}
+		limit := old.NsPerOp * (1 + maxPct/100)
+		if r.NsPerOp > limit {
+			fmt.Fprintf(os.Stderr, "benchjson: REGRESSION %s-%d: %.0f ns/op vs baseline %.0f (+%.1f%%, limit %.0f%%)\n",
+				r.Name, r.Procs, r.NsPerOp, old.NsPerOp, 100*(r.NsPerOp/old.NsPerOp-1), maxPct)
+			regressions++
+		}
+		allocLimit := int64(float64(old.AllocsPerOp) * (1 + maxPct/100))
+		if r.AllocsPerOp > allocLimit {
+			fmt.Fprintf(os.Stderr, "benchjson: REGRESSION %s-%d: %d allocs/op vs baseline %d\n",
+				r.Name, r.Procs, r.AllocsPerOp, old.AllocsPerOp)
+			regressions++
+		}
+	}
+	return regressions, nil
+}
+
 // parseLine parses one `go test -bench` result line, e.g.
 //
-//	BenchmarkNetworkCycle   233782   9793 ns/op   0 B/op   0 allocs/op
+//	BenchmarkNetworkCycle-8   233782   9793 ns/op   0 B/op   0 allocs/op
 func parseLine(line string) (Result, bool) {
 	fields := strings.Fields(line)
 	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
 		return Result{}, false
 	}
 	name := strings.TrimPrefix(fields[0], "Benchmark")
-	// Strip the -<procs> suffix go test appends (Benchmark...-8).
+	procs := 1
+	// Split off the -<procs> suffix go test appends (absent at GOMAXPROCS=1).
 	if i := strings.LastIndex(name, "-"); i > 0 {
-		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+		if p, err := strconv.Atoi(name[i+1:]); err == nil {
 			name = name[:i]
+			procs = p
 		}
 	}
 	iters, err := strconv.ParseInt(fields[1], 10, 64)
 	if err != nil {
 		return Result{}, false
 	}
-	r := Result{Name: name, Iterations: iters}
+	r := Result{Name: name, Iterations: iters, Procs: procs}
 	for i := 2; i+1 < len(fields); i += 2 {
 		v := fields[i]
 		switch fields[i+1] {

@@ -26,10 +26,16 @@ func main() {
 		quick    = flag.Bool("quick", false, "shorter measurement windows")
 		markdown = flag.Bool("markdown", false, "emit Markdown tables")
 		par      = flag.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		shards   = flag.Int("shards", 1, "intra-cycle shards per simulation, identical results (0 = GOMAXPROCS, 1 = sequential); composes with -parallel")
 	)
 	obsFlags := obs.Register()
 	flag.Parse()
 	core.SetParallelism(*par)
+	if *shards < 0 {
+		fmt.Fprintf(os.Stderr, "nocbench: -shards must be >= 0 (0 = GOMAXPROCS); got %d\n", *shards)
+		os.Exit(1)
+	}
+	core.SetShards(*shards)
 
 	stopProf, err := obsFlags.StartPprof()
 	if err != nil {

@@ -49,6 +49,7 @@ func main() {
 		faults   = flag.String("faults", "", "fault campaign spec, e.g. 'kill,link=9,at=500;stall,tile=6,port=W,at=800,until=1100'")
 		mtbf     = flag.Float64("mtbf", 0, "mean cycles between stochastic faults (0 disables)")
 		watchdog = flag.Int("watchdog", 64, "credit-starvation watchdog threshold, cycles (campaign runs)")
+		shards   = flag.Int("shards", 1, "intra-cycle shards: routers simulated in parallel, identical results (0 = GOMAXPROCS, 1 = sequential)")
 	)
 	obsFlags := obs.Register()
 	flag.Parse()
@@ -103,6 +104,9 @@ func main() {
 	if *serdes < 1 {
 		fatal(fmt.Errorf("-serdes must be >= 1 link cycles per flit; got %d", *serdes))
 	}
+	if *shards < 0 {
+		fatal(fmt.Errorf("-shards must be >= 0 (0 = GOMAXPROCS); got %d", *shards))
+	}
 	if *warmup < 0 || *measure < 1 {
 		fatal(fmt.Errorf("need -warmup >= 0 and -measure >= 1; got %d, %d", *warmup, *measure))
 	}
@@ -146,7 +150,17 @@ func main() {
 	p.WarmupCycles = *warmup
 	p.MeasureCycles = *measure
 	p.Seed = *seed
-	p.Metered = true
+	// The power meter is a globally ordered accumulator, so a metered
+	// network always falls back to the sequential loop; a sharded run
+	// trades the energy lines for speed.
+	p.Metered = *shards == 1
+	if !p.Metered {
+		fmt.Fprintln(os.Stderr, "nocsim: note: -shards disables the power meter (energy lines omitted)")
+	}
+	p.Shards = *shards
+	if *shards == 0 {
+		p.Shards = -1 // core: explicit GOMAXPROCS request
+	}
 	switch *mode {
 	case "vc":
 	case "drop":

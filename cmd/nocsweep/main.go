@@ -28,10 +28,16 @@ func main() {
 		measure  = flag.Int64("measure", 4000, "measurement cycles")
 		seed     = flag.Int64("seed", 1, "random seed")
 		par      = flag.Int("parallel", 0, "concurrent sweep points (0 = GOMAXPROCS)")
+		shards   = flag.Int("shards", 1, "intra-cycle shards per simulation, identical results (0 = GOMAXPROCS, 1 = sequential); composes with -parallel")
 	)
 	obsFlags := obs.Register()
 	flag.Parse()
 	core.SetParallelism(*par)
+	if *shards < 0 {
+		fmt.Fprintf(os.Stderr, "nocsweep: -shards must be >= 0 (0 = GOMAXPROCS); got %d\n", *shards)
+		os.Exit(1)
+	}
+	core.SetShards(*shards)
 
 	var rates []float64
 	for _, s := range strings.Split(*rateList, ",") {

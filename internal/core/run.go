@@ -39,6 +39,26 @@ func SetParallelism(n int) {
 // Parallelism reports the current worker-pool width (0 = GOMAXPROCS).
 func Parallelism() int { return int(atomic.LoadInt64(&parallelism)) }
 
+// shards is the default intra-cycle shard count for networks built by this
+// package: 1 (sequential) unless overridden by SetShards or per-run via
+// RunParams.Shards. Unlike parallelism (across independent sweep points),
+// sharding parallelizes the phases *within* one simulation, with
+// byte-identical results (see internal/network/shard.go).
+var shards int64 = 1
+
+// SetShards sets the default intra-cycle shard count for subsequently
+// built networks. 0 selects GOMAXPROCS, 1 restores the sequential loop;
+// n < 0 is clamped to 1.
+func SetShards(n int) {
+	if n < 0 {
+		n = 1
+	}
+	atomic.StoreInt64(&shards, int64(n))
+}
+
+// Shards reports the default intra-cycle shard count (0 = GOMAXPROCS).
+func Shards() int { return int(atomic.LoadInt64(&shards)) }
+
 // simulatedCycles accumulates the kernel cycles executed by Run and
 // RunCampaign across all goroutines, so the CLIs can report simulated
 // cycles per wall-clock second.
@@ -91,6 +111,12 @@ type RunParams struct {
 	// built for this run. The same probe must not be shared across
 	// concurrent runs (Sweep); instrument a dedicated run instead.
 	Probe *telemetry.Probe
+
+	// Shards is the intra-cycle shard count for this run's network
+	// (network.Config.Shards): 0 defers to the package default
+	// (SetShards), negative means GOMAXPROCS explicitly. Results are
+	// byte-identical at any shard count.
+	Shards int
 }
 
 // DefaultRunParams returns the paper's baseline configuration under
@@ -175,9 +201,17 @@ func BuildNetwork(p RunParams) (*network.Network, *power.Meter, error) {
 	if p.Metered {
 		meter = power.NewMeter(PaperPowerModel())
 	}
+	sh := p.Shards
+	if sh == 0 {
+		sh = Shards()
+	}
+	if sh < 0 {
+		sh = 0 // explicit GOMAXPROCS request -> network auto
+	}
 	cfg := network.Config{
 		Topo:         topo,
 		Router:       rc,
+		Shards:       sh,
 		SerdesCycles: p.SerdesCycles,
 		Deflect:      p.Deflect,
 		ElasticLinks: p.ElasticLinks,

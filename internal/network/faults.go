@@ -60,6 +60,9 @@ func (n *Network) declareDead(i int, now int64) {
 	le.l.SetDown(true)
 	n.routers[le.from].KillOutput(le.dir)
 	n.routers[le.to].AbandonInput(le.dir.Opposite(), now)
+	// AbandonInput synthesizes abort tails into the receiver's input
+	// buffers; put it on its shard's worklist so they route and eject.
+	n.activate(le.to)
 	n.reroutePending()
 	if n.probe != nil {
 		n.probe.OnLinkDead(i, now)
@@ -145,7 +148,7 @@ func (n *Network) reroutePending() {
 				// The injection never started, so every flit is still
 				// ours: recycle them and the injection itself.
 				for _, f := range in.flits {
-					n.pool.Put(f)
+					p.pool.Put(f)
 				}
 				p.putInjection(in)
 				continue

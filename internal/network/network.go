@@ -70,6 +70,15 @@ type Config struct {
 	// lifecycle tracing. Nil keeps every hook on its zero-cost path and
 	// registers no extra phase.
 	Probe *telemetry.Probe
+
+	// Shards is the intra-cycle parallelism: tiles and links are
+	// partitioned into this many contiguous shards and each kernel phase
+	// runs concurrently across them, with byte-identical results to the
+	// sequential loop (see shard.go). 0 selects GOMAXPROCS; 1 (the
+	// default) is the classic sequential loop. Configurations with
+	// globally ordered side effects — PhysWires, a Meter, a TraceWriter,
+	// or telemetry lifecycle tracing — force 1.
+	Shards int
 }
 
 // routeCacheMaxTiles bounds the route cache: above this tile count the
@@ -99,10 +108,14 @@ type Network struct {
 	recorder *Recorder
 	nextID   uint64
 
-	// pool recycles every flit the network creates: segments drawn at
-	// injection return at ejection, on drop, or on abort. One pool per
-	// network; the cycle loop is single-goroutine, so no locking.
-	pool flit.Pool
+	// shards partitions the tiles and links for intra-cycle parallelism
+	// (shard.go); one entry (the whole network) on the sequential path.
+	// Each shard owns the flit pool its components recycle through.
+	// shardOf maps tile -> owning shard; onList backs the per-shard
+	// active-router worklists.
+	shards  []*shardState
+	shardOf []int
+	onList  []bool
 
 	// tracing caches cfg.TraceWriter != nil so hot paths skip the variadic
 	// trace call (whose argument boxing allocates) when tracing is off.
@@ -240,11 +253,14 @@ func New(cfg Config) (*Network, error) {
 			}
 		}
 	}
+	n.initShards(effectiveShards(cfg, tiles))
 	for _, r := range n.routers {
-		r.SetPool(&n.pool)
+		r.SetPool(&n.shards[n.shardOf[r.ID()]].pool)
 	}
 	for _, le := range n.links {
-		le.l.SetPool(&n.pool)
+		// A link recycles flits during Deliver (drop on a dead link), so it
+		// draws from the pool of the shard that owns it: the receiver's.
+		le.l.SetPool(&n.shards[n.shardOf[le.to]].pool)
 	}
 	if n.probe != nil {
 		// Every tile gets a probe (the port-level counters apply in all
@@ -261,7 +277,8 @@ func New(cfg Config) (*Network, error) {
 		}
 	}
 	for tile := 0; tile < tiles; tile++ {
-		p := &Port{tile: tile, net: n}
+		sh := n.shards[n.shardOf[tile]]
+		p := &Port{tile: tile, net: n, shard: sh, pool: &sh.pool}
 		if n.probe != nil {
 			p.probe = n.probe.Routers[tile]
 		}
@@ -271,7 +288,7 @@ func New(cfg Config) (*Network, error) {
 			p.accept = func(f *flit.Flit) { n.defls[tile].AcceptFlit(f, route.Local) }
 		} else {
 			p.canInject = func(vc int) bool { return n.routers[tile].CanInject(vc) }
-			p.accept = func(f *flit.Flit) { n.routers[tile].AcceptFlit(f, route.Local) }
+			p.accept = func(f *flit.Flit) { n.acceptAt(tile, f, route.Local) }
 		}
 		n.ports = append(n.ports, p)
 	}
@@ -341,99 +358,26 @@ func (n *Network) preferredDir(tile, dst int) route.Dir {
 	return path[0]
 }
 
-// registerPhases wires the five-phase cycle described in DESIGN.md:
-// deliver, route, link arbitration, switch arbitration, clients.
+// registerPhases wires the cycle schedule described in DESIGN.md —
+// deliver, route, link arbitration, switch arbitration, then the client
+// half-cycle split into eject / clients / pump. Every phase except the
+// serial client Tick is registered sharded (shard.go); with one shard the
+// kernel runs the shard bodies inline, which *is* the classic sequential
+// loop, so both modes execute the same code and cannot diverge.
 func (n *Network) registerPhases() {
-	n.kernel.AddPhase("deliver", func(now sim.Cycle) {
-		for i, le := range n.links {
-			if le.l.Idle() {
-				// Active-set skip: nothing in flight in either direction.
-				// Only the utilization counter needs its idle tick.
-				le.l.Util.Tick(0)
-				if n.wdCredit != nil {
-					n.wdCredit[i] = false
-				}
-				continue
-			}
-			if n.cfg.ElasticLinks {
-				to, in := n.routers[le.to], le.dir.Opposite()
-				f := le.l.DeliverElastic(func(f *flit.Flit) bool {
-					return to.CanAccept(in, f.VC)
-				})
-				if f != nil {
-					to.AcceptFlit(f, in)
-				}
-				continue
-			}
-			f, credits := le.l.Deliver()
-			if n.wdCredit != nil {
-				n.wdCredit[i] = len(credits) > 0
-			}
-			if !n.cfg.Deflect && len(credits) > 0 {
-				n.routers[le.from].HandleCredits(le.dir, credits)
-			}
-			if f != nil {
-				if n.traceLinks && f.Type.IsHead() {
-					n.probe.Links[i].TraceHead(int64(now), f.PacketID)
-				}
-				if n.cfg.Deflect {
-					n.defls[le.to].AcceptFlit(f, le.dir.Opposite())
-				} else {
-					n.routers[le.to].AcceptFlit(f, le.dir.Opposite())
-				}
-			}
-		}
-	})
-	// The per-router phases skip routers holding no flits: with nothing
-	// buffered, staged, or bypassed, route computation and both
-	// arbitrations are no-ops (the round-robin arbiters only advance on a
-	// grant), so an idle router's cycle is free.
-	n.kernel.AddPhase("route", func(now sim.Cycle) {
-		for _, r := range n.routers {
-			if r.Occupancy() != 0 {
-				r.RouteCompute(now)
-			}
-		}
-	})
-	n.kernel.AddPhase("linkarb", func(now sim.Cycle) {
-		for _, r := range n.routers {
-			if r.Occupancy() != 0 {
-				r.LinkArbitrate(now)
-			}
-		}
-	})
-	n.kernel.AddPhase("switcharb", func(now sim.Cycle) {
-		for _, r := range n.routers {
-			if r.Occupancy() != 0 {
-				r.SwitchArbitrate(now)
-			}
-		}
-		for _, d := range n.defls {
-			d.Arbitrate(now)
-		}
-	})
-	n.kernel.AddPhase("clients", func(now sim.Cycle) {
-		for tile, p := range n.ports {
-			var ejected []*flit.Flit
-			if n.cfg.Deflect {
-				ejected = n.defls[tile].Eject()
-			} else {
-				ejected = n.routers[tile].Eject()
-			}
-			if len(ejected) > 0 {
-				p.receive(ejected, now)
-			}
-			p.deliverLoopbacks(now)
-		}
-		for tile, c := range n.clients {
-			if c != nil {
-				c.Tick(now, n.ports[tile])
-			}
-		}
-		for _, p := range n.ports {
-			p.pump(now)
-		}
-	})
+	k := n.kernel
+	k.SetShards(len(n.shards))
+	k.AddShardedPhase("deliver", n.deliverShard, n.deliverMerge)
+	// The router phases walk the per-shard active worklists: a router
+	// holding no flits has nothing buffered, staged, or bypassed, so route
+	// computation and both arbitrations are state no-ops (the round-robin
+	// arbiters only advance on a grant) and quiescent regions cost nothing.
+	k.AddShardedPhase("route", n.routeShard, nil)
+	k.AddShardedPhase("linkarb", n.linkarbShard, nil)
+	k.AddShardedPhase("switcharb", n.switcharbShard, nil)
+	k.AddShardedPhase("eject", n.ejectShard, n.ejectMerge)
+	k.AddPhase("clients", n.clientsTick)
+	k.AddShardedPhase("pump", n.pumpShard, n.pumpMerge)
 	if n.cfg.Watchdog > 0 {
 		n.wdStarve = make([]int64, len(n.links))
 		n.wdCredit = make([]bool, len(n.links))
@@ -478,9 +422,12 @@ func (n *Network) Router(tile int) *router.Router {
 // Kernel exposes the simulation kernel.
 func (n *Network) Kernel() *sim.Kernel { return n.kernel }
 
-// FlitPool exposes the network's flit free-list for leak accounting: after
-// a Drain, Outstanding() must equal zero.
-func (n *Network) FlitPool() *flit.Pool { return &n.pool }
+// FlitPool exposes shard 0's flit free-list for leak accounting: on the
+// sequential path (Shards()==1, the default) it is the network's only
+// pool, and after a Drain its Outstanding() must equal zero. Sharded
+// networks recycle flits through one pool per shard — use
+// FlitsOutstanding for the aggregate there.
+func (n *Network) FlitPool() *flit.Pool { return &n.shards[0].pool }
 
 // Recorder exposes the measurement recorder.
 func (n *Network) Recorder() *Recorder { return n.recorder }

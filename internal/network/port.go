@@ -64,6 +64,12 @@ type Port struct {
 	tile int
 	net  *Network
 
+	// shard is the tile's owning shard; recorder-bound counts and pool
+	// traffic go through it so the eject and pump phases stay shard-local
+	// (shard.go). pool aliases shard.pool.
+	shard *shardState
+	pool  *flit.Pool
+
 	canInject func(vc int) bool
 	accept    func(f *flit.Flit)
 
@@ -190,7 +196,7 @@ func (p *Port) Send(dst int, payload []byte, mask flit.VCMask, class int) (uint6
 		return 0, fmt.Errorf("network: %d-flit packet exceeds the %d-flit buffers cut-through requires", nf, rc.BufFlits)
 	}
 	in := p.getInjection()
-	in.flits = p.pkt.AppendFlits(in.flits[:0], &p.net.pool)
+	in.flits = p.pkt.AppendFlits(in.flits[:0], p.pool)
 	in.class, in.seq = class, id
 	p.pending = append(p.pending, in)
 	if p.net.tracing {
@@ -224,7 +230,7 @@ func (p *Port) SendReserved(dst int, payload []byte, flow int) (uint64, error) {
 	}
 	p.net.recorder.Generated++
 	in := p.getInjection()
-	in.flits = p.pkt.AppendFlits(in.flits[:0], &p.net.pool)
+	in.flits = p.pkt.AppendFlits(in.flits[:0], p.pool)
 	for _, f := range in.flits {
 		f.VC = rvc
 		f.Flow = flow
@@ -296,7 +302,7 @@ func (p *Port) findOrAddPartial(id uint64) *partialSlot {
 // releasePartial recycles a slot's flits into the pool and frees the slot.
 func (p *Port) releasePartial(s *partialSlot) {
 	for i, f := range s.flits {
-		p.net.pool.Put(f)
+		p.pool.Put(f)
 		s.flits[i] = nil
 	}
 	s.flits = s.flits[:0]
@@ -314,7 +320,7 @@ func (p *Port) receive(flits []*flit.Flit, now int64) {
 			if s := p.findPartial(f.PacketID); s != nil {
 				p.releasePartial(s)
 			}
-			p.net.aborted++
+			p.shard.aborted++
 			if p.probe != nil {
 				p.probe.AbortedPackets++
 				p.probe.Trace(telemetry.EvAbort, now, f.PacketID, int32(p.tile), 0)
@@ -322,7 +328,7 @@ func (p *Port) receive(flits []*flit.Flit, now int64) {
 			if p.net.tracing {
 				p.net.trace("cycle=%d pkt=%d event=aborted dst=%d", now, f.PacketID, p.tile)
 			}
-			p.net.pool.Put(f)
+			p.pool.Put(f)
 			continue
 		}
 		s := p.findOrAddPartial(f.PacketID)
@@ -347,7 +353,13 @@ func (p *Port) receive(flits []*flit.Flit, now int64) {
 			p.probe.DeliveredPackets++
 			p.probe.Trace(telemetry.EvEject, now, f.PacketID, int32(p.tile), int32(len(parts)))
 		}
-		p.net.recorder.packetDone(f, len(parts), now)
+		// Deferred recorder update: the flit is recycled below, so capture
+		// the fields packetDone needs; ejectMerge applies them in tile
+		// order behind the phase barrier.
+		p.shard.dones = append(p.shard.dones, doneRec{
+			birth: f.Birth, inject: f.Inject,
+			class: f.Class, flow: f.Flow, flits: len(parts),
+		})
 		if p.net.tracing {
 			p.net.trace("cycle=%d pkt=%d event=delivered src=%d dst=%d latency=%d netlatency=%d",
 				now, f.PacketID, f.Src, f.Dst, now-f.Birth, now-f.Inject)
@@ -398,8 +410,8 @@ func (p *Port) deliverLoopbacks(now int64) {
 		if p.loopAt[i] <= now {
 			d.Arrived = now
 			p.rx = append(p.rx, d)
-			p.net.recorder.DeliveredPackets++
-			p.net.recorder.DeliveredFlits += int64(d.Flits)
+			p.shard.delivered++
+			p.shard.deliveredFlits += int64(d.Flits)
 		} else {
 			keep = append(keep, d)
 			keepAt = append(keepAt, p.loopAt[i])
@@ -532,7 +544,7 @@ func (p *Port) injectFlit(in *injection, now int64) {
 	f := in.flits[in.next]
 	if in.next == 0 {
 		in.inject = now
-		p.net.recorder.InjectedPackets++
+		p.shard.injected++
 		if p.probe != nil {
 			p.probe.Trace(telemetry.EvInject, now, f.PacketID, int32(f.Src), int32(f.Dst))
 		}

@@ -63,33 +63,40 @@ func NewRecorder(warmup int64) *Recorder {
 // packetDone records a fully delivered packet whose tail arrived at cycle
 // now. tail is the tail flit (carrying birth/inject stamps and class/flow).
 func (r *Recorder) packetDone(tail *flit.Flit, flits int, now int64) {
+	r.packetDoneRec(tail.Birth, tail.Inject, tail.Class, tail.Flow, flits, now)
+}
+
+// packetDoneRec is packetDone on the tail-flit fields alone, so sharded
+// eject phases can defer the recorder update past the flit's recycling
+// (shard.go) and apply it behind the phase barrier.
+func (r *Recorder) packetDoneRec(birth, inject int64, class, flow, flits int, now int64) {
 	r.DeliveredPackets++
 	r.DeliveredFlits += int64(flits)
 	if now >= r.WarmupCycles && (r.MeasureUntil == 0 || now <= r.MeasureUntil) {
 		r.WindowFlits += int64(flits)
 	}
-	if tail.Birth < r.WarmupCycles {
+	if birth < r.WarmupCycles {
 		return
 	}
 	if r.measureFrom == 0 {
 		r.measureFrom = now
 	}
 	r.measuredFlits += int64(flits)
-	r.PacketLatency.Add(now - tail.Birth)
-	r.NetworkLatency.Add(now - tail.Inject)
-	h, ok := r.perClass[tail.Class]
+	r.PacketLatency.Add(now - birth)
+	r.NetworkLatency.Add(now - inject)
+	h, ok := r.perClass[class]
 	if !ok {
 		h = stats.NewHist(4096)
-		r.perClass[tail.Class] = h
+		r.perClass[class] = h
 	}
-	h.Add(now - tail.Birth)
-	if tail.Flow != 0 {
-		ft, ok := r.perFlow[tail.Flow]
+	h.Add(now - birth)
+	if flow != 0 {
+		ft, ok := r.perFlow[flow]
 		if !ok {
 			ft = &flowTrace{latency: stats.NewHist(1024), interArr: stats.NewHist(1024), lastCycle: -1}
-			r.perFlow[tail.Flow] = ft
+			r.perFlow[flow] = ft
 		}
-		ft.latency.Add(now - tail.Birth)
+		ft.latency.Add(now - birth)
 		if ft.lastCycle >= 0 {
 			ft.interArr.Add(now - ft.lastCycle)
 		}

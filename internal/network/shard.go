@@ -1,0 +1,356 @@
+package network
+
+import (
+	"runtime"
+
+	"repro/internal/flit"
+	"repro/internal/route"
+	"repro/internal/router"
+	"repro/internal/sim"
+)
+
+// This file implements intra-cycle spatial parallelism: the network's
+// tiles (router, port, client) and links are partitioned into contiguous
+// shards, and every kernel phase runs its per-component work concurrently
+// across shards with a barrier between phases (sim.AddShardedPhase).
+//
+// Correctness rests on what the five-phase staging discipline already
+// guarantees for the sequential loop: within a phase, a router only reads
+// neighbor state written in a *previous* phase (link pipes are filled in
+// linkarb and drained in deliver; credits are queued in switcharb and
+// delivered in deliver), so per-router work inside one phase is
+// commutative. The only same-phase cross-shard effects are (a) credit
+// returns surfacing at a link whose sending router lives in another shard
+// and (b) global recorder counters; both are deferred into per-shard
+// buffers and folded in at the phase barrier, in shard order — which is
+// tile order — so the post-barrier state is byte-identical to the
+// sequential schedule for any shard count. Client Tick stays a serial
+// phase: it assigns globally ordered packet ids (they appear in traces and
+// goldens), and it is cheap — the expensive halves of the old clients
+// phase, packet reassembly (eject) and injection arbitration (pump), do
+// shard.
+//
+// Every flit-recycling component (router, link, port) draws from its
+// shard's own flit.Pool; Put fully zeroes a flit, so which pool a flit
+// lives in is unobservable and flits may freely migrate between pools
+// (injected from one shard's pool, delivered into another's).
+
+// shardLink is one link owned by a shard. Ownership follows the receiving
+// tile (le.to), which makes flit acceptance and credit emission
+// (SendCredit, called by the receiver) shard-local; local marks links
+// whose *sender* is also in-shard, so their credit returns are applied
+// inline instead of deferred.
+type shardLink struct {
+	idx   int
+	local bool
+}
+
+// creditRet is one deferred cross-shard credit return, applied at the
+// deliver barrier.
+type creditRet struct {
+	r   *router.Router
+	dir route.Dir
+	vc  int
+}
+
+// doneRec is one deferred packet delivery, applied to the recorder at the
+// eject barrier. It captures the tail-flit fields packetDone reads, since
+// the flit itself is recycled before the merge runs.
+type doneRec struct {
+	birth, inject int64
+	class, flow   int
+	flits         int
+}
+
+// shardState is one shard's slice of the network plus its deferral
+// buffers. All fields except the merge-drained buffers are touched only
+// by the owning shard's worker (or single-threaded between barriers).
+type shardState struct {
+	id     int
+	lo, hi int         // owned tile range [lo, hi)
+	links  []shardLink // owned links (by receiving tile)
+
+	// active is the shard's router worklist: tiles whose router holds at
+	// least one flit. Routers join on flit acceptance and leave at the
+	// route-phase sweep, so fully quiescent regions cost nothing in the
+	// three router phases.
+	active []int
+
+	// pool recycles the flits created and destroyed by this shard's
+	// components. flit.Pool is not concurrency-safe; per-shard ownership
+	// is what keeps it that way.
+	pool flit.Pool
+
+	// Deferred cross-shard / global effects, drained by the merges.
+	credits        []creditRet
+	dones          []doneRec
+	delivered      int64 // loopback packets (recorder.DeliveredPackets)
+	deliveredFlits int64 // loopback flits (recorder.DeliveredFlits)
+	injected       int64 // recorder.InjectedPackets
+	aborted        int64 // Network.aborted
+}
+
+// effectiveShards resolves the configured shard count: 0 selects
+// GOMAXPROCS, the count is clamped to [1, tiles], and configurations with
+// globally ordered side effects — the physical wire layer (shared kernel
+// RNG), a power meter (shared accumulator), packet tracing, telemetry
+// lifecycle tracing — force the sequential path.
+func effectiveShards(cfg Config, tiles int) int {
+	s := cfg.Shards
+	if s == 0 {
+		s = runtime.GOMAXPROCS(0)
+	}
+	if s < 1 {
+		s = 1
+	}
+	if s > tiles {
+		s = tiles
+	}
+	if cfg.PhysWires || cfg.Meter != nil || cfg.TraceWriter != nil {
+		s = 1
+	}
+	if cfg.Probe != nil && cfg.Probe.Tracer() != nil {
+		s = 1
+	}
+	return s
+}
+
+// initShards partitions the tiles into contiguous ranges and assigns each
+// link to the shard of its receiving tile.
+func (n *Network) initShards(count int) {
+	tiles := n.topo.NumTiles()
+	n.shardOf = make([]int, tiles)
+	n.onList = make([]bool, tiles)
+	n.shards = make([]*shardState, count)
+	for s := 0; s < count; s++ {
+		sh := &shardState{id: s, lo: tiles * s / count, hi: tiles * (s + 1) / count}
+		for t := sh.lo; t < sh.hi; t++ {
+			n.shardOf[t] = s
+		}
+		n.shards[s] = sh
+	}
+	for i := range n.links {
+		le := &n.links[i]
+		owner := n.shardOf[le.to]
+		n.shards[owner].links = append(n.shards[owner].links,
+			shardLink{idx: i, local: n.shardOf[le.from] == owner})
+	}
+}
+
+// Shards reports the effective intra-cycle shard count the network runs
+// with (1 = sequential). It can be lower than Config.Shards when the
+// configuration forces the sequential path.
+func (n *Network) Shards() int { return len(n.shards) }
+
+// FlitsOutstanding reports pool-allocated flits currently alive anywhere
+// in the network, summed across all shard pools (flits migrate between
+// pools, so only the aggregate is meaningful). A drained network must
+// report zero.
+func (n *Network) FlitsOutstanding() int64 {
+	var total int64
+	for _, s := range n.shards {
+		total += s.pool.Outstanding()
+	}
+	return total
+}
+
+// activate puts a tile's router on its shard's worklist. Safe to call
+// repeatedly; the onList bit dedupes. Called by the owning shard's worker
+// (flit acceptance is always shard-local) or from serial phases.
+func (n *Network) activate(tile int) {
+	if n.onList[tile] {
+		return
+	}
+	n.onList[tile] = true
+	s := n.shards[n.shardOf[tile]]
+	s.active = append(s.active, tile)
+}
+
+// acceptAt hands a flit to a tile's VC router and keeps the worklist
+// current.
+func (n *Network) acceptAt(tile int, f *flit.Flit, from route.Dir) {
+	n.routers[tile].AcceptFlit(f, from)
+	n.activate(tile)
+}
+
+// deliverShard advances this shard's links by one cycle: flits complete
+// their traversal into in-shard routers, credits complete their reverse
+// traversal toward the sending router — applied inline when the sender is
+// in-shard, deferred to the barrier otherwise.
+func (n *Network) deliverShard(now sim.Cycle, si int) {
+	s := n.shards[si]
+	for _, sl := range s.links {
+		i := sl.idx
+		le := &n.links[i]
+		if le.l.Idle() {
+			// Active-set skip: nothing in flight in either direction.
+			// Only the utilization counter needs its idle tick.
+			le.l.Util.Tick(0)
+			if n.wdCredit != nil {
+				n.wdCredit[i] = false
+			}
+			continue
+		}
+		if n.cfg.ElasticLinks {
+			to, in := n.routers[le.to], le.dir.Opposite()
+			f := le.l.DeliverElastic(func(f *flit.Flit) bool {
+				return to.CanAccept(in, f.VC)
+			})
+			if f != nil {
+				n.acceptAt(le.to, f, in)
+			}
+			continue
+		}
+		f, credits := le.l.Deliver()
+		if n.wdCredit != nil {
+			n.wdCredit[i] = len(credits) > 0
+		}
+		if !n.cfg.Deflect && len(credits) > 0 {
+			if sl.local {
+				n.routers[le.from].HandleCredits(le.dir, credits)
+			} else {
+				// The credits slice is only valid until the link's next
+				// Deliver, so copy the VC indices into the deferral buffer.
+				for _, vc := range credits {
+					s.credits = append(s.credits, creditRet{n.routers[le.from], le.dir, vc})
+				}
+			}
+		}
+		if f != nil {
+			if n.traceLinks && f.Type.IsHead() {
+				n.probe.Links[i].TraceHead(int64(now), f.PacketID)
+			}
+			if n.cfg.Deflect {
+				n.defls[le.to].AcceptFlit(f, le.dir.Opposite())
+			} else {
+				n.acceptAt(le.to, f, le.dir.Opposite())
+			}
+		}
+	}
+}
+
+// deliverMerge applies the deferred cross-shard credit returns. Credit
+// restoration is a commutative counter increment, so application order
+// cannot affect state; shard order is used for reproducibility.
+func (n *Network) deliverMerge(sim.Cycle) {
+	for _, s := range n.shards {
+		for _, cr := range s.credits {
+			cr.r.HandleCredit(cr.dir, cr.vc)
+		}
+		s.credits = s.credits[:0]
+	}
+}
+
+// routeShard runs route computation over the shard's worklist, sweeping
+// out routers that have gone empty. Between this sweep and the next cycle
+// only flit acceptance grows a router's occupancy, and acceptance
+// re-activates, so the list always covers every non-empty router.
+func (n *Network) routeShard(now sim.Cycle, si int) {
+	s := n.shards[si]
+	keep := s.active[:0]
+	for _, tile := range s.active {
+		r := n.routers[tile]
+		if r.Occupancy() == 0 {
+			n.onList[tile] = false
+			continue
+		}
+		keep = append(keep, tile)
+		r.RouteCompute(now)
+	}
+	s.active = keep
+}
+
+// linkarbShard runs link arbitration over the shard's worklist. A link's
+// sender is the only component touching it during this phase, so sending
+// on a link owned by another shard (the receiver's) is race-free.
+func (n *Network) linkarbShard(now sim.Cycle, si int) {
+	s := n.shards[si]
+	for _, tile := range s.active {
+		if r := n.routers[tile]; r.Occupancy() != 0 {
+			r.LinkArbitrate(now)
+		}
+	}
+}
+
+// switcharbShard runs switch arbitration (plus the deflection routers'
+// combined arbitration) over the shard.
+func (n *Network) switcharbShard(now sim.Cycle, si int) {
+	s := n.shards[si]
+	for _, tile := range s.active {
+		if r := n.routers[tile]; r.Occupancy() != 0 {
+			r.SwitchArbitrate(now)
+		}
+	}
+	if n.cfg.Deflect {
+		for tile := s.lo; tile < s.hi; tile++ {
+			n.defls[tile].Arbitrate(now)
+		}
+	}
+}
+
+// ejectShard delivers ejected flits to the shard's ports: reassembly,
+// abort handling, and matured loopbacks. Recorder updates are deferred
+// per shard (see Port.receive / deliverLoopbacks) and folded in by
+// ejectMerge.
+func (n *Network) ejectShard(now sim.Cycle, si int) {
+	s := n.shards[si]
+	for tile := s.lo; tile < s.hi; tile++ {
+		p := n.ports[tile]
+		var ejected []*flit.Flit
+		if n.cfg.Deflect {
+			ejected = n.defls[tile].Eject()
+		} else {
+			ejected = n.routers[tile].Eject()
+		}
+		if len(ejected) > 0 {
+			p.receive(ejected, now)
+		}
+		p.deliverLoopbacks(now)
+	}
+}
+
+// ejectMerge folds the shards' deferred deliveries into the recorder in
+// shard order — which is tile order, the sequential schedule. (All the
+// recorder updates of one cycle are order-commutative anyway: every
+// record carries the same `now`, and the histograms and counters are
+// multiset-valued.)
+func (n *Network) ejectMerge(now sim.Cycle) {
+	for _, s := range n.shards {
+		for i := range s.dones {
+			d := &s.dones[i]
+			n.recorder.packetDoneRec(d.birth, d.inject, d.class, d.flow, d.flits, now)
+		}
+		s.dones = s.dones[:0]
+		n.recorder.DeliveredPackets += s.delivered
+		n.recorder.DeliveredFlits += s.deliveredFlits
+		n.aborted += s.aborted
+		s.delivered, s.deliveredFlits, s.aborted = 0, 0, 0
+	}
+}
+
+// clientsTick is the serial client phase: packet generation draws globally
+// ordered packet ids (which appear in traces and goldens), so Tick runs on
+// one goroutine in tile order, exactly as the sequential loop always has.
+func (n *Network) clientsTick(now sim.Cycle) {
+	for tile, c := range n.clients {
+		if c != nil {
+			c.Tick(now, n.ports[tile])
+		}
+	}
+}
+
+// pumpShard drives injection arbitration for the shard's ports.
+func (n *Network) pumpShard(now sim.Cycle, si int) {
+	s := n.shards[si]
+	for tile := s.lo; tile < s.hi; tile++ {
+		n.ports[tile].pump(now)
+	}
+}
+
+// pumpMerge folds the shards' injected-packet counts into the recorder.
+func (n *Network) pumpMerge(sim.Cycle) {
+	for _, s := range n.shards {
+		n.recorder.InjectedPackets += s.injected
+		s.injected = 0
+	}
+}

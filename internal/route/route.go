@@ -382,14 +382,80 @@ func DimensionOrder(g Geometry, sx, sy, dx, dy int) []Dir {
 	return path
 }
 
+// dimSteps reduces one dimension's coordinate delta to a direction and a
+// hop count, applying the same torus normalization and parity tie-break as
+// DimensionOrder: delta lands in (-k/2, k/2], and an exact half-ring tie on
+// an even ring goes negative when tieNeg.
+func dimSteps(delta, k int, pos, neg Dir, wrap, tieNeg bool) (Dir, int) {
+	if delta == 0 {
+		return pos, 0
+	}
+	if wrap {
+		// Normalize into (-k/2, k/2].
+		delta = ((delta % k) + k) % k
+		if delta > k/2 {
+			delta -= k
+		}
+		if k%2 == 0 && delta == k/2 && tieNeg {
+			delta = -k / 2
+		}
+		if delta == 0 {
+			return pos, 0
+		}
+	}
+	if delta < 0 {
+		return neg, -delta
+	}
+	return pos, delta
+}
+
 // Compute encodes the dimension-ordered route between two tiles in a
 // width×height coordinate grid, using id = y*width + x. It is the
 // destination-to-route translation the paper places in client-local logic.
+//
+// The route is emitted directly into the packed Word — absolute code for
+// the first hop, straights within a dimension, one turn at the x→y corner,
+// Extract last — without materializing the intermediate direction path, so
+// the client-side hot path (every Port.Send on a cold route-cache row) does
+// not allocate. Compute(g, s, d) equals Encode(DimensionOrder(g, ...)) for
+// every pair; the route tests pin that equivalence.
 func Compute(g Geometry, src, dst int) (Word, error) {
-	kx, _ := g.Radix()
+	kx, ky := g.Radix()
 	if src == dst {
 		return Word{}, fmt.Errorf("route: src == dst (%d); loopback is handled at the port", src)
 	}
-	path := DimensionOrder(g, src%kx, src/kx, dst%kx, dst/kx)
-	return Encode(path)
+	sx, sy := src%kx, src/kx
+	dx, dy := dst%kx, dst/kx
+	tieNeg := (sx+sy+dx+dy)%2 != 0
+	wrap := g.Wrap()
+	dirX, nx := dimSteps(dx-sx, kx, East, West, wrap, tieNeg)
+	dirY, ny := dimSteps(dy-sy, ky, North, South, wrap, tieNeg)
+	if nx+ny == 0 {
+		return Word{}, fmt.Errorf("route: empty path (loopback is handled at the port)")
+	}
+	var w Word
+	var err error
+	heading := Local
+	for dim := 0; dim < 2; dim++ {
+		d, n := dirX, nx
+		if dim == 1 {
+			d, n = dirY, ny
+		}
+		for hop := 0; hop < n; hop++ {
+			var c Code
+			if heading == Local {
+				c, err = absCode(d)
+			} else {
+				c, err = turnCode(heading, d)
+			}
+			if err != nil {
+				return Word{}, err
+			}
+			if w, err = w.Push(c); err != nil {
+				return Word{}, err
+			}
+			heading = d
+		}
+	}
+	return w.Push(Extract)
 }

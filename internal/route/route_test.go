@@ -333,3 +333,65 @@ func TestWordString(t *testing.T) {
 		t.Fatalf("Codes len = %d", got)
 	}
 }
+
+// TestComputeMatchesEncodedDimensionOrder pins the direct Word emission in
+// Compute against the reference Encode(DimensionOrder(...)) construction,
+// exhaustively over every (src, dst) pair on mesh and torus grids of
+// several radices (including odd and rectangular ones, which exercise the
+// wrap normalization and the half-ring parity tie-break).
+func TestComputeMatchesEncodedDimensionOrder(t *testing.T) {
+	grids := []fakeGeom{
+		{4, 4, false}, {4, 4, true},
+		{5, 5, true}, {8, 8, true},
+		{3, 6, true}, {6, 3, false},
+		{2, 2, true},
+	}
+	for _, g := range grids {
+		tiles := g.kx * g.ky
+		for src := 0; src < tiles; src++ {
+			for dst := 0; dst < tiles; dst++ {
+				if src == dst {
+					continue
+				}
+				got, err := Compute(g, src, dst)
+				if err != nil {
+					t.Fatalf("%+v: Compute(%d,%d): %v", g, src, dst, err)
+				}
+				path := DimensionOrder(g, src%g.kx, src/g.kx, dst%g.kx, dst/g.kx)
+				want, err := Encode(path)
+				if err != nil {
+					t.Fatalf("%+v: Encode(%d,%d): %v", g, src, dst, err)
+				}
+				if got != want {
+					t.Fatalf("%+v: Compute(%d,%d) = %v, want %v (path %v)",
+						g, src, dst, got, want, path)
+				}
+			}
+		}
+	}
+}
+
+// TestComputeAllocFree is the alloc gate for the route encoder: Compute is
+// on the Port.Send hot path (every cold route-cache row), so it must not
+// allocate at all.
+func TestComputeAllocFree(t *testing.T) {
+	// Convert to the interface once, outside the measured loop, the way
+	// real callers hold a topology.Topology; otherwise the measurement
+	// counts the test's own boxing of the fake geometry value.
+	var g Geometry = fakeGeom{8, 8, true}
+	pair := 0
+	allocs := testing.AllocsPerRun(1000, func() {
+		src := pair % 64
+		dst := (pair*31 + 17) % 64
+		if dst == src {
+			dst = (dst + 1) % 64
+		}
+		pair++
+		if _, err := Compute(g, src, dst); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Compute allocates %.1f objects/op, want 0", allocs)
+	}
+}

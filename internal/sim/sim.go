@@ -25,6 +25,12 @@ type PhaseFunc func(now Cycle)
 type phase struct {
 	name string
 	fn   PhaseFunc
+
+	// shard and merge describe a sharded phase (AddShardedPhase, see
+	// shard.go): shard runs once per shard per cycle, merge (optional)
+	// applies deferred cross-shard effects behind the phase barrier.
+	shard ShardFunc
+	merge PhaseFunc
 }
 
 // Kernel drives a phased, cycle-accurate simulation.
@@ -33,6 +39,10 @@ type Kernel struct {
 	phases []phase
 	rng    *rand.Rand
 	seed   int64
+
+	// shards is the intra-cycle parallelism for sharded phases; <= 1 is
+	// the sequential path (see shard.go).
+	shards int
 }
 
 // NewKernel returns a kernel whose random source is seeded with seed.
@@ -58,27 +68,49 @@ func (k *Kernel) AddPhase(name string, fn PhaseFunc) {
 	if fn == nil {
 		panic(fmt.Sprintf("sim: nil phase %q", name))
 	}
-	k.phases = append(k.phases, phase{name, fn})
+	k.phases = append(k.phases, phase{name: name, fn: fn})
 }
 
-// Step executes one full cycle: every phase once, in order.
+// Step executes one full cycle: every phase once, in order. Sharded
+// phases run their shard bodies inline in shard order — which, by the
+// determinism contract of AddShardedPhase, produces the same state as a
+// parallel cycle — so Step never spawns goroutines.
 func (k *Kernel) Step() {
-	for _, p := range k.phases {
+	for i := range k.phases {
+		p := &k.phases[i]
+		if p.shard != nil {
+			for s := 0; s < k.Shards(); s++ {
+				p.shard(k.now, s)
+			}
+			if p.merge != nil {
+				p.merge(k.now)
+			}
+			continue
+		}
 		p.fn(k.now)
 	}
 	k.now++
 }
 
-// Run executes n cycles.
+// Run executes n cycles, on the lockstep worker pool when SetShards
+// configured intra-cycle parallelism.
 func (k *Kernel) Run(n int64) {
+	if k.shards > 1 && n > 0 {
+		k.runParallel(n, nil)
+		return
+	}
 	for i := int64(0); i < n; i++ {
 		k.Step()
 	}
 }
 
 // RunUntil steps the simulation until cond returns true or the cycle budget
-// is exhausted. It reports whether cond became true.
+// is exhausted. It reports whether cond became true. cond always runs
+// single-threaded, between cycles.
 func (k *Kernel) RunUntil(cond func() bool, budget int64) bool {
+	if k.shards > 1 && budget > 0 {
+		return k.runParallel(budget, cond)
+	}
 	for i := int64(0); i < budget; i++ {
 		if cond() {
 			return true
