@@ -21,16 +21,22 @@ race:
 # the lockstep worker pool), and the hot-path benchmarks stay within 50%
 # of the committed BENCH_cycles.json snapshot with no new allocations.
 # The loose margin absorbs machine-to-machine noise on a short benchtime;
-# `make bench` is the precise record. The telemetry layer and its CLI
-# glue are vetted and race-tested explicitly so a future build-tag or
-# test-cache quirk can't silently drop them from the sweep.
+# `make bench` is the precise record. The telemetry layer, the live
+# observability service (health detectors + HTTP endpoints), and their
+# CLI glue are vetted and race-tested explicitly so a future build-tag or
+# test-cache quirk can't silently drop them from the sweep, and the serve
+# smoke test drives a real nocsim -serve binary end to end (ephemeral
+# port announced on stderr, /metrics parses, /healthz 200, clean exit).
+# The benchjson gate covers the ServeOff/On pair so the serve-off loop
+# keeps its zero-allocation fast path.
 ci:
 	$(GO) build ./...
 	$(GO) vet ./...
-	$(GO) vet ./internal/telemetry ./cmd/internal/obs
-	$(GO) test -race ./internal/telemetry
+	$(GO) vet ./internal/telemetry ./internal/telemetry/health ./internal/telemetry/serve ./cmd/internal/obs
+	$(GO) test -race ./internal/telemetry ./internal/telemetry/health ./internal/telemetry/serve ./cmd/internal/obs
 	$(GO) test -race ./...
-	$(GO) test -run '^$$' -bench 'NetworkCycle$$|NetworkCycle64$$|RouteCompute' -benchtime 200ms -benchmem . \
+	$(GO) test -race -run 'TestServeSmoke' .
+	$(GO) test -run '^$$' -bench 'NetworkCycle$$|NetworkCycleServeOff$$|NetworkCycleServeOn$$|NetworkCycle64$$|RouteCompute' -benchtime 200ms -benchmem . \
 		| $(GO) run ./cmd/benchjson -against BENCH_cycles.json -max-regress 50
 
 # fuzz gives the fault-campaign parser a short randomized budget; the
@@ -43,8 +49,9 @@ fuzz:
 # once each, and cmd/benchjson folds everything into BENCH_cycles.json
 # (simulated cycles/sec, allocs/op) for diffing across commits. The
 # NetworkCycle pattern also matches NetworkCycleProbesOff/ProbesOn (the
-# telemetry-overhead pair) and the NetworkCycle64Shards{2,4,8} lockstep
-# worker-pool runs; the shard benchmarks are recorded at GOMAXPROCS=1
+# telemetry-overhead pair), NetworkCycleServeOff/ServeOn (the live
+# observability snapshot-phase pair) and the NetworkCycle64Shards{2,4,8}
+# lockstep worker-pool runs; the shard benchmarks are recorded at GOMAXPROCS=1
 # (barrier overhead, no speedup possible) and GOMAXPROCS=8 (the parallel
 # case), keyed by the -procs suffix benchjson parses into each row.
 bench:

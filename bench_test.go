@@ -10,6 +10,7 @@ import (
 	"repro/internal/route"
 	"repro/internal/router"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/serve"
 	"repro/internal/topology"
 	"repro/internal/traffic"
 )
@@ -103,6 +104,43 @@ func benchCycleProbes(b *testing.B, probe *telemetry.Probe) {
 	}
 	for tile := 0; tile < topo.NumTiles(); tile++ {
 		n.AttachClient(tile, traffic.NewGenerator(tile, traffic.Uniform{Tiles: 16}, 0.3, 2, flit.VCMask(0xFF), 1))
+	}
+	n.Run(2000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	n.Run(int64(b.N))
+}
+
+// BenchmarkNetworkCycleServeOff and BenchmarkNetworkCycleServeOn bound
+// the live observability overhead the same way the Probes pair bounds the
+// counter fabric: the identical baseline loop with a telemetry probe, with
+// and without the serve collector's snapshot phase attached. Off must stay
+// on the 0 allocs/cycle fast path; On amortizes one snapshot allocation
+// per sampling window. Both fold into BENCH_cycles.json via `make bench`.
+func BenchmarkNetworkCycleServeOff(b *testing.B) { benchCycleServe(b, false) }
+
+func BenchmarkNetworkCycleServeOn(b *testing.B) { benchCycleServe(b, true) }
+
+func benchCycleServe(b *testing.B, serveOn bool) {
+	b.Helper()
+	topo, err := topology.NewFoldedTorus(4, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n, err := network.New(network.Config{
+		Topo: topo, Router: router.DefaultConfig(0), Seed: 1,
+		Probe: telemetry.New(telemetry.Config{}),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for tile := 0; tile < topo.NumTiles(); tile++ {
+		n.AttachClient(tile, traffic.NewGenerator(tile, traffic.Uniform{Tiles: 16}, 0.3, 2, flit.VCMask(0xFF), 1))
+	}
+	if serveOn {
+		if _, err := serve.AttachCollector(n, serve.Config{Every: serve.DefaultEvery}); err != nil {
+			b.Fatal(err)
+		}
 	}
 	n.Run(2000)
 	b.ReportAllocs()

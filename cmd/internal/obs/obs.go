@@ -1,7 +1,8 @@
 // Package obs wires the shared observability flags (-metrics,
-// -metrics-every, -metrics-out, -tracefile-out, -pprof) into the command
-// binaries: it builds the telemetry probe the flags ask for, starts and
-// stops CPU profiling, and exports the collected artifacts after a run.
+// -metrics-every, -metrics-out, -tracefile-out, -serve, -pprof) into the
+// command binaries: it builds the telemetry probe the flags ask for,
+// attaches the live observability service, starts and stops CPU
+// profiling, and exports the collected artifacts after a run.
 package obs
 
 import (
@@ -11,7 +12,9 @@ import (
 	"os"
 	"runtime/pprof"
 
+	"repro/internal/network"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/serve"
 )
 
 // Flags holds the parsed observability options.
@@ -20,6 +23,7 @@ type Flags struct {
 	MetricsEvery int64
 	MetricsOut   string
 	TraceOut     string
+	Serve        string
 	Pprof        string
 }
 
@@ -28,15 +32,53 @@ func Register() *Flags {
 	f := &Flags{}
 	flag.BoolVar(&f.Metrics, "metrics", false, "attach telemetry probes and print the metrics table after the run")
 	flag.Int64Var(&f.MetricsEvery, "metrics-every", 0, "telemetry time-series sampling interval, cycles (0 disables the series)")
-	flag.StringVar(&f.MetricsOut, "metrics-out", "", "write per-component telemetry counters and the sampled series as CSV to this file")
-	flag.StringVar(&f.TraceOut, "tracefile-out", "", "record per-packet lifecycle events and write Chrome trace-event JSON (chrome://tracing) to this file")
+	flag.StringVar(&f.MetricsOut, "metrics-out", "", "write per-component telemetry counters and the sampled series as CSV to this file (requires -metrics)")
+	flag.StringVar(&f.TraceOut, "tracefile-out", "", "record per-packet lifecycle events and write Chrome trace-event JSON (chrome://tracing) to this file (requires -metrics)")
+	flag.StringVar(&f.Serve, "serve", "", "serve live observability over HTTP on this address for the duration of the run (/metrics, /snapshot, /healthz, /events); e.g. :8080 or 127.0.0.1:0")
 	flag.StringVar(&f.Pprof, "pprof", "", "write a CPU profile of the run to this file")
 	return f
 }
 
 // Enabled reports whether any flag requires a telemetry probe.
 func (f *Flags) Enabled() bool {
-	return f.Metrics || f.MetricsEvery > 0 || f.MetricsOut != "" || f.TraceOut != ""
+	return f.Metrics || f.MetricsEvery > 0 || f.MetricsOut != "" || f.TraceOut != "" || f.Serve != ""
+}
+
+// Validate rejects inconsistent observability flags, mirroring the strict
+// validation the commands apply to their fault flags: output files
+// without the flag that enables their collection are an error, not a
+// silent no-op.
+func (f *Flags) Validate() error {
+	if f.MetricsEvery < 0 {
+		return fmt.Errorf("-metrics-every must be >= 0 (got %d)", f.MetricsEvery)
+	}
+	if f.MetricsOut != "" && !f.Metrics {
+		return fmt.Errorf("-metrics-out requires -metrics")
+	}
+	if f.TraceOut != "" && !f.Metrics {
+		return fmt.Errorf("-tracefile-out requires -metrics")
+	}
+	return nil
+}
+
+// AttachServe starts the live observability service on the -serve address
+// (no-op without the flag) and logs the resolved address to stderr. The
+// caller must Close the returned server when the run ends, and must call
+// AttachServe before the network's first cycle.
+func (f *Flags) AttachServe(n *network.Network) (*serve.Server, error) {
+	if f.Serve == "" {
+		return nil, nil
+	}
+	cfg := serve.Config{}
+	if f.MetricsEvery > 0 {
+		cfg.Every = f.MetricsEvery
+	}
+	s, err := serve.Start(n, cfg, f.Serve)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "serving live observability on http://%s\n", s.Addr())
+	return s, nil
 }
 
 // HeatmapProbe returns a counters-only probe (no series, no tracing) for

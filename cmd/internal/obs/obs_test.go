@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestValidate pins the flag-consistency contract shared by every command:
+// output files whose collection flag is missing are an error at parse
+// time, not a silently empty artifact after a long run.
+func TestValidate(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		f       Flags
+		wantErr string
+	}{
+		{"zero value", Flags{}, ""},
+		{"metrics alone", Flags{Metrics: true}, ""},
+		{"metrics with every", Flags{Metrics: true, MetricsEvery: 100}, ""},
+		{"serve alone", Flags{Serve: "127.0.0.1:0"}, ""},
+		{"metrics-out with metrics", Flags{Metrics: true, MetricsOut: "m.csv"}, ""},
+		{"trace-out with metrics", Flags{Metrics: true, TraceOut: "t.json"}, ""},
+		{"negative every", Flags{Metrics: true, MetricsEvery: -1}, "-metrics-every must be >= 0"},
+		{"metrics-out without metrics", Flags{MetricsOut: "m.csv"}, "-metrics-out requires -metrics"},
+		{"trace-out without metrics", Flags{TraceOut: "t.json"}, "-tracefile-out requires -metrics"},
+		{"trace-out with serve only", Flags{Serve: ":0", TraceOut: "t.json"}, "-tracefile-out requires -metrics"},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.f.Validate()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("Validate() = %v, want nil", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("Validate() = %v, want error containing %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestEnabled pins which flags imply a telemetry probe: any of them except
+// -pprof, which profiles the probe-less fast path.
+func TestEnabled(t *testing.T) {
+	if (&Flags{}).Enabled() {
+		t.Error("zero flags report Enabled")
+	}
+	if (&Flags{Pprof: "cpu.out"}).Enabled() {
+		t.Error("-pprof alone must not attach a probe")
+	}
+	for _, f := range []Flags{
+		{Metrics: true},
+		{MetricsEvery: 10},
+		{MetricsOut: "m.csv"},
+		{TraceOut: "t.json"},
+		{Serve: ":0"},
+	} {
+		if !f.Enabled() {
+			t.Errorf("%+v does not report Enabled", f)
+		}
+	}
+	if p := (&Flags{}).NewProbe(); p != nil {
+		t.Error("disabled flags built a probe; the zero-overhead path is lost")
+	}
+	if p := (&Flags{Serve: ":0"}).NewProbe(); p == nil {
+		t.Error("-serve did not build a probe")
+	}
+}

@@ -17,7 +17,9 @@ import (
 
 	"repro/cmd/internal/obs"
 	"repro/internal/core"
+	"repro/internal/network"
 	"repro/internal/sim"
+	"repro/internal/telemetry/serve"
 )
 
 func main() {
@@ -30,6 +32,10 @@ func main() {
 	)
 	obsFlags := obs.Register()
 	flag.Parse()
+	if err := obsFlags.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "nocbench:", err)
+		os.Exit(1)
+	}
 	core.SetParallelism(*par)
 	if *shards < 0 {
 		fmt.Fprintf(os.Stderr, "nocbench: -shards must be >= 0 (0 = GOMAXPROCS); got %d\n", *shards)
@@ -87,9 +93,18 @@ func main() {
 		inst := core.DefaultRunParams()
 		inst.Rate = 0.3
 		inst.Probe = obsFlags.NewProbe()
+		var srv *serve.Server
+		inst.OnNetwork = func(n *network.Network) error {
+			s, err := obsFlags.AttachServe(n)
+			srv = s
+			return err
+		}
 		if _, err := core.Run(inst); err != nil {
 			fmt.Fprintln(os.Stderr, "nocbench: telemetry run:", err)
 			os.Exit(1)
+		}
+		if srv != nil {
+			srv.Close()
 		}
 		fmt.Fprintf(os.Stderr, "telemetry run (baseline %s-%dx%d, rate %.2f):\n",
 			inst.Topology, inst.K, inst.K, inst.Rate)

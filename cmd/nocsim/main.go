@@ -22,7 +22,9 @@ import (
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/flit"
+	"repro/internal/network"
 	"repro/internal/router"
+	"repro/internal/telemetry/serve"
 	"repro/internal/topology"
 	"repro/internal/traffic"
 )
@@ -119,6 +121,9 @@ func main() {
 	if *mode == "elastic" && *topoName != "mesh" {
 		fatal(fmt.Errorf("-mode elastic serializes VCs and would deadlock torus rings; use -topo mesh"))
 	}
+	if err := obsFlags.Validate(); err != nil {
+		fatal(err)
+	}
 	if campaign {
 		if *mode != "vc" {
 			fatal(fmt.Errorf("-faults/-mtbf need the credit-based VC router; -mode %s cannot starve credits for the watchdogs", *mode))
@@ -182,6 +187,20 @@ func main() {
 	if p.Probe == nil && *heatmap {
 		p.Probe = obs.HeatmapProbe()
 	}
+	// -serve attaches the live observability service to the run's network
+	// just before the first cycle; the endpoints stay up for the duration
+	// of the run.
+	var srv *serve.Server
+	p.OnNetwork = func(n *network.Network) error {
+		s, err := obsFlags.AttachServe(n)
+		srv = s
+		return err
+	}
+	defer func() {
+		if srv != nil {
+			srv.Close()
+		}
+	}()
 	stopProf, err := obsFlags.StartPprof()
 	if err != nil {
 		fatal(err)
@@ -310,6 +329,11 @@ func runTrace(p core.RunParams, path string) error {
 	}
 	for tile, src := range srcs {
 		n.AttachClient(tile, src)
+	}
+	if p.OnNetwork != nil {
+		if err := p.OnNetwork(n); err != nil {
+			return err
+		}
 	}
 	horizon := int64(0)
 	for _, e := range events {

@@ -15,6 +15,8 @@ import (
 
 	"repro/cmd/internal/obs"
 	"repro/internal/core"
+	"repro/internal/network"
+	"repro/internal/telemetry/serve"
 )
 
 func main() {
@@ -32,6 +34,10 @@ func main() {
 	)
 	obsFlags := obs.Register()
 	flag.Parse()
+	if err := obsFlags.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "nocsweep:", err)
+		os.Exit(1)
+	}
 	core.SetParallelism(*par)
 	if *shards < 0 {
 		fmt.Fprintf(os.Stderr, "nocsweep: -shards must be >= 0 (0 = GOMAXPROCS); got %d\n", *shards)
@@ -103,9 +109,18 @@ func main() {
 			}
 		}
 		inst.Probe = obsFlags.NewProbe()
+		var srv *serve.Server
+		inst.OnNetwork = func(n *network.Network) error {
+			s, err := obsFlags.AttachServe(n)
+			srv = s
+			return err
+		}
 		if _, err := core.Run(inst); err != nil {
 			fmt.Fprintln(os.Stderr, "nocsweep: telemetry run:", err)
 			os.Exit(1)
+		}
+		if srv != nil {
+			srv.Close()
 		}
 		fmt.Fprintf(os.Stderr, "telemetry run at rate %.3f:\n", inst.Rate)
 		if err := obsFlags.Emit(os.Stderr, inst.Probe, false); err != nil {

@@ -1,0 +1,222 @@
+// Command noctop is a live terminal dashboard for a simulation serving
+// the observability endpoints (`nocsim -serve :8080` and friends). It
+// polls /snapshot and renders throughput and latency sparklines, the
+// busiest channels, per-detector health, and the k×k utilization heatmap,
+// redrawing in place with ANSI escapes.
+//
+//	nocsim -rate 0.30 -measure 2000000 -serve :8080 &
+//	noctop -addr localhost:8080
+//
+// Flags: -addr (host:port), -every (poll interval), -links (top-N hot
+// links), -once (single frame, no ANSI clearing — scriptable).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"time"
+
+	"repro/internal/telemetry/serve"
+)
+
+func main() {
+	var (
+		addr  = flag.String("addr", "localhost:8080", "host:port of a simulation started with -serve")
+		every = flag.Duration("every", time.Second, "poll interval")
+		links = flag.Int("links", 5, "busiest channels to show")
+		once  = flag.Bool("once", false, "render a single frame and exit (no screen clearing)")
+	)
+	flag.Parse()
+	if *links < 0 {
+		fmt.Fprintln(os.Stderr, "noctop: -links must be >= 0")
+		os.Exit(1)
+	}
+
+	url := "http://" + *addr + "/snapshot"
+	client := &http.Client{Timeout: 5 * time.Second}
+	d := &dash{links: *links}
+
+	if *once {
+		snap, err := fetch(client, url)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "noctop:", err)
+			os.Exit(1)
+		}
+		d.observe(snap)
+		fmt.Print(d.render(snap, *addr))
+		return
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	fmt.Print("\x1b[2J") // clear once; frames then repaint from home
+	ticker := time.NewTicker(*every)
+	defer ticker.Stop()
+	failures := 0
+	for {
+		snap, err := fetch(client, url)
+		if err != nil {
+			failures++
+			if failures >= 5 {
+				fmt.Fprintf(os.Stderr, "\nnoctop: %v (simulation gone?)\n", err)
+				os.Exit(1)
+			}
+		} else {
+			failures = 0
+			d.observe(snap)
+			// Home the cursor and repaint; \x1b[K clears each stale line tail.
+			fmt.Print("\x1b[H" + d.render(snap, *addr))
+		}
+		select {
+		case <-sig:
+			fmt.Println()
+			return
+		case <-ticker.C:
+		}
+	}
+}
+
+func fetch(client *http.Client, url string) (*serve.Snapshot, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: %s", url, resp.Status)
+	}
+	var snap serve.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("decoding %s: %v", url, err)
+	}
+	return &snap, nil
+}
+
+// dash accumulates the polled history behind the sparklines.
+type dash struct {
+	links     int
+	lastCycle int64
+	lastFlits int64
+	tput      []float64 // delivered flits/cycle per poll window
+	p99       []float64 // p99 packet latency per poll
+}
+
+const sparkWidth = 48
+
+func (d *dash) observe(s *serve.Snapshot) {
+	if d.lastCycle > 0 && s.Cycle > d.lastCycle {
+		d.tput = push(d.tput, float64(s.DeliveredFlits-d.lastFlits)/float64(s.Cycle-d.lastCycle))
+	}
+	d.lastCycle, d.lastFlits = s.Cycle, s.DeliveredFlits
+	for _, ls := range s.Latency {
+		if ls.Name == "packet" {
+			for _, q := range ls.Quantiles {
+				if q.Q == 0.99 {
+					d.p99 = push(d.p99, float64(q.V))
+				}
+			}
+		}
+	}
+}
+
+func push(s []float64, v float64) []float64 {
+	s = append(s, v)
+	if len(s) > sparkWidth {
+		s = s[len(s)-sparkWidth:]
+	}
+	return s
+}
+
+// spark renders values as a unicode sparkline scaled to their own max.
+func spark(vals []float64) string {
+	if len(vals) == 0 {
+		return ""
+	}
+	ramp := []rune("▁▂▃▄▅▆▇█")
+	max := 0.0
+	for _, v := range vals {
+		if v > max {
+			max = v
+		}
+	}
+	var sb strings.Builder
+	for _, v := range vals {
+		i := 0
+		if max > 0 {
+			i = int(v / max * float64(len(ramp)-1))
+		}
+		sb.WriteRune(ramp[i])
+	}
+	return sb.String()
+}
+
+func (d *dash) render(s *serve.Snapshot, addr string) string {
+	var sb strings.Builder
+	line := func(format string, args ...any) {
+		fmt.Fprintf(&sb, format, args...)
+		sb.WriteString("\x1b[K\n")
+	}
+	banner := "\x1b[42;30m HEALTHY \x1b[0m"
+	if !s.Healthy {
+		banner = "\x1b[41;97m UNHEALTHY \x1b[0m"
+	}
+	line("noctop — %s  cycle %d  %s", addr, s.Cycle, banner)
+	line("")
+	line("throughput  %7.3f flits/cycle   %s", s.Throughput, spark(d.tput))
+	p99 := int64(0)
+	for _, ls := range s.Latency {
+		if ls.Name == "packet" {
+			for _, q := range ls.Quantiles {
+				if q.Q == 0.99 {
+					p99 = q.V
+				}
+			}
+		}
+	}
+	line("p99 latency %7d cycles        %s", p99, spark(d.p99))
+	line("packets     generated %d  delivered %d   flits buffered %d, on wires %d",
+		s.Generated, s.DeliveredPackets, s.BufOcc, s.LinkInFlight)
+	if s.DeadLinks > 0 || s.FaultsApplied > 0 || s.OverUnityLinks > 0 {
+		line("faults      applied %d  dead links %d  over-unity links %d",
+			s.FaultsApplied, s.DeadLinks, s.OverUnityLinks)
+	}
+	line("")
+	for _, v := range s.Health {
+		mark := "\x1b[32mok\x1b[0m    "
+		if !v.Healthy {
+			mark = "\x1b[31mFIRING\x1b[0m"
+		}
+		detail := v.Detail
+		if len(detail) > 100 {
+			detail = detail[:97] + "..."
+		}
+		line("  %-11s %s %s", v.Detector, mark, detail)
+	}
+	if d.links > 0 && len(s.HotLinks) > 0 {
+		line("")
+		line("hot links (flits this window):")
+		for i, l := range s.HotLinks {
+			if i >= d.links {
+				break
+			}
+			line("  L%-3d %3d-%s->%-3d  %d", l.Index, l.From, l.Dir, l.To, l.Flits)
+		}
+	}
+	if len(s.Heatmap) > 0 {
+		line("")
+		line("outgoing-channel duty factor:")
+		for _, row := range s.Heatmap {
+			var cells []string
+			for _, v := range row {
+				cells = append(cells, fmt.Sprintf("%3.0f%%", 100*v))
+			}
+			line("  %s", strings.Join(cells, "  "))
+		}
+	}
+	return sb.String()
+}

@@ -11,7 +11,7 @@
 // side by side.
 //
 //	tracegen -k 4 -cycles 1000 -rate 0.2 -pattern uniform > uniform.trace
-//	nocsim -trace uniform.trace -heatmap -tracefile-out exec.json
+//	nocsim -trace uniform.trace -heatmap -metrics -tracefile-out exec.json
 package main
 
 import (

@@ -13,6 +13,7 @@ import (
 	"repro/internal/network"
 	"repro/internal/router"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/serve"
 	"repro/internal/topology"
 	"repro/internal/traffic"
 )
@@ -199,5 +200,64 @@ func TestShardedSoak(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestShardedServeSnapshots proves the live observability service keeps
+// the determinism contract: the serve collector's snapshot phase is
+// serial (barrier-side), so the full JSON stream of published snapshots —
+// health verdicts, hot links, heatmaps, latency quantiles — is
+// byte-identical for any shard count.
+func TestShardedServeSnapshots(t *testing.T) {
+	run := func(shards int) (string, int) {
+		probe := telemetry.New(telemetry.Config{SampleEvery: 20})
+		topo, err := topology.NewFoldedTorus(4, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, err := network.New(network.Config{
+			Topo: topo, Router: router.DefaultConfig(0), Seed: 5, Probe: probe, Shards: shards,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for tile := 0; tile < topo.NumTiles(); tile++ {
+			g := traffic.NewGenerator(tile, traffic.Uniform{Tiles: 16}, 0.2, 2, flit.VCMask(0xFF), 1)
+			g.StopAt = 400
+			n.AttachClient(tile, g)
+		}
+		col, err := serve.AttachCollector(n, serve.Config{Every: 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var mirror strings.Builder
+		col.SetMirror(&mirror)
+		n.Run(400)
+		if !n.Drain(10000) {
+			t.Fatalf("shards=%d: did not drain", shards)
+		}
+		if err := col.MirrorErr(); err != nil {
+			t.Fatalf("shards=%d: mirror error: %v", shards, err)
+		}
+		if col.Latest() == nil {
+			t.Fatalf("shards=%d: no snapshot published", shards)
+		}
+		return mirror.String(), n.Shards()
+	}
+	want, seq := run(1)
+	if seq != 1 {
+		t.Fatalf("sequential run reports %d shards", seq)
+	}
+	if strings.Count(want, "\n") < 2 {
+		t.Fatalf("mirror carries too few snapshots to prove anything:\n%s", want)
+	}
+	for _, shards := range shardCounts() {
+		got, eff := run(shards)
+		if eff != shards {
+			t.Fatalf("network reports %d effective shards, want %d", eff, shards)
+		}
+		if got != want {
+			t.Errorf("shards=%d: serve snapshot stream diverged from sequential", shards)
+		}
 	}
 }

@@ -86,6 +86,11 @@ func RunCampaign(p CampaignParams) (CampaignResult, error) {
 		inj.SetProbe(p.Run.Probe)
 	}
 	inj.Attach()
+	if p.Run.OnNetwork != nil {
+		if err := p.Run.OnNetwork(n); err != nil {
+			return CampaignResult{}, err
+		}
+	}
 
 	// Packet ledger: birth cycle per accepted send, arrivals by id. The
 	// kernel is single-threaded, so plain maps are safe.

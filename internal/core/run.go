@@ -117,6 +117,13 @@ type RunParams struct {
 	// (SetShards), negative means GOMAXPROCS explicitly. Results are
 	// byte-identical at any shard count.
 	Shards int
+
+	// OnNetwork, when non-nil, runs after the network is built and the
+	// clients attached, before the first cycle — the attachment point for
+	// the live observability service (telemetry/serve) and other
+	// pre-run instrumentation. Like Probe, it must not be shared across
+	// concurrent runs.
+	OnNetwork func(*network.Network) error
 }
 
 // DefaultRunParams returns the paper's baseline configuration under
@@ -254,6 +261,11 @@ func Run(p RunParams) (RunResult, error) {
 		g := traffic.NewGenerator(tile, pattern, p.Rate, p.FlitsPerPacket, mask, p.Seed)
 		g.StopAt = stopAt
 		n.AttachClient(tile, g)
+	}
+	if p.OnNetwork != nil {
+		if err := p.OnNetwork(n); err != nil {
+			return RunResult{}, err
+		}
 	}
 	n.Run(stopAt)
 	// Drain so that in-flight measured packets finish. At saturation the

@@ -8,6 +8,7 @@ package network
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/flit"
 	"repro/internal/stats"
@@ -108,6 +109,18 @@ func (r *Recorder) packetDoneRec(birth, inject int64, class, flow, flits int, no
 // ClassLatency reports the latency histogram of a service class (nil if
 // the class delivered nothing in the measurement window).
 func (r *Recorder) ClassLatency(class int) *stats.Hist { return r.perClass[class] }
+
+// Classes reports the service classes that delivered measured packets, in
+// ascending order, so exporters can enumerate ClassLatency histograms
+// deterministically.
+func (r *Recorder) Classes() []int {
+	out := make([]int, 0, len(r.perClass))
+	for c := range r.perClass {
+		out = append(out, c)
+	}
+	sort.Ints(out)
+	return out
+}
 
 // FlowLatency reports the latency histogram of a pre-scheduled flow.
 func (r *Recorder) FlowLatency(flow int) *stats.Hist {

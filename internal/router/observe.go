@@ -1,0 +1,68 @@
+package router
+
+import "repro/internal/route"
+
+// WaitingVC describes one input virtual channel with buffered flits that
+// has not moved a flit for Age cycles — the raw material of the health
+// monitor's deadlock and starvation detectors. Routed entries name the
+// output they wait on; Stuck/Stalled entries are wedged by an injected
+// fault and wait on nothing.
+type WaitingVC struct {
+	Port route.Dir
+	VC   int
+	Age  int64 // cycles since the head-of-line flit last advanced
+
+	Routed  bool
+	OutPort route.Dir // valid when Routed
+	OutVC   int       // allocated downstream VC; -1 before VC allocation
+
+	Stuck   bool // this VC is wedged by a stuck-VC fault
+	Stalled bool // the whole input port is stalled by a fault
+}
+
+// AppendWaiting appends, in deterministic (port, VC) order, every input VC
+// whose buffered head flit has waited at least minAge cycles — plus every
+// fault-wedged nonempty VC regardless of age, since those are deadlock
+// root causes. The HOL age is measured from the later of route
+// computation and the last dequeue, so a VC that is busily draining a
+// long packet is never reported.
+func (r *Router) AppendWaiting(now, minAge int64, out []WaitingVC) []WaitingVC {
+	for pi, ic := range r.inputs {
+		stalled := r.stalledIn[pi]
+		for vi, st := range ic.vcs {
+			if st.bufLen() == 0 {
+				continue
+			}
+			stuck := r.vcIsStuck(pi, vi)
+			since := st.lastDeq
+			if st.routed && st.routedAt > since {
+				since = st.routedAt
+			}
+			age := now - since
+			if age < minAge && !stuck && !stalled {
+				continue
+			}
+			if !st.routed && !stuck && !stalled {
+				// An unrouted nonempty VC is waiting on route computation,
+				// which always succeeds next cycle unless wedged; not a
+				// flow-control wait.
+				continue
+			}
+			w := WaitingVC{
+				Port:    route.Dir(pi),
+				VC:      vi,
+				Age:     age,
+				Routed:  st.routed,
+				OutVC:   -1,
+				Stuck:   stuck,
+				Stalled: stalled,
+			}
+			if st.routed {
+				w.OutPort = st.outPort
+				w.OutVC = st.outVC
+			}
+			out = append(out, w)
+		}
+	}
+	return out
+}

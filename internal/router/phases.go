@@ -105,6 +105,7 @@ func (r *Router) moveReserved(now int64) {
 			continue
 		}
 		f := st.popFront()
+		st.lastDeq = now
 		oc := r.outputs[portIndex(st.outPort)]
 		inVC := f.VC
 		if f.Type.IsTail() {
@@ -271,6 +272,7 @@ func (r *Router) chooseVCNeed(oc *outputController, mask flit.VCMask, high bool,
 // output's staging buffer for its input port.
 func (r *Router) moveFlit(pi int, st *vcState, now int64) {
 	f := st.popFront()
+	st.lastDeq = now
 	oc := r.outputs[portIndex(st.outPort)]
 	inVC := f.VC
 	if r.cfg.Mode == ModeVC && oc.dir != route.Local {

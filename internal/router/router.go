@@ -118,6 +118,11 @@ type vcState struct {
 	routed   bool
 	routedAt int64
 
+	// lastDeq is the cycle a flit last left this VC, for head-of-line age
+	// watermarks (the starvation detector's signal). The HOL age of a
+	// waiting VC is now - max(routedAt, lastDeq).
+	lastDeq int64
+
 	// Identity of the packet currently occupying the VC, captured at route
 	// computation so AbandonInput can synthesize an abort tail even after
 	// the packet's flits have moved on.

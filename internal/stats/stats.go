@@ -163,6 +163,10 @@ func (h *Hist) Mean() float64 {
 	return float64(h.sum) / float64(h.n)
 }
 
+// Sum reports the total of all recorded samples, for exporters that need
+// a cumulative figure (the Prometheus summary's _sum).
+func (h *Hist) Sum() int64 { return h.sum }
+
 // Max reports the largest recorded sample.
 func (h *Hist) Max() int64 {
 	if len(h.overflow) > 0 {

@@ -221,3 +221,81 @@ func TestCounterRate(t *testing.T) {
 		t.Errorf("reset incomplete")
 	}
 }
+
+// TestHistZeroSamples pins the zero-sample contract the live observability
+// exporters rely on: a fresh histogram answers 0 for every figure rather
+// than panicking or dividing by zero, so a snapshot taken before any
+// packet has been delivered renders cleanly.
+func TestHistZeroSamples(t *testing.T) {
+	h := NewHist(8)
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("zero-sample Quantile(0.5) = %d, want 0", got)
+	}
+	if got := h.Quantile(1.0); got != 0 {
+		t.Errorf("zero-sample Quantile(1.0) = %d, want 0", got)
+	}
+	if got := h.Mean(); got != 0 {
+		t.Errorf("zero-sample Mean = %v, want 0", got)
+	}
+	if got := h.Sum(); got != 0 {
+		t.Errorf("zero-sample Sum = %d, want 0", got)
+	}
+}
+
+// TestHistAllOverflowQuantiles drives every sample into the overflow
+// bucket and checks the quantiles are still exact — the overflow list, not
+// the bucket array, must answer.
+func TestHistAllOverflowQuantiles(t *testing.T) {
+	h := NewHist(4)
+	for _, v := range []int64{500, 100, 300, 200, 400} {
+		h.Add(v)
+	}
+	cases := []struct {
+		q    float64
+		want int64
+	}{
+		{0.2, 100}, {0.4, 200}, {0.5, 300}, {0.6, 300}, {0.8, 400}, {1.0, 500},
+	}
+	for _, tc := range cases {
+		if got := h.Quantile(tc.q); got != tc.want {
+			t.Errorf("all-overflow Quantile(%g) = %d, want %d", tc.q, got, tc.want)
+		}
+	}
+	if got := h.Sum(); got != 1500 {
+		t.Errorf("Sum = %d, want 1500", got)
+	}
+}
+
+// TestHistSumTracksAdds checks Sum across in-range, overflow, and clamped
+// negative samples.
+func TestHistSumTracksAdds(t *testing.T) {
+	h := NewHist(4)
+	h.Add(2)
+	h.Add(3)
+	h.Add(100) // overflow
+	h.Add(-7)  // clamped to 0
+	if got := h.Sum(); got != 105 {
+		t.Errorf("Sum = %d, want 105", got)
+	}
+	if want := 105.0 / 4.0; !almostEqual(h.Mean(), want, 1e-12) {
+		t.Errorf("Mean = %v, want %v", h.Mean(), want)
+	}
+}
+
+// TestHistBoundaryValueLandsInOverflow pins where the bound itself goes:
+// NewHist(bound) has exact buckets for [0, bound), so a sample equal to
+// bound is overflow and must still quantile exactly.
+func TestHistBoundaryValueLandsInOverflow(t *testing.T) {
+	h := NewHist(4)
+	h.Add(3) // last exact bucket
+	h.Add(4) // first overflow value
+	if got := h.Quantile(0.5); got != 3 {
+		t.Errorf("Quantile(0.5) = %d, want 3", got)
+	}
+	if got := h.Quantile(1.0); got != 4 {
+		t.Errorf("Quantile(1.0) = %d, want 4", got)
+	}
+	if got := h.Max(); got != 4 {
+		t.Errorf("Max = %d, want 4", got)
+	}
+}

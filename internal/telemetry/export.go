@@ -152,6 +152,9 @@ func (p *Probe) MetricsTable() string {
 				lp.Index, lp.From, lp.Dir, lp.Flits, 100*lp.Util(p.Elapsed))
 		}
 	}
+	if n := p.OverUnityLinks(p.Elapsed); n > 0 {
+		fmt.Fprintf(&sb, "  WARNING  %d channel(s) report over-unity duty factor (clamped to 100%%); flit accounting is double-counting\n", n)
+	}
 	return sb.String()
 }
 
@@ -205,29 +208,16 @@ func (p *Probe) Heatmap() string {
 // WriteHeatmapCSV writes the k×k per-tile mean outgoing utilization grid as
 // CSV, row y=ky-1 first (matching the ASCII rendering's orientation).
 func (p *Probe) WriteHeatmapCSV(w io.Writer) error {
-	if p.kx == 0 || p.ky == 0 {
+	grid := p.HeatmapGrid(p.Elapsed)
+	if grid == nil {
 		return fmt.Errorf("telemetry: no grid registered")
 	}
-	sums := make([]float64, p.kx*p.ky)
-	counts := make([]int, p.kx*p.ky)
-	for _, lp := range p.Links {
-		if lp == nil {
-			continue
-		}
-		idx := lp.PY*p.kx + lp.PX
-		sums[idx] += lp.Util(p.Elapsed)
-		counts[idx]++
-	}
-	for y := p.ky - 1; y >= 0; y-- {
-		for x := 0; x < p.kx; x++ {
+	for _, row := range grid {
+		for x, v := range row {
 			if x > 0 {
 				if _, err := fmt.Fprint(w, ","); err != nil {
 					return err
 				}
-			}
-			v := 0.0
-			if counts[y*p.kx+x] > 0 {
-				v = sums[y*p.kx+x] / float64(counts[y*p.kx+x])
 			}
 			fmt.Fprintf(w, "%.4f", v)
 		}

@@ -1,0 +1,396 @@
+// Package serve is the live observability service: it snapshots the
+// telemetry probe of a running network at cycle boundaries and serves the
+// copies over an embedded HTTP server — /metrics (Prometheus text
+// exposition), /snapshot (full JSON including the k×k heatmap), /healthz
+// (online detector verdicts from internal/telemetry/health), and /events
+// (SSE stream of health transitions and sampled rows).
+//
+// Concurrency model: the collector registers one *serial* simulation
+// phase (like the clients phase), so under -shards it runs on the
+// barrier side of the worker pool — single-threaded with respect to all
+// simulator state, and byte-identical for any shard count. Each sample it
+// builds an immutable Snapshot by value-copying every counter it reads,
+// then publishes it through an atomic pointer; HTTP handlers only ever
+// read published snapshots, never simulator state. When serve is not
+// attached, no phase is registered and the cycle loop keeps its
+// 0 allocs/cycle fast path.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/network"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/telemetry"
+	"repro/internal/telemetry/health"
+)
+
+// Config parameterizes the collector.
+type Config struct {
+	// Every is the snapshot interval in cycles (default 256).
+	Every int64
+
+	// Health configures the online detectors (zero fields default).
+	Health health.Config
+
+	// SeriesTail bounds how many trailing series rows each snapshot
+	// carries (default 64; requires the probe's series to be enabled).
+	SeriesTail int
+
+	// HotLinks is how many per-window busiest channels to attribute
+	// (default 8).
+	HotLinks int
+}
+
+// DefaultEvery is the default snapshot interval in cycles.
+const DefaultEvery = 256
+
+func (c Config) withDefaults() Config {
+	if c.Every <= 0 {
+		c.Every = DefaultEvery
+	}
+	if c.SeriesTail <= 0 {
+		c.SeriesTail = 64
+	}
+	if c.HotLinks <= 0 {
+		c.HotLinks = 8
+	}
+	return c
+}
+
+// ExportedQuantiles are the latency quantiles every snapshot (and the
+// Prometheus summary rendering) carries.
+var ExportedQuantiles = []float64{0.5, 0.9, 0.99, 1}
+
+// Quantile is one exported quantile value.
+type Quantile struct {
+	Q float64 `json:"q"`
+	V int64   `json:"v"`
+}
+
+// LatencySnap is the copied summary of one latency histogram.
+type LatencySnap struct {
+	// Name identifies the series: "packet", "network", or "class<k>".
+	Name  string     `json:"name"`
+	Class int        `json:"class"` // service class; -1 for aggregates
+	Count int64      `json:"count"`
+	Sum   int64      `json:"sum"`
+	Mean  float64    `json:"mean"`
+	Quantiles []Quantile `json:"quantiles"`
+}
+
+// LatencyFrom copies a histogram's headline figures and the exported
+// quantiles. This is the single code path behind both /snapshot and the
+// /metrics summary rendering, so the property test that compares exported
+// quantiles against Hist.Quantile covers what the endpoints serve.
+func LatencyFrom(name string, class int, h *stats.Hist) LatencySnap {
+	ls := LatencySnap{Name: name, Class: class}
+	if h == nil {
+		return ls
+	}
+	ls.Count = h.Count()
+	ls.Sum = h.Sum()
+	ls.Mean = h.Mean()
+	for _, q := range ExportedQuantiles {
+		ls.Quantiles = append(ls.Quantiles, Quantile{Q: q, V: h.Quantile(q)})
+	}
+	return ls
+}
+
+// Snapshot is one published copy of the network's observable state. All
+// fields are plain data owned by the snapshot: nothing aliases simulator
+// state, so readers need no locks.
+type Snapshot struct {
+	Cycle int64 `json:"cycle"`
+
+	Healthy bool             `json:"healthy"`
+	Health  []health.Verdict `json:"health"`
+
+	Generated        int64   `json:"generated_packets"`
+	InjectedPackets  int64   `json:"injected_packets"`
+	DeliveredPackets int64   `json:"delivered_packets"`
+	DeliveredFlits   int64   `json:"delivered_flits"`
+	Throughput       float64 `json:"throughput_flits_per_cycle"`
+
+	BufOcc       int64 `json:"buf_occ"`
+	LinkInFlight int64 `json:"link_in_flight"`
+
+	DeadLinks      int   `json:"dead_links"`
+	FaultsApplied  int64 `json:"faults_applied"`
+	OverUnityLinks int   `json:"over_unity_links"`
+
+	Latency []LatencySnap `json:"latency"`
+
+	Routers  []telemetry.RouterSnap `json:"routers"`
+	Links    []telemetry.LinkSnap   `json:"links"`
+	HotLinks []health.LinkLoad      `json:"hot_links,omitempty"`
+
+	// Heatmap is the k×k per-tile mean outgoing duty factor, row y=k-1
+	// first (same orientation as the ASCII heatmap).
+	Heatmap [][]float64 `json:"heatmap,omitempty"`
+
+	Series []telemetry.SeriesRow `json:"series,omitempty"`
+}
+
+// Collector owns the serial snapshot phase and the published snapshot.
+type Collector struct {
+	n   *network.Network
+	cfg Config
+	mon *health.Monitor
+
+	pub atomic.Pointer[Snapshot]
+
+	// Serial-phase scratch, reused across samples.
+	waitBuf  []health.VCWait
+	prevFlit []int64
+
+	mu        sync.Mutex
+	subs      map[chan []byte]struct{}
+	mirror    io.Writer
+	mirrorErr error
+}
+
+// AttachCollector registers the snapshot phase on the network's kernel
+// and returns the collector. The network must have a telemetry probe (the
+// counter fabric the snapshots copy) and must not have started running
+// samples yet. The phase is serial, so it composes with any -shards
+// setting without gating the simulation back to one shard.
+func AttachCollector(n *network.Network, cfg Config) (*Collector, error) {
+	if n.Probe() == nil {
+		return nil, fmt.Errorf("serve: network has no telemetry probe; enable telemetry to serve it")
+	}
+	cfg = cfg.withDefaults()
+	c := &Collector{
+		n:    n,
+		cfg:  cfg,
+		mon:  health.New(cfg.Health),
+		subs: make(map[chan []byte]struct{}),
+	}
+	n.Kernel().AddPhase("serve", c.phase)
+	return c, nil
+}
+
+// Config reports the collector's effective (defaulted) configuration.
+func (c *Collector) Config() Config { return c.cfg }
+
+// Latest returns the most recently published snapshot (nil before the
+// first sample). The snapshot is immutable; callers may hold it as long
+// as they like.
+func (c *Collector) Latest() *Snapshot { return c.pub.Load() }
+
+// Monitor exposes the health monitor for tests that drive the collector
+// synchronously. The monitor is only written by the serial phase; read it
+// between Run calls.
+func (c *Collector) Monitor() *health.Monitor { return c.mon }
+
+// SetMirror directs a copy of every published snapshot, JSON-encoded one
+// per line, to w. The determinism suite compares these byte streams
+// across shard counts. Must be set before the simulation runs.
+func (c *Collector) SetMirror(w io.Writer) { c.mirror = w }
+
+// MirrorErr reports the first error writing to the mirror, if any.
+func (c *Collector) MirrorErr() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.mirrorErr
+}
+
+// Subscribe registers an SSE subscriber: a channel that receives
+// pre-rendered SSE frames. Slow subscribers miss frames rather than
+// stalling the simulation.
+func (c *Collector) Subscribe() chan []byte {
+	ch := make(chan []byte, 32)
+	c.mu.Lock()
+	c.subs[ch] = struct{}{}
+	c.mu.Unlock()
+	return ch
+}
+
+// Unsubscribe removes a subscriber registered with Subscribe.
+func (c *Collector) Unsubscribe(ch chan []byte) {
+	c.mu.Lock()
+	delete(c.subs, ch)
+	c.mu.Unlock()
+}
+
+// phase is the serial snapshot phase body.
+func (c *Collector) phase(now sim.Cycle) {
+	if int64(now)%c.cfg.Every != 0 {
+		return
+	}
+	c.sample(int64(now))
+}
+
+// minWaitAge is the head-of-line age past which the collector reports a
+// VC as waiting: old enough for both detectors' thresholds, scaled down
+// so attribution has material before the detectors fire.
+func (c *Collector) minWaitAge() int64 {
+	hc := c.mon.Config()
+	min := hc.StarveAge
+	if hc.DeadlockWindow < min {
+		min = hc.DeadlockWindow
+	}
+	if min > 4 {
+		min /= 2
+	}
+	return min
+}
+
+// sample observes the network (serially, inside the phase), feeds the
+// health monitor, and publishes a fresh snapshot.
+func (c *Collector) sample(now int64) {
+	p := c.n.Probe()
+	rec := c.n.Recorder()
+
+	var bufOcc int64
+	links := c.n.Links()
+	var inFlight int64
+	for _, l := range links {
+		inFlight += int64(l.InFlight())
+	}
+	bufOcc = int64(c.n.Occupancy()) - inFlight
+
+	c.waitBuf = c.n.AppendWaitingVCs(now, c.minWaitAge(), c.waitBuf[:0])
+	hot := c.hotLinks(p)
+
+	s := health.Sample{
+		Cycle:            now,
+		GeneratedPackets: rec.Generated,
+		EjectedFlits:     p.TotalEjectedFlits(),
+		BufOcc:           bufOcc + inFlight,
+		Waiting:          c.waitBuf,
+		HotLinks:         hot,
+		DeadLinks:        p.DeadLinks,
+	}
+	events := c.mon.Observe(s)
+
+	snap := &Snapshot{
+		Cycle:            now,
+		Healthy:          c.mon.Healthy(),
+		Health:           c.mon.Verdicts(),
+		Generated:        rec.Generated,
+		InjectedPackets:  rec.InjectedPackets,
+		DeliveredPackets: rec.DeliveredPackets,
+		DeliveredFlits:   rec.DeliveredFlits,
+		Throughput:       rec.ThroughputFlitsPerCycle(now),
+		BufOcc:           bufOcc,
+		LinkInFlight:     inFlight,
+		DeadLinks:        p.DeadLinks,
+		FaultsApplied:    p.FaultsApplied,
+		OverUnityLinks:   p.OverUnityLinks(now),
+		Routers:          p.SnapshotRouters(nil),
+		Links:            p.SnapshotLinks(nil, now),
+		HotLinks:         hot,
+		Heatmap:          p.HeatmapGrid(now),
+		Series:           p.SnapshotSeriesTail(nil, c.cfg.SeriesTail),
+	}
+	snap.Latency = append(snap.Latency,
+		LatencyFrom("packet", -1, rec.PacketLatency),
+		LatencyFrom("network", -1, rec.NetworkLatency))
+	for _, class := range rec.Classes() {
+		snap.Latency = append(snap.Latency,
+			LatencyFrom(fmt.Sprintf("class%d", class), class, rec.ClassLatency(class)))
+	}
+	c.pub.Store(snap)
+
+	if c.mirror != nil {
+		if err := json.NewEncoder(c.mirror).Encode(snap); err != nil {
+			c.mu.Lock()
+			if c.mirrorErr == nil {
+				c.mirrorErr = err
+			}
+			c.mu.Unlock()
+		}
+	}
+	c.broadcast(snap, events)
+}
+
+// hotLinks computes the busiest channels of the window just ended from
+// the per-link flit deltas, hottest first (ties by index).
+func (c *Collector) hotLinks(p *telemetry.Probe) []health.LinkLoad {
+	if len(c.prevFlit) < len(p.Links) {
+		c.prevFlit = append(c.prevFlit, make([]int64, len(p.Links)-len(c.prevFlit))...)
+	}
+	var loads []health.LinkLoad
+	for i, lp := range p.Links {
+		if lp == nil {
+			continue
+		}
+		delta := lp.Flits - c.prevFlit[i]
+		c.prevFlit[i] = lp.Flits
+		if delta > 0 {
+			loads = append(loads, health.LinkLoad{
+				Index: lp.Index, From: lp.From, To: lp.To,
+				Dir: lp.Dir.String(), Flits: delta,
+			})
+		}
+	}
+	sort.Slice(loads, func(i, j int) bool {
+		if loads[i].Flits != loads[j].Flits {
+			return loads[i].Flits > loads[j].Flits
+		}
+		return loads[i].Index < loads[j].Index
+	})
+	if len(loads) > c.cfg.HotLinks {
+		loads = loads[:c.cfg.HotLinks]
+	}
+	return loads
+}
+
+// sampleRow is the compact per-sample SSE payload.
+type sampleRow struct {
+	Cycle          int64   `json:"cycle"`
+	Healthy        bool    `json:"healthy"`
+	Generated      int64   `json:"generated_packets"`
+	DeliveredFlits int64   `json:"delivered_flits"`
+	Throughput     float64 `json:"throughput_flits_per_cycle"`
+	BufOcc         int64   `json:"buf_occ"`
+	LinkInFlight   int64   `json:"link_in_flight"`
+}
+
+// broadcast renders SSE frames for the sample row and any health
+// transitions and fans them out to subscribers without blocking.
+func (c *Collector) broadcast(snap *Snapshot, events []health.Event) {
+	c.mu.Lock()
+	n := len(c.subs)
+	c.mu.Unlock()
+	if n == 0 {
+		return
+	}
+	var frames [][]byte
+	row, err := json.Marshal(sampleRow{
+		Cycle:          snap.Cycle,
+		Healthy:        snap.Healthy,
+		Generated:      snap.Generated,
+		DeliveredFlits: snap.DeliveredFlits,
+		Throughput:     snap.Throughput,
+		BufOcc:         snap.BufOcc,
+		LinkInFlight:   snap.LinkInFlight,
+	})
+	if err == nil {
+		frames = append(frames, []byte("event: sample\ndata: "+string(row)+"\n\n"))
+	}
+	for _, ev := range events {
+		b, err := json.Marshal(ev)
+		if err != nil {
+			continue
+		}
+		frames = append(frames, []byte("event: health\ndata: "+string(b)+"\n\n"))
+	}
+	c.mu.Lock()
+	for ch := range c.subs {
+		for _, f := range frames {
+			select {
+			case ch <- f:
+			default: // slow subscriber: drop the frame
+			}
+		}
+	}
+	c.mu.Unlock()
+}

@@ -117,12 +117,12 @@ func (lp *LinkProbe) TraceHead(now int64, pkt uint64) {
 func (lp *LinkProbe) OnCredit() { lp.Credits++ }
 
 // Util reports the channel's duty factor over the observed horizon: the
-// fraction of cycles its wires were busy (§4.4).
+// fraction of cycles its wires were busy (§4.4). A duty factor above 1 is
+// physically impossible, so it is clamped — but OverUnity still reports
+// the condition, because an over-unity raw value means the flit
+// accounting double-counted somewhere and should not be masked.
 func (lp *LinkProbe) Util(cycles int64) float64 {
-	if cycles <= 0 {
-		return 0
-	}
-	u := float64(lp.Flits*int64(lp.Serdes)) / float64(cycles)
+	u := lp.rawUtil(cycles)
 	if u > 1 {
 		u = 1
 	}

@@ -255,3 +255,55 @@ func TestFaultAccounting(t *testing.T) {
 		t.Errorf("Observe must be monotonic, Elapsed=%d", p.Elapsed)
 	}
 }
+
+// TestOverUnityClampAndSurfacing pins the over-unity contract: a channel
+// whose flit accounting exceeds the physical wire capacity still reports a
+// clamped Util of 1.0, but the condition is never masked — OverUnity,
+// OverUnityLinks, the link snapshot, and the text-table WARNING all
+// surface it.
+func TestOverUnityClampAndSurfacing(t *testing.T) {
+	p := New(Config{})
+	good := p.RegisterLink(0, 0, 1, route.East, 1, 0, 0)
+	bad := p.RegisterLink(1, 1, 2, route.East, 2, 0, 0)
+	good.Flits = 50   // serdes 1 over 100 cycles: duty 0.5
+	bad.Flits = 80    // serdes 2 over 100 cycles: raw duty 1.6
+	p.Elapsed = 100
+
+	if got := good.Util(100); got != 0.5 {
+		t.Fatalf("healthy link Util = %v, want 0.5", got)
+	}
+	if good.OverUnity(100) {
+		t.Fatal("healthy link reported over-unity")
+	}
+	if got := bad.Util(100); got != 1.0 {
+		t.Fatalf("over-unity link Util = %v, want exactly the 1.0 clamp", got)
+	}
+	if !bad.OverUnity(100) {
+		t.Fatal("over-unity condition masked by the clamp")
+	}
+	if got := p.OverUnityLinks(100); got != 1 {
+		t.Fatalf("OverUnityLinks = %d, want 1", got)
+	}
+
+	snaps := p.SnapshotLinks(nil, 100)
+	if len(snaps) != 2 {
+		t.Fatalf("got %d link snapshots, want 2", len(snaps))
+	}
+	if snaps[0].OverUnity || snaps[0].Util != 0.5 {
+		t.Fatalf("healthy link snapshot wrong: %+v", snaps[0])
+	}
+	if !snaps[1].OverUnity || snaps[1].Util != 1.0 {
+		t.Fatalf("over-unity link snapshot wrong: %+v", snaps[1])
+	}
+
+	table := p.MetricsTable()
+	if !strings.Contains(table, "WARNING") || !strings.Contains(table, "over-unity") {
+		t.Fatalf("metrics table does not surface the over-unity warning:\n%s", table)
+	}
+
+	// A probe with sane accounting must not warn.
+	bad.Flits = 40
+	if table := p.MetricsTable(); strings.Contains(table, "WARNING") {
+		t.Fatalf("metrics table warns without an over-unity link:\n%s", table)
+	}
+}

@@ -1,6 +1,7 @@
 package noc
 
 import (
+	"reflect"
 	"runtime"
 	"testing"
 	"time"
@@ -187,7 +188,9 @@ func TestSweepParallelism(t *testing.T) {
 		t.Fatalf("point counts differ: %d vs %d", len(seq), len(par))
 	}
 	for i := range seq {
-		if seq[i] != par[i] {
+		// DeepEqual rather than ==: RunParams carries a (nil here) OnNetwork
+		// hook, which makes the struct non-comparable.
+		if !reflect.DeepEqual(seq[i], par[i]) {
 			t.Fatalf("rate %.2f: parallel result differs from sequential:\nseq: %+v\npar: %+v",
 				rates[i], seq[i].Result, par[i].Result)
 		}
