@@ -28,21 +28,32 @@ race:
 # smoke test drives a real nocsim -serve binary end to end (ephemeral
 # port announced on stderr, /metrics parses, /healthz 200, clean exit).
 # The benchjson gate covers the ServeOff/On pair so the serve-off loop
-# keeps its zero-allocation fast path.
+# keeps its zero-allocation fast path. The checkpoint/restore stack is
+# gated twice: the resumed-golden suites replay the pinned experiments
+# through a mid-run snapshot + rebuild + restore at several shard counts
+# and must stay byte-identical to the straight-through goldens, and the
+# crash-resume smoke SIGKILLs a real nocsim mid-campaign, tears the
+# newest checkpoint file, and diffs the resumed run's report and metrics
+# CSV against an uninterrupted reference.
 ci:
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) vet ./internal/telemetry ./internal/telemetry/health ./internal/telemetry/serve ./cmd/internal/obs
 	$(GO) test -race ./internal/telemetry ./internal/telemetry/health ./internal/telemetry/serve ./cmd/internal/obs
+	$(GO) test -race ./internal/checkpoint ./internal/network ./internal/core
 	$(GO) test -race ./...
 	$(GO) test -race -run 'TestServeSmoke' .
+	$(GO) test -race -run 'TestResumedGolden|TestCrashResume' .
 	$(GO) test -run '^$$' -bench 'NetworkCycle$$|NetworkCycleServeOff$$|NetworkCycleServeOn$$|NetworkCycle64$$|RouteCompute' -benchtime 200ms -benchmem . \
 		| $(GO) run ./cmd/benchjson -against BENCH_cycles.json -max-regress 50
 
-# fuzz gives the fault-campaign parser a short randomized budget; the
-# corpus seeds in internal/fault/fuzz_test.go always run under plain test.
+# fuzz gives the fault-campaign parser and the checkpoint decoder a short
+# randomized budget each (go test accepts one -fuzz pattern per package
+# invocation, hence two lines); the corpus seeds in the fuzz_test.go files
+# always run under plain test.
 fuzz:
 	$(GO) test ./internal/fault -run='^$$' -fuzz=FuzzFaultPlan -fuzztime=10s
+	$(GO) test ./internal/checkpoint -run='^$$' -fuzz=FuzzParse -fuzztime=10s
 
 # bench is the regression harness: the cycle-loop microbenchmarks run
 # long enough for stable ns/op and allocs/op, the E-suite benchmarks run

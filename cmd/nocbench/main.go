@@ -29,6 +29,10 @@ func main() {
 		markdown = flag.Bool("markdown", false, "emit Markdown tables")
 		par      = flag.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS)")
 		shards   = flag.Int("shards", 1, "intra-cycle shards per simulation, identical results (0 = GOMAXPROCS, 1 = sequential); composes with -parallel")
+
+		ckptEvery = flag.Int64("checkpoint-every", 0, "unsupported here: nocbench checkpoints at experiment granularity")
+		ckptDir   = flag.String("checkpoint-dir", "", "directory for the experiment progress file (completed tables are cached)")
+		resume    = flag.Bool("resume", false, "skip experiments already completed per -checkpoint-dir's progress file")
 	)
 	obsFlags := obs.Register()
 	flag.Parse()
@@ -42,6 +46,25 @@ func main() {
 		os.Exit(1)
 	}
 	core.SetShards(*shards)
+	if *ckptEvery != 0 {
+		fmt.Fprintln(os.Stderr, "nocbench: -checkpoint-every is not supported: experiments own their"+
+			" measurement windows, so nocbench checkpoints at experiment granularity"+
+			" (-checkpoint-dir/-resume); for cycle-level checkpoints use nocsim or nocsweep")
+		os.Exit(1)
+	}
+	if *resume && *ckptDir == "" {
+		fmt.Fprintln(os.Stderr, "nocbench: -resume needs -checkpoint-dir")
+		os.Exit(1)
+	}
+	var prog *progress
+	if *ckptDir != "" {
+		p, err := openProgress(*ckptDir, *resume)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nocbench:", err)
+			os.Exit(1)
+		}
+		prog = p
+	}
 
 	stopProf, err := obsFlags.StartPprof()
 	if err != nil {
@@ -66,7 +89,18 @@ func main() {
 	tables := make([]*core.Table, len(experiments))
 	errs := make([]error, len(experiments))
 	_ = sim.ForEach(len(experiments), core.Parallelism(), func(i int) error {
+		if prog != nil {
+			if t := prog.lookup(experiments[i].ID, *quick); t != nil {
+				tables[i] = t
+				return nil
+			}
+		}
 		tables[i], errs[i] = experiments[i].Run(*quick)
+		if prog != nil && errs[i] == nil {
+			if err := prog.record(experiments[i].ID, *quick, tables[i]); err != nil {
+				fmt.Fprintln(os.Stderr, "nocbench: progress:", err)
+			}
+		}
 		return nil
 	})
 	failed := 0

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// progress caches completed experiment tables under a checkpoint
+// directory, so an interrupted nocbench run resumes by reprinting the
+// finished experiments and running only the rest. Entries are keyed by
+// experiment ID and the -quick flag, since quick windows measure
+// different tables.
+type progress struct {
+	mu     sync.Mutex
+	path   string
+	tables map[string]*core.Table
+}
+
+func progressKey(id string, quick bool) string {
+	if quick {
+		return id + "/quick"
+	}
+	return id + "/full"
+}
+
+// openProgress prepares the progress file in dir. Without -resume, prior
+// progress is ignored (and overwritten as experiments complete); with it,
+// the cached tables are loaded. A torn or stale file is discarded with a
+// warning, never fatal.
+func openProgress(dir string, resume bool) (*progress, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	p := &progress{path: filepath.Join(dir, "PROGRESS.json"), tables: map[string]*core.Table{}}
+	if !resume {
+		return p, nil
+	}
+	b, err := os.ReadFile(p.path)
+	if os.IsNotExist(err) {
+		return p, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := json.Unmarshal(b, &p.tables); err != nil {
+		fmt.Fprintf(os.Stderr, "nocbench: ignoring unreadable progress file %s: %v\n", p.path, err)
+		p.tables = map[string]*core.Table{}
+	}
+	return p, nil
+}
+
+func (p *progress) lookup(id string, quick bool) *core.Table {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.tables[progressKey(id, quick)]
+}
+
+// record caches a completed table and rewrites the progress file via a
+// temp-and-rename so a crash mid-write leaves the previous file intact.
+func (p *progress) record(id string, quick bool, t *core.Table) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.tables[progressKey(id, quick)] = t
+	b, err := json.MarshalIndent(p.tables, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := p.path + ".tmp"
+	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, p.path)
+}

@@ -52,6 +52,10 @@ func main() {
 		mtbf     = flag.Float64("mtbf", 0, "mean cycles between stochastic faults (0 disables)")
 		watchdog = flag.Int("watchdog", 64, "credit-starvation watchdog threshold, cycles (campaign runs)")
 		shards   = flag.Int("shards", 1, "intra-cycle shards: routers simulated in parallel, identical results (0 = GOMAXPROCS, 1 = sequential)")
+
+		ckptEvery = flag.Int64("checkpoint-every", 0, "write a crash-safe checkpoint every N cycles (0 disables; needs -checkpoint-dir)")
+		ckptDir   = flag.String("checkpoint-dir", "", "directory for checkpoint files (ckpt-*.noc + MANIFEST)")
+		resume    = flag.Bool("resume", false, "resume from the newest valid checkpoint in -checkpoint-dir (fresh start when none)")
 	)
 	obsFlags := obs.Register()
 	flag.Parse()
@@ -124,6 +128,18 @@ func main() {
 	if err := obsFlags.Validate(); err != nil {
 		fatal(err)
 	}
+	checkpointing := *ckptEvery > 0 || *resume
+	if *ckptEvery < 0 {
+		fatal(fmt.Errorf("-checkpoint-every must be >= 0 cycles; got %d", *ckptEvery))
+	}
+	if checkpointing {
+		if *ckptDir == "" {
+			fatal(fmt.Errorf("-checkpoint-every/-resume need -checkpoint-dir"))
+		}
+		if *mode == "deflect" {
+			fatal(fmt.Errorf("checkpointing does not cover deflection routers; drop -mode deflect"))
+		}
+	}
 	if campaign {
 		if *mode != "vc" {
 			fatal(fmt.Errorf("-faults/-mtbf need the credit-based VC router; -mode %s cannot starve credits for the watchdogs", *mode))
@@ -162,6 +178,15 @@ func main() {
 	if !p.Metered {
 		fmt.Fprintln(os.Stderr, "nocsim: note: -shards disables the power meter (energy lines omitted)")
 	}
+	// The power meter is a globally ordered accumulator outside the
+	// snapshot's coverage, so checkpointed runs trade the energy lines too.
+	if checkpointing && p.Metered {
+		p.Metered = false
+		fmt.Fprintln(os.Stderr, "nocsim: note: checkpointing disables the power meter (energy lines omitted)")
+	}
+	p.CheckpointEvery = *ckptEvery
+	p.CheckpointDir = *ckptDir
+	p.Resume = *resume
 	p.Shards = *shards
 	if *shards == 0 {
 		p.Shards = -1 // core: explicit GOMAXPROCS request
@@ -318,30 +343,43 @@ func runTrace(p core.RunParams, path string) error {
 		return err
 	}
 	p.WarmupCycles = 0 // a replayed trace is measured in full
-	n, _, err := core.BuildNetwork(p)
-	if err != nil {
-		return err
-	}
-	tiles := n.Topology().NumTiles()
-	srcs, err := traffic.SplitByTile(events, tiles, flit.VCMask(0xFF))
-	if err != nil {
-		return err
-	}
-	for tile, src := range srcs {
-		n.AttachClient(tile, src)
-	}
-	if p.OnNetwork != nil {
-		if err := p.OnNetwork(n); err != nil {
-			return err
-		}
-	}
 	horizon := int64(0)
 	for _, e := range events {
 		if e.Cycle > horizon {
 			horizon = e.Cycle
 		}
 	}
-	n.Run(horizon + 1)
+	build := func() (*network.Network, error) {
+		n, _, err := core.BuildNetwork(p)
+		if err != nil {
+			return nil, err
+		}
+		tiles := n.Topology().NumTiles()
+		srcs, err := traffic.SplitByTile(events, tiles, flit.VCMask(0xFF))
+		if err != nil {
+			return nil, err
+		}
+		for tile, src := range srcs {
+			n.AttachClient(tile, src)
+		}
+		if p.OnNetwork != nil {
+			if err := p.OnNetwork(n); err != nil {
+				return nil, err
+			}
+		}
+		return n, nil
+	}
+	n, err := build()
+	if err != nil {
+		return err
+	}
+	// The trace file's identity rides in the config hash so a resume
+	// against a different trace is rejected, not silently merged.
+	n, err = core.RunToHorizon(n, p, horizon+1, "trace",
+		fmt.Sprintf("%s|%d|%d", path, len(events), horizon), build)
+	if err != nil {
+		return err
+	}
 	if !n.Drain(1_000_000) {
 		return fmt.Errorf("trace did not drain (occupancy %d)", n.Occupancy())
 	}

@@ -31,6 +31,10 @@ func main() {
 		seed     = flag.Int64("seed", 1, "random seed")
 		par      = flag.Int("parallel", 0, "concurrent sweep points (0 = GOMAXPROCS)")
 		shards   = flag.Int("shards", 1, "intra-cycle shards per simulation, identical results (0 = GOMAXPROCS, 1 = sequential); composes with -parallel")
+
+		ckptEvery = flag.Int64("checkpoint-every", 0, "checkpoint every sweep point every N cycles (0 disables; needs -checkpoint-dir)")
+		ckptDir   = flag.String("checkpoint-dir", "", "checkpoint root; each point uses its own point-NNN subdirectory")
+		resume    = flag.Bool("resume", false, "resume every point from its newest valid checkpoint under -checkpoint-dir")
 	)
 	obsFlags := obs.Register()
 	flag.Parse()
@@ -44,6 +48,14 @@ func main() {
 		os.Exit(1)
 	}
 	core.SetShards(*shards)
+	if *ckptEvery < 0 {
+		fmt.Fprintf(os.Stderr, "nocsweep: -checkpoint-every must be >= 0 cycles; got %d\n", *ckptEvery)
+		os.Exit(1)
+	}
+	if (*ckptEvery > 0 || *resume) && *ckptDir == "" {
+		fmt.Fprintln(os.Stderr, "nocsweep: -checkpoint-every/-resume need -checkpoint-dir")
+		os.Exit(1)
+	}
 
 	var rates []float64
 	for _, s := range strings.Split(*rateList, ",") {
@@ -79,6 +91,9 @@ func main() {
 	base.WarmupCycles = *warmup
 	base.MeasureCycles = *measure
 	base.Seed = *seed
+	base.CheckpointEvery = *ckptEvery
+	base.CheckpointDir = *ckptDir
+	base.Resume = *resume
 
 	points, err := core.Sweep(base, rates)
 	if err != nil {
@@ -109,6 +124,8 @@ func main() {
 			}
 		}
 		inst.Probe = obsFlags.NewProbe()
+		// The instrumentation run is throwaway: never checkpoint it.
+		inst.CheckpointEvery, inst.CheckpointDir, inst.Resume = 0, "", false
 		var srv *serve.Server
 		inst.OnNetwork = func(n *network.Network) error {
 			s, err := obsFlags.AttachServe(n)

@@ -185,6 +185,17 @@ func (d *dash) render(s *serve.Snapshot, addr string) string {
 		line("faults      applied %d  dead links %d  over-unity links %d",
 			s.FaultsApplied, s.DeadLinks, s.OverUnityLinks)
 	}
+	if s.CheckpointEvery > 0 {
+		state := fmt.Sprintf("last at cycle %d, age %d (every %d)",
+			s.LastCheckpointCycle, s.CheckpointAge, s.CheckpointEvery)
+		if s.LastCheckpointCycle < 0 {
+			state = fmt.Sprintf("none yet after %d cycles (every %d)", s.CheckpointAge, s.CheckpointEvery)
+		}
+		if s.CheckpointStale {
+			state += "  \x1b[31mSTALE\x1b[0m"
+		}
+		line("checkpoint  %s", state)
+	}
 	line("")
 	for _, v := range s.Health {
 		mark := "\x1b[32mok\x1b[0m    "

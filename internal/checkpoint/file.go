@@ -1,0 +1,197 @@
+package checkpoint
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ErrNoCheckpoints reports that a directory holds no checkpoint files at
+// all — as opposed to holding only torn or corrupt ones, which is an
+// ordinary error. Resume paths treat it as "start from scratch".
+var ErrNoCheckpoints = errors.New("no checkpoint files")
+
+// Checkpoint files are named ckpt-<cycle>.noc with a zero-padded cycle so
+// lexical order is cycle order. A sidecar MANIFEST lists the files the
+// writer believes are complete, newest first; it is advisory — LoadLatest
+// re-validates every candidate by parsing it — but it records write order
+// even if two checkpoints share an mtime granule.
+const manifestName = "MANIFEST"
+
+// FileName returns the checkpoint file name for a cycle.
+func FileName(cycle int64) string {
+	return fmt.Sprintf("ckpt-%016d.noc", cycle)
+}
+
+// cycleOf parses the cycle out of a checkpoint file name, or -1.
+func cycleOf(name string) int64 {
+	if !strings.HasPrefix(name, "ckpt-") || !strings.HasSuffix(name, ".noc") {
+		return -1
+	}
+	c, err := strconv.ParseInt(strings.TrimSuffix(strings.TrimPrefix(name, "ckpt-"), ".noc"), 10, 64)
+	if err != nil || c < 0 {
+		return -1
+	}
+	return c
+}
+
+// writeAtomic writes data to path via a temp file in the same directory,
+// fsyncs the file, renames it into place, and fsyncs the directory, so a
+// crash at any instant leaves either the old file or the new one — never
+// a torn mix.
+func writeAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("checkpoint: write %s: %w", tmpName, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("checkpoint: fsync %s: %w", tmpName, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("checkpoint: close %s: %w", tmpName, err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		return fmt.Errorf("checkpoint: rename into place: %w", err)
+	}
+	if d, err := os.Open(dir); err == nil {
+		d.Sync() //nolint:errcheck // advisory: directory entry durability
+		d.Close()
+	}
+	return nil
+}
+
+// WriteFile durably writes an assembled checkpoint into dir and updates
+// the manifest. It returns the checkpoint's path.
+func WriteFile(dir string, cycle int64, data []byte) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("checkpoint: %w", err)
+	}
+	path := filepath.Join(dir, FileName(cycle))
+	if err := writeAtomic(path, data); err != nil {
+		return "", err
+	}
+	names := readManifest(dir)
+	names = append([]string{FileName(cycle)}, withoutString(names, FileName(cycle))...)
+	if err := writeAtomic(filepath.Join(dir, manifestName), []byte(strings.Join(names, "\n")+"\n")); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+func withoutString(names []string, drop string) []string {
+	out := names[:0]
+	for _, n := range names {
+		if n != drop {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// readManifest returns the manifest's file names, newest first; a missing
+// or unreadable manifest yields nil (callers fall back to a directory
+// scan).
+func readManifest(dir string) []string {
+	b, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		return nil
+	}
+	var names []string
+	for _, line := range strings.Split(string(b), "\n") {
+		line = strings.TrimSpace(line)
+		if line != "" && cycleOf(line) >= 0 {
+			names = append(names, line)
+		}
+	}
+	return names
+}
+
+// candidates lists checkpoint files to try, newest first: the manifest
+// order when present, plus any ckpt-*.noc files the manifest missed
+// (sorted by cycle, descending).
+func candidates(dir string) []string {
+	names := readManifest(dir)
+	seen := map[string]bool{}
+	for _, n := range names {
+		seen[n] = true
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return names
+	}
+	var extra []string
+	for _, ent := range entries {
+		if n := ent.Name(); !seen[n] && cycleOf(n) >= 0 {
+			extra = append(extra, n)
+		}
+	}
+	sort.Slice(extra, func(i, j int) bool { return cycleOf(extra[i]) > cycleOf(extra[j]) })
+	return append(names, extra...)
+}
+
+// LoadLatest finds the newest fully-valid checkpoint in dir, skipping any
+// torn or corrupt files (each candidate is completely parsed, so every
+// section CRC must hold). It returns the parsed checkpoint and its path.
+func LoadLatest(dir string) (*File, string, error) {
+	cands := candidates(dir)
+	if len(cands) == 0 {
+		return nil, "", fmt.Errorf("checkpoint: %w in %s", ErrNoCheckpoints, dir)
+	}
+	var firstErr error
+	for _, name := range cands {
+		path := filepath.Join(dir, name)
+		data, err := os.ReadFile(path)
+		if err == nil {
+			var f *File
+			if f, err = Parse(data); err == nil {
+				return f, path, nil
+			}
+		}
+		if firstErr == nil {
+			firstErr = fmt.Errorf("%s: %w", name, err)
+		}
+	}
+	return nil, "", fmt.Errorf("checkpoint: no valid checkpoint in %s (newest: %v)", dir, firstErr)
+}
+
+// Prune removes all but the newest keep valid-looking checkpoint files
+// (by cycle). The manifest is left alone; stale entries are skipped at
+// load time.
+func Prune(dir string, keep int) {
+	if keep < 1 {
+		keep = 1
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	var files []string
+	for _, ent := range entries {
+		if cycleOf(ent.Name()) >= 0 {
+			files = append(files, ent.Name())
+		}
+	}
+	sort.Slice(files, func(i, j int) bool { return cycleOf(files[i]) > cycleOf(files[j]) })
+	for _, name := range files[minInt(keep, len(files)):] {
+		os.Remove(filepath.Join(dir, name)) //nolint:errcheck // best-effort cleanup
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

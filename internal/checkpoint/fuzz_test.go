@@ -1,0 +1,50 @@
+package checkpoint
+
+import "testing"
+
+// FuzzParse throws arbitrary bytes at the checkpoint loader. The contract
+// under fuzzing is absolute: any input — truncated, bit-flipped, or pure
+// garbage — must produce (*File, nil) or (nil, error), never a panic, and
+// never an allocation sized by an unvalidated length field. When a mutant
+// happens to parse, every section decoder is drained with each primitive
+// to push the sticky-error paths too.
+func FuzzParse(f *testing.F) {
+	// Seed with a well-formed checkpoint plus structured near-misses.
+	b := NewBuilder(7, 99)
+	e := b.Section("router0")
+	e.U64(123)
+	e.I64s([]int64{4, 5, 6})
+	e.Bytes([]byte("flit data"))
+	b.Section("rng").U64(888)
+	good := b.Bytes()
+	f.Add(good)
+	f.Add(good[:len(good)/2])
+	f.Add([]byte("NOCCKPT\x01"))
+	f.Add([]byte{})
+	mut := append([]byte(nil), good...)
+	mut[len(mut)-3] ^= 0x40
+	f.Add(mut)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		file, err := Parse(data)
+		if err != nil {
+			if file != nil {
+				t.Fatal("Parse returned both a file and an error")
+			}
+			return
+		}
+		for _, name := range file.Sections() {
+			d, err := file.Section(name)
+			if err != nil {
+				t.Fatalf("listed section %q missing: %v", name, err)
+			}
+			// Drain with a mix of primitives; sticky errors must hold.
+			for d.Err() == nil && d.Remaining() > 0 {
+				d.U8()
+				d.Bytes()
+				d.I64s()
+				d.U64()
+			}
+		}
+	})
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"repro/internal/checkpoint"
 	"repro/internal/fault"
 	"repro/internal/flit"
 	"repro/internal/network"
@@ -58,11 +59,128 @@ type CampaignResult struct {
 	Totals network.FaultTotals
 }
 
+// bornRec is one accepted send: the packet id and its birth cycle.
+type bornRec struct {
+	id uint64
+	at int64
+}
+
+// campaignLedger is the campaign's cross-tile packet accounting: every
+// accepted send with its birth cycle, arrivals by id, and the aggregate
+// counters. The kernel's client phase is single-threaded, so the append
+// order is deterministic and plain containers are safe. The logs are
+// append-only slices rather than maps so a checkpoint is a straight
+// sequential encode — no sort, no map iteration — whose cost tracks the
+// packet count; the arrival set keeps a side map only for the O(1)
+// duplicate-delivery check during the run.
+type campaignLedger struct {
+	born       []bornRec // accepted sends, in injection order
+	arrivedLog []uint64  // first arrivals, in delivery order
+	arrived    map[uint64]bool
+	sent       int64
+	delivered  int64
+	sendFails  int64
+}
+
+func newCampaignLedger() *campaignLedger {
+	return &campaignLedger{arrived: make(map[uint64]bool)}
+}
+
+// noteArrival records the first delivery of a packet id.
+func (l *campaignLedger) noteArrival(id uint64) {
+	if l.arrived[id] {
+		return
+	}
+	l.arrived[id] = true
+	l.arrivedLog = append(l.arrivedLog, id)
+	l.delivered++
+}
+
+func (l *campaignLedger) SaveState(e *checkpoint.Encoder) {
+	e.I64(l.sent)
+	e.I64(l.delivered)
+	e.I64(l.sendFails)
+	e.U32(uint32(len(l.born)))
+	for _, r := range l.born {
+		e.U64(r.id)
+		e.I64(r.at)
+	}
+	e.U32(uint32(len(l.arrivedLog)))
+	for _, id := range l.arrivedLog {
+		e.U64(id)
+	}
+}
+
+func (l *campaignLedger) RestoreState(d *checkpoint.Decoder) {
+	l.sent = d.I64()
+	l.delivered = d.I64()
+	l.sendFails = d.I64()
+	nb := d.Count(16)
+	l.born = l.born[:0]
+	for i := 0; i < nb; i++ {
+		id := d.U64()
+		at := d.I64()
+		if d.Err() != nil {
+			return
+		}
+		l.born = append(l.born, bornRec{id: id, at: at})
+	}
+	na := d.Count(8)
+	l.arrivedLog = l.arrivedLog[:0]
+	l.arrived = make(map[uint64]bool, na)
+	for i := 0; i < na; i++ {
+		id := d.U64()
+		if d.Err() != nil {
+			return
+		}
+		l.arrivedLog = append(l.arrivedLog, id)
+		l.arrived[id] = true
+	}
+}
+
+// chaosClient is a per-tile Bernoulli source feeding the shared campaign
+// ledger. Its RNG rides on a counted source so a checkpoint records the
+// stream position and restore replays it exactly.
+type chaosClient struct {
+	tile   int
+	tiles  int
+	cycles int64
+	rate   float64
+	mask   flit.VCMask
+	src    *sim.CountedSource
+	rng    *rand.Rand
+	led    *campaignLedger
+}
+
+func (c *chaosClient) Tick(now int64, port *network.Port) {
+	for _, d := range port.Deliveries() {
+		c.led.noteArrival(d.PacketID)
+	}
+	if now >= c.cycles || c.rng.Float64() >= c.rate {
+		return
+	}
+	dst := c.rng.Intn(c.tiles - 1)
+	if dst >= c.tile {
+		dst++
+	}
+	id, err := port.Send(dst, []byte{byte(now), byte(c.tile)}, c.mask, 0)
+	if err != nil {
+		c.led.sendFails++ // network cut at injection time
+		return
+	}
+	c.led.sent++
+	c.led.born = append(c.led.born, bornRec{id: id, at: now})
+}
+
+func (c *chaosClient) SaveState(e *checkpoint.Encoder) { e.U64(c.src.Draws()) }
+
+func (c *chaosClient) RestoreState(d *checkpoint.Decoder) { c.src.Restore(d.U64()) }
+
 // RunCampaign executes one seeded fault campaign: Bernoulli sources on
 // every tile, faults injected per the spec and the stochastic model,
 // watchdog detection, fault-aware rerouting, then a drain so every
 // surviving packet settles. Outcomes are bit-for-bit reproducible for a
-// fixed CampaignParams.
+// fixed CampaignParams, including across checkpoint/resume.
 func RunCampaign(p CampaignParams) (CampaignResult, error) {
 	if p.Run.Watchdog <= 0 {
 		return CampaignResult{}, fmt.Errorf("core: campaign requires Watchdog > 0 (got %d)", p.Run.Watchdog)
@@ -70,67 +188,63 @@ func RunCampaign(p CampaignParams) (CampaignResult, error) {
 	if p.Cycles <= 0 {
 		return CampaignResult{}, fmt.Errorf("core: campaign requires Cycles > 0 (got %d)", p.Cycles)
 	}
-	n, _, err := BuildNetwork(p.Run)
-	if err != nil {
-		return CampaignResult{}, err
-	}
 	events, err := fault.ParseEvents(p.Spec)
 	if err != nil {
 		return CampaignResult{}, err
 	}
-	inj, err := fault.NewInjector(n, events, p.MTBF, p.Cycles, nil)
+
+	// build assembles a complete campaign instance — network, injector,
+	// ledger, clients — so a resume can reconstruct structure from the
+	// configuration and then overlay the snapshot's dynamic state.
+	var inj *fault.Injector
+	var led *campaignLedger
+	build := func() (*network.Network, error) {
+		n, _, err := BuildNetwork(p.Run)
+		if err != nil {
+			return nil, err
+		}
+		fresh, err := fault.NewInjector(n, events, p.MTBF, p.Cycles, nil)
+		if err != nil {
+			return nil, err
+		}
+		if p.Run.Probe != nil {
+			fresh.SetProbe(p.Run.Probe)
+		}
+		fresh.Attach()
+		ledger := newCampaignLedger()
+		topo := n.Topology()
+		tiles := topo.NumTiles()
+		mask := flit.VCMask(0xFF)
+		if p.Run.NumVCs > 0 && p.Run.NumVCs < 8 {
+			mask = flit.VCMask((1 << p.Run.NumVCs) - 1)
+		}
+		for tile := 0; tile < tiles; tile++ {
+			src := sim.NewCountedSource(p.Run.Seed + int64(tile))
+			n.AttachClient(tile, &chaosClient{
+				tile: tile, tiles: tiles, cycles: p.Cycles, rate: p.Run.Rate,
+				mask: mask, src: src, rng: rand.New(src), led: ledger,
+			})
+		}
+		n.AddCheckpointExtra("faultinj", fresh)
+		n.AddCheckpointExtra("ledger", ledger)
+		if p.Run.OnNetwork != nil {
+			if err := p.Run.OnNetwork(n); err != nil {
+				return nil, err
+			}
+		}
+		inj, led = fresh, ledger
+		return n, nil
+	}
+	n, err := build()
 	if err != nil {
 		return CampaignResult{}, err
 	}
-	if p.Run.Probe != nil {
-		inj.SetProbe(p.Run.Probe)
+	tiles := n.Topology().NumTiles()
+	hash := configHash("campaign", p.Run, fmt.Sprintf("%s|%v|%d", p.Spec, p.MTBF, p.Cycles))
+	n, err = runToHorizon(n, p.Run, p.Cycles, hash, build)
+	if err != nil {
+		return CampaignResult{}, err
 	}
-	inj.Attach()
-	if p.Run.OnNetwork != nil {
-		if err := p.Run.OnNetwork(n); err != nil {
-			return CampaignResult{}, err
-		}
-	}
-
-	// Packet ledger: birth cycle per accepted send, arrivals by id. The
-	// kernel is single-threaded, so plain maps are safe.
-	res := CampaignResult{Params: p}
-	bornAt := make(map[uint64]int64)
-	arrived := make(map[uint64]bool)
-	topo := n.Topology()
-	tiles := topo.NumTiles()
-	mask := flit.VCMask(0xFF)
-	if p.Run.NumVCs > 0 && p.Run.NumVCs < 8 {
-		mask = flit.VCMask((1 << p.Run.NumVCs) - 1)
-	}
-	for tile := 0; tile < tiles; tile++ {
-		tile := tile
-		rng := rand.New(rand.NewSource(p.Run.Seed + int64(tile)))
-		n.AttachClient(tile, network.ClientFunc(func(now int64, port *network.Port) {
-			for _, d := range port.Deliveries() {
-				if !arrived[d.PacketID] {
-					arrived[d.PacketID] = true
-					res.Delivered++
-				}
-			}
-			if now >= p.Cycles || rng.Float64() >= p.Run.Rate {
-				return
-			}
-			dst := rng.Intn(tiles - 1)
-			if dst >= tile {
-				dst++
-			}
-			id, err := port.Send(dst, []byte{byte(now), byte(tile)}, mask, 0)
-			if err != nil {
-				res.SendFails++ // network cut at injection time
-				return
-			}
-			res.Sent++
-			bornAt[id] = now
-		}))
-	}
-
-	n.Run(p.Cycles)
 	drain := p.Run.DrainBudget
 	if drain <= 0 {
 		drain = 50000
@@ -138,6 +252,10 @@ func RunCampaign(p CampaignParams) (CampaignResult, error) {
 	n.Drain(drain)
 	countCycles(n.Kernel().Now())
 
+	res := CampaignResult{Params: p}
+	res.Sent = led.sent
+	res.Delivered = led.delivered
+	res.SendFails = led.sendFails
 	res.Injected = len(inj.Log)
 	res.Skipped = inj.Skipped
 	res.Totals = n.FaultTotals()
@@ -165,12 +283,12 @@ func RunCampaign(p CampaignParams) (CampaignResult, error) {
 		}
 	}
 	if engaged >= 0 {
-		for id, born := range bornAt {
-			if born <= engaged {
+		for _, r := range led.born {
+			if r.at <= engaged {
 				continue
 			}
 			res.BornAfterEngage++
-			if arrived[id] {
+			if led.arrived[r.id] {
 				postDelivered++
 			} else {
 				res.LostAfterEngage++

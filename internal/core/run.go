@@ -8,6 +8,7 @@ package core
 
 import (
 	"fmt"
+	"path/filepath"
 	"sync/atomic"
 
 	"repro/internal/circuits"
@@ -124,6 +125,17 @@ type RunParams struct {
 	// pre-run instrumentation. Like Probe, it must not be shared across
 	// concurrent runs.
 	OnNetwork func(*network.Network) error
+
+	// Crash-safe checkpointing (checkpoint.go). CheckpointEvery > 0 with
+	// a CheckpointDir writes a durable snapshot of the full simulation
+	// state every CheckpointEvery cycles; Resume restarts the run from
+	// the newest valid snapshot in CheckpointDir (from scratch when the
+	// directory holds none). A resumed run reproduces the uninterrupted
+	// run's outputs byte for byte, at any shard count. None of the three
+	// fields affects simulation results.
+	CheckpointEvery int64
+	CheckpointDir   string
+	Resume          bool
 }
 
 // DefaultRunParams returns the paper's baseline configuration under
@@ -242,32 +254,45 @@ func BuildNetwork(p RunParams) (*network.Network, *power.Meter, error) {
 // offered rate, a warmup, a measurement window, and a drain tail so
 // measured packets complete.
 func Run(p RunParams) (RunResult, error) {
-	n, meter, err := BuildNetwork(p)
+	stopAt := p.WarmupCycles + p.MeasureCycles
+	build := func() (*network.Network, *power.Meter, error) {
+		n, meter, err := BuildNetwork(p)
+		if err != nil {
+			return nil, nil, err
+		}
+		pattern, err := traffic.ByName(p.Pattern, p.K, p.K)
+		if err != nil {
+			return nil, nil, err
+		}
+		n.Recorder().MeasureUntil = stopAt
+		mask := flit.VCMask(0xFF)
+		if p.NumVCs > 0 && p.NumVCs < 8 {
+			mask = flit.VCMask((1 << p.NumVCs) - 1)
+		}
+		for tile := 0; tile < n.Topology().NumTiles(); tile++ {
+			g := traffic.NewGenerator(tile, pattern, p.Rate, p.FlitsPerPacket, mask, p.Seed)
+			g.StopAt = stopAt
+			n.AttachClient(tile, g)
+		}
+		if p.OnNetwork != nil {
+			if err := p.OnNetwork(n); err != nil {
+				return nil, nil, err
+			}
+		}
+		return n, meter, nil
+	}
+	n, meter, err := build()
 	if err != nil {
 		return RunResult{}, err
 	}
 	topo := n.Topology()
-	pattern, err := traffic.ByName(p.Pattern, p.K, p.K)
+	n, err = runToHorizon(n, p, stopAt, configHash("run", p, ""), func() (*network.Network, error) {
+		n2, _, err := build()
+		return n2, err
+	})
 	if err != nil {
 		return RunResult{}, err
 	}
-	stopAt := p.WarmupCycles + p.MeasureCycles
-	n.Recorder().MeasureUntil = stopAt
-	mask := flit.VCMask(0xFF)
-	if p.NumVCs > 0 && p.NumVCs < 8 {
-		mask = flit.VCMask((1 << p.NumVCs) - 1)
-	}
-	for tile := 0; tile < topo.NumTiles(); tile++ {
-		g := traffic.NewGenerator(tile, pattern, p.Rate, p.FlitsPerPacket, mask, p.Seed)
-		g.StopAt = stopAt
-		n.AttachClient(tile, g)
-	}
-	if p.OnNetwork != nil {
-		if err := p.OnNetwork(n); err != nil {
-			return RunResult{}, err
-		}
-	}
-	n.Run(stopAt)
 	// Drain so that in-flight measured packets finish. At saturation the
 	// sources have stopped, so the network always empties.
 	drain := p.DrainBudget
@@ -321,11 +346,18 @@ type SweepPoint struct {
 // concurrently on the SetParallelism worker pool; each owns an
 // independent network, kernel, and seed, so the table is bit-identical to
 // a sequential sweep and ordered by rate as given.
+//
+// When base.CheckpointDir is set, every point checkpoints into its own
+// point-NNN subdirectory, so an interrupted sweep resumes each point from
+// that point's newest snapshot.
 func Sweep(base RunParams, rates []float64) ([]SweepPoint, error) {
 	out := make([]SweepPoint, len(rates))
 	err := sim.ForEach(len(rates), Parallelism(), func(i int) error {
 		p := base
 		p.Rate = rates[i]
+		if p.CheckpointDir != "" {
+			p.CheckpointDir = filepath.Join(base.CheckpointDir, fmt.Sprintf("point-%03d", i))
+		}
 		res, err := Run(p)
 		if err != nil {
 			return err

@@ -1,0 +1,126 @@
+package fault
+
+import (
+	"sort"
+
+	"repro/internal/checkpoint"
+	"repro/internal/route"
+)
+
+func saveEvent(e *checkpoint.Encoder, ev Event) {
+	e.U8(uint8(ev.Kind))
+	e.I64(ev.At)
+	e.I64(ev.Until)
+	e.Int(ev.Link)
+	e.Int(ev.From)
+	e.U8(uint8(ev.Dir))
+	e.Int(ev.Tile)
+	e.U8(uint8(ev.Port))
+	e.Int(ev.VC)
+	e.F64(ev.Prob)
+}
+
+func restoreEvent(d *checkpoint.Decoder) Event {
+	var ev Event
+	ev.Kind = Kind(d.U8())
+	ev.At = d.I64()
+	ev.Until = d.I64()
+	ev.Link = d.Int()
+	ev.From = d.Int()
+	ev.Dir = dirFromU8(d)
+	ev.Tile = d.Int()
+	ev.Port = dirFromU8(d)
+	ev.VC = d.Int()
+	ev.Prob = d.F64()
+	return ev
+}
+
+// SaveState serialises the injector's campaign progress: the schedule
+// cursor, the transient events awaiting revocation, the application log,
+// and the skip count. The expanded schedule itself is not saved — it is a
+// deterministic function of the configuration and seed, so the rebuilt
+// injector recreates it identically at construction.
+func (inj *Injector) SaveState(e *checkpoint.Encoder) {
+	e.Int(inj.next)
+	e.U32(uint32(len(inj.revoke)))
+	for _, ev := range inj.revoke {
+		saveEvent(e, ev)
+	}
+	e.U32(uint32(len(inj.Log)))
+	for _, a := range inj.Log {
+		saveEvent(e, a.Event)
+		e.I64(a.At)
+		e.Int(a.Watched.From)
+		e.U8(uint8(a.Watched.Dir))
+	}
+	e.Int(inj.Skipped)
+}
+
+// RestoreState restores an injector saved with SaveState into an injector
+// built from the same configuration and seed. The fault side effects
+// (downed links, stalled ports) live in the network and router state and
+// are restored there, not replayed here.
+func (inj *Injector) RestoreState(d *checkpoint.Decoder) {
+	inj.next = d.Int()
+	if inj.next < 0 || inj.next > len(inj.events) {
+		d.Fail("fault schedule cursor %d out of range [0, %d]", inj.next, len(inj.events))
+		inj.next = 0
+	}
+	nr := d.Count(16)
+	inj.revoke = inj.revoke[:0]
+	for i := 0; i < nr; i++ {
+		inj.revoke = append(inj.revoke, restoreEvent(d))
+	}
+	nl := d.Count(16)
+	inj.Log = inj.Log[:0]
+	for i := 0; i < nl; i++ {
+		var a Applied
+		a.Event = restoreEvent(d)
+		a.At = d.I64()
+		a.Watched.From = d.Int()
+		a.Watched.Dir = dirFromU8(d)
+		inj.Log = append(inj.Log, a)
+	}
+	inj.Skipped = d.Int()
+}
+
+// SaveState serialises the detection map: every downed channel with its
+// detection cycle (in sorted order, so the bytes are deterministic) plus
+// the change version.
+func (m *Map) SaveState(e *checkpoint.Encoder) {
+	ids := make([]LinkID, 0, len(m.down))
+	for id := range m.down {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		if ids[i].From != ids[j].From {
+			return ids[i].From < ids[j].From
+		}
+		return ids[i].Dir < ids[j].Dir
+	})
+	e.U32(uint32(len(ids)))
+	for _, id := range ids {
+		e.Int(id.From)
+		e.U8(uint8(id.Dir))
+		e.I64(m.down[id])
+	}
+	e.I64(m.version)
+}
+
+// RestoreState restores a map saved with SaveState, replacing the
+// receiver's contents.
+func (m *Map) RestoreState(d *checkpoint.Decoder) {
+	n := d.Count(16)
+	m.down = make(map[LinkID]int64, n)
+	for i := 0; i < n; i++ {
+		id := LinkID{From: d.Int(), Dir: dirFromU8(d)}
+		at := d.I64()
+		if d.Err() != nil {
+			return
+		}
+		m.down[id] = at
+	}
+	m.version = d.I64()
+}
+
+func dirFromU8(d *checkpoint.Decoder) route.Dir { return route.Dir(d.U8()) }

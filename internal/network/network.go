@@ -140,6 +140,13 @@ type Network struct {
 	rerouted   int64   // route computations diverted around the fault map
 	unroutable int64   // sends refused because the fault map cut the network
 	aborted    int64   // partial packets discarded on an abort tail
+
+	// Checkpoint state (checkpoint.go): registered extra state, the
+	// cycle of the most recent snapshot (-1 = none), and the configured
+	// snapshot interval (0 = checkpointing off), for observability.
+	extras        []checkpointExtra
+	lastCkptCycle int64
+	ckptEvery     int64
 }
 
 // New builds the network described by cfg.
@@ -183,13 +190,14 @@ func New(cfg Config) (*Network, error) {
 		}
 	}
 	n := &Network{
-		cfg:      cfg,
-		topo:     cfg.Topo,
-		kernel:   sim.NewKernel(cfg.Seed),
-		recorder: NewRecorder(cfg.Warmup),
-		faultMap: fault.NewMap(),
-		tracing:  cfg.TraceWriter != nil,
-		probe:    cfg.Probe,
+		cfg:           cfg,
+		topo:          cfg.Topo,
+		kernel:        sim.NewKernel(cfg.Seed),
+		recorder:      NewRecorder(cfg.Warmup),
+		faultMap:      fault.NewMap(),
+		tracing:       cfg.TraceWriter != nil,
+		probe:         cfg.Probe,
+		lastCkptCycle: -1,
 	}
 	if cfg.Probe != nil {
 		n.traceLinks = cfg.Probe.Tracer() != nil

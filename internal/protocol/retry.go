@@ -8,6 +8,7 @@ import (
 	"repro/internal/flit"
 	"repro/internal/network"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 )
 
 // End-to-end checking with retry (§2.5): "modules that required transient
@@ -93,6 +94,15 @@ type ReliableSender struct {
 	Retransmits int64
 	AckedCount  int64
 	FailedCount int64
+	// Timeouts counts retransmit-timeout expiries that led to action (a
+	// retransmission or an abandonment); CorruptAcks counts acknowledgment
+	// messages discarded by the end-to-end checksum. A corrupted ack must
+	// only cost a timeout — the data message stays in the window and
+	// retransmits — so these two counters moving together is the healthy
+	// signature, while CorruptAcks without eventual AckedCount growth
+	// indicates a poisoned window.
+	Timeouts    int64
+	CorruptAcks int64
 }
 
 // NewReliableSender returns a sender for the given message list.
@@ -142,7 +152,10 @@ func (s *ReliableSender) Tick(now int64, p *network.Port) {
 	for _, d := range p.Deliveries() {
 		seq, _, ok := decodeRetry(d.Payload, retryAck)
 		if !ok {
-			continue // corrupted ack: the data message will retransmit
+			// Corrupted ack: discard; the data message stays unacked and
+			// its timeout will retransmit it.
+			s.CorruptAcks++
+			continue
 		}
 		if !s.acked[seq] && !s.failed[seq] {
 			// A late ack for an abandoned message stays failed: the
@@ -163,12 +176,14 @@ func (s *ReliableSender) Tick(now int64, p *network.Port) {
 			delete(s.unacked, seq)
 			s.failed[seq] = true
 			s.FailedCount++
+			s.Timeouts++
 			continue
 		}
 		if _, err := p.Send(s.Dst, encodeRetry(retryData, seq, s.Messages[seq]), s.Mask, s.Class); err == nil {
 			s.unacked[seq] = now
 			s.tries[seq]++
 			s.Retransmits++
+			s.Timeouts++
 		}
 	}
 	// First transmissions, window permitting.
@@ -180,6 +195,17 @@ func (s *ReliableSender) Tick(now int64, p *network.Port) {
 		s.unacked[seq] = now
 		s.nextSend++
 	}
+}
+
+// Publish adds the sender's robustness counters to the probe's
+// protocol-level totals. Call after the run (the counters are cumulative).
+func (s *ReliableSender) Publish(p *telemetry.Probe) {
+	if p == nil {
+		return
+	}
+	p.RetryRetransmits += s.Retransmits
+	p.RetryTimeouts += s.Timeouts
+	p.RetryCorrupt += s.CorruptAcks
 }
 
 // ReliableReceiver verifies checksums, acknowledges valid messages, and
@@ -237,4 +263,13 @@ func (r *ReliableReceiver) Tick(now int64, p *network.Port) {
 		r.Received = append(r.Received, data)
 		r.delivered++
 	}
+}
+
+// Publish adds the receiver's discarded-corrupt count to the probe's
+// protocol-level totals. Call after the run.
+func (r *ReliableReceiver) Publish(p *telemetry.Probe) {
+	if p == nil {
+		return
+	}
+	p.RetryCorrupt += r.Corrupted
 }

@@ -1,0 +1,19 @@
+package route
+
+import "repro/internal/checkpoint"
+
+// SaveState serialises the packed route word.
+func (w Word) SaveState(e *checkpoint.Encoder) {
+	e.U64(w.bits)
+	e.U8(w.n)
+}
+
+// RestoreWord reads a route word saved with SaveState.
+func RestoreWord(d *checkpoint.Decoder) Word {
+	bits := d.U64()
+	n := d.U8()
+	if n > MaxSteps {
+		n = MaxSteps
+	}
+	return Word{bits: bits, n: n}
+}

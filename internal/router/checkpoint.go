@@ -1,0 +1,161 @@
+package router
+
+import (
+	"repro/internal/checkpoint"
+	"repro/internal/flit"
+	"repro/internal/route"
+)
+
+// SaveState serialises the router's dynamic state: per-VC input buffers
+// and allocation state machines, arbiter pointers, output staging/bypass/
+// credit/VC-ownership state, runtime fault flags, the eject queue, and
+// statistics. Configuration (and the static reservation table it implies)
+// is not saved — the restored router must be built from the same config.
+func (r *Router) SaveState(e *checkpoint.Encoder) {
+	for _, ic := range r.inputs {
+		e.Int(ic.arb.next)
+		e.U32(uint32(len(ic.vcs)))
+		for _, st := range ic.vcs {
+			flit.SaveFlits(e, st.buf[st.head:])
+			e.U8(uint8(st.outPort))
+			e.Int(st.outVC)
+			e.Bool(st.routed)
+			e.I64(st.routedAt)
+			e.I64(st.lastDeq)
+			e.U64(st.pktID)
+			e.Int(st.pktSrc)
+			e.Int(st.pktDst)
+		}
+	}
+	for _, oc := range r.outputs {
+		e.Int(oc.arb.next)
+		for _, f := range oc.staging {
+			e.Bool(f != nil)
+			if f != nil {
+				f.SaveState(e)
+			}
+		}
+		flit.SaveFlits(e, oc.bypass)
+		e.U32(uint32(len(oc.credits)))
+		for _, c := range oc.credits {
+			e.Int(c)
+		}
+		e.U32(uint32(len(oc.vcOwner)))
+		for _, o := range oc.vcOwner {
+			e.U64(o)
+		}
+	}
+	for _, b := range r.stalledIn {
+		e.Bool(b)
+	}
+	for _, s := range r.stuckVC {
+		e.Bool(s != nil)
+		for _, b := range s {
+			e.Bool(b)
+		}
+	}
+	for _, b := range r.deadOut {
+		e.Bool(b)
+	}
+	e.Bool(r.anyDead)
+	flit.SaveFlits(e, r.ejectQ)
+	e.I64(r.Stats.SwitchMoves)
+	e.I64(r.Stats.DroppedPackets)
+	e.I64(r.Stats.DroppedFlits)
+	e.I64(r.Stats.Ejected)
+	e.I64(r.Stats.BypassMoves)
+	e.I64(r.Stats.FaultDroppedFlits)
+	e.I64(r.Stats.FaultDroppedPackets)
+	e.I64(r.Stats.AbortedPackets)
+}
+
+// RestoreState restores a router saved with SaveState into a router built
+// from the same configuration. Buffered flits are drawn from pool, and
+// the incremental occupancy count is recomputed from the restored
+// structures.
+func (r *Router) RestoreState(d *checkpoint.Decoder, pool *flit.Pool) {
+	for _, ic := range r.inputs {
+		ic.arb.next = d.Int()
+		n := d.Count(1)
+		if n != len(ic.vcs) {
+			if d.Err() == nil {
+				d.Fail("router %d: input VC count mismatch: checkpoint %d, router %d", r.cfg.ID, n, len(ic.vcs))
+			}
+			return
+		}
+		for _, st := range ic.vcs {
+			for i := range st.buf {
+				st.buf[i] = nil
+			}
+			st.buf = flit.RestoreFlits(d, st.buf[:0], pool)
+			st.head = 0
+			st.outPort = route.Dir(d.U8())
+			st.outVC = d.Int()
+			st.routed = d.Bool()
+			st.routedAt = d.I64()
+			st.lastDeq = d.I64()
+			st.pktID = d.U64()
+			st.pktSrc = d.Int()
+			st.pktDst = d.Int()
+		}
+	}
+	for _, oc := range r.outputs {
+		oc.arb.next = d.Int()
+		for i := range oc.staging {
+			oc.staging[i] = nil
+			if d.Bool() {
+				oc.staging[i] = flit.RestoreFlit(d, pool)
+			}
+		}
+		oc.bypass = flit.RestoreFlits(d, oc.bypass[:0], pool)
+		nc := d.Count(8)
+		if nc != len(oc.credits) {
+			if d.Err() == nil {
+				d.Fail("router %d: credit width mismatch: checkpoint %d, router %d", r.cfg.ID, nc, len(oc.credits))
+			}
+			return
+		}
+		for i := range oc.credits {
+			oc.credits[i] = d.Int()
+		}
+		no := d.Count(8)
+		if no != len(oc.vcOwner) {
+			if d.Err() == nil {
+				d.Fail("router %d: VC owner width mismatch: checkpoint %d, router %d", r.cfg.ID, no, len(oc.vcOwner))
+			}
+			return
+		}
+		for i := range oc.vcOwner {
+			oc.vcOwner[i] = d.U64()
+		}
+	}
+	for i := range r.stalledIn {
+		r.stalledIn[i] = d.Bool()
+	}
+	for i := range r.stuckVC {
+		r.stuckVC[i] = nil
+		if d.Bool() {
+			s := make([]bool, r.cfg.NumVCs)
+			for j := range s {
+				s[j] = d.Bool()
+			}
+			r.stuckVC[i] = s
+		}
+	}
+	for i := range r.deadOut {
+		r.deadOut[i] = d.Bool()
+	}
+	r.anyDead = d.Bool()
+	r.ejectQ = flit.RestoreFlits(d, r.ejectQ[:0], pool)
+	r.Stats.SwitchMoves = d.I64()
+	r.Stats.DroppedPackets = d.I64()
+	r.Stats.DroppedFlits = d.I64()
+	r.Stats.Ejected = d.I64()
+	r.Stats.BypassMoves = d.I64()
+	r.Stats.FaultDroppedFlits = d.I64()
+	r.Stats.FaultDroppedPackets = d.I64()
+	r.Stats.AbortedPackets = d.I64()
+	if d.Err() == nil {
+		r.occ = r.OccupancyRecount()
+	}
+}

@@ -363,6 +363,9 @@ func (r *Router) SetAdaptiveRoute(fn func(tile, dst int) []route.Dir) {
 // discards are recycled into it and abort tails are drawn from it.
 func (r *Router) SetPool(p *flit.Pool) { r.pool = p }
 
+// Pool reports the flit pool the router recycles through.
+func (r *Router) Pool() *flit.Pool { return r.pool }
+
 // SetProbe attaches the router's telemetry probe (nil disables telemetry).
 func (r *Router) SetProbe(rp *telemetry.RouterProbe) { r.probe = rp }
 

@@ -38,6 +38,7 @@ type Kernel struct {
 	now    Cycle
 	phases []phase
 	rng    *rand.Rand
+	src    *CountedSource
 	seed   int64
 
 	// shards is the intra-cycle parallelism for sharded phases; <= 1 is
@@ -46,8 +47,11 @@ type Kernel struct {
 }
 
 // NewKernel returns a kernel whose random source is seeded with seed.
+// The source is a CountedSource so the stream position can be
+// checkpointed and restored exactly.
 func NewKernel(seed int64) *Kernel {
-	return &Kernel{rng: rand.New(rand.NewSource(seed)), seed: seed}
+	src := NewCountedSource(seed)
+	return &Kernel{rng: rand.New(src), src: src, seed: seed}
 }
 
 // Seed reports the seed the kernel was created with.
@@ -60,6 +64,18 @@ func (k *Kernel) RNG() *rand.Rand { return k.rng }
 // Now reports the current cycle. During a phase it is the cycle being
 // executed; between Step calls it is the number of completed cycles.
 func (k *Kernel) Now() Cycle { return k.now }
+
+// RNGDraws reports how many values have been drawn from the kernel's
+// random source, for checkpointing.
+func (k *Kernel) RNGDraws() uint64 { return k.src.Draws() }
+
+// RestoreClock repositions the kernel at cycle now with its random source
+// exactly draws values past the seed, the restore counterpart of
+// (Now, RNGDraws). It must only be called between cycles.
+func (k *Kernel) RestoreClock(now Cycle, draws uint64) {
+	k.now = now
+	k.src.Restore(draws)
+}
 
 // AddPhase appends a named phase to the per-cycle schedule. Phases run in
 // the order they were added. Adding a phase after the simulation has started

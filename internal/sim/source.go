@@ -1,0 +1,59 @@
+package sim
+
+import "math/rand"
+
+// CountedSource is a rand.Source64 that wraps the standard library's
+// seeded source and counts how many values have been drawn. The standard
+// source's internal state is unexported, but every Int63/Uint64 call
+// advances it by exactly one step — so (seed, draws) is a complete,
+// portable serialisation of the stream position: restore recreates the
+// source and replays draws steps. Delegating both methods unchanged keeps
+// the value sequence bit-identical to a bare rand.NewSource, which is
+// what preserves the repository's golden outputs.
+type CountedSource struct {
+	src   rand.Source64
+	seed  int64
+	draws uint64
+}
+
+// NewCountedSource returns a counted source seeded with seed.
+func NewCountedSource(seed int64) *CountedSource {
+	return &CountedSource{src: rand.NewSource(seed).(rand.Source64), seed: seed}
+}
+
+// Int63 implements rand.Source.
+func (s *CountedSource) Int63() int64 {
+	s.draws++
+	return s.src.Int63()
+}
+
+// Uint64 implements rand.Source64.
+func (s *CountedSource) Uint64() uint64 {
+	s.draws++
+	return s.src.Uint64()
+}
+
+// Seed implements rand.Source, resetting the draw count.
+func (s *CountedSource) Seed(seed int64) {
+	s.seed = seed
+	s.draws = 0
+	s.src.Seed(seed)
+}
+
+// SeedValue reports the seed the stream was created (or last re-seeded)
+// with.
+func (s *CountedSource) SeedValue() int64 { return s.seed }
+
+// Draws reports how many values have been drawn since seeding.
+func (s *CountedSource) Draws() uint64 { return s.draws }
+
+// Restore repositions the stream at exactly draws values past its seed by
+// reseeding and burning draws steps. Both Int63 and Uint64 advance the
+// underlying generator identically, so the burn mix does not matter.
+func (s *CountedSource) Restore(draws uint64) {
+	s.src.Seed(s.seed)
+	for i := uint64(0); i < draws; i++ {
+		s.src.Uint64()
+	}
+	s.draws = draws
+}

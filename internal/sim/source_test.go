@@ -1,0 +1,84 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestCountedSourceTransparent pins the property the golden suite relies
+// on: a CountedSource-backed rand.Rand produces exactly the sequence of a
+// bare rand.NewSource-backed one, across the mix of draw kinds the
+// simulator uses.
+func TestCountedSourceTransparent(t *testing.T) {
+	a := rand.New(rand.NewSource(42))
+	b := rand.New(NewCountedSource(42))
+	for i := 0; i < 1000; i++ {
+		switch i % 4 {
+		case 0:
+			if x, y := a.Float64(), b.Float64(); x != y {
+				t.Fatalf("draw %d: Float64 %v != %v", i, x, y)
+			}
+		case 1:
+			if x, y := a.Intn(97), b.Intn(97); x != y {
+				t.Fatalf("draw %d: Intn %v != %v", i, x, y)
+			}
+		case 2:
+			if x, y := a.ExpFloat64(), b.ExpFloat64(); x != y {
+				t.Fatalf("draw %d: ExpFloat64 %v != %v", i, x, y)
+			}
+		case 3:
+			if x, y := a.Uint64(), b.Uint64(); x != y {
+				t.Fatalf("draw %d: Uint64 %v != %v", i, x, y)
+			}
+		}
+	}
+}
+
+// TestCountedSourceRestore checks that (seed, draws) fully determines the
+// stream position: a restored source continues with the same values as
+// the original would have.
+func TestCountedSourceRestore(t *testing.T) {
+	src := NewCountedSource(7)
+	rng := rand.New(src)
+	for i := 0; i < 137; i++ {
+		rng.Float64()
+	}
+	draws := src.Draws()
+	var want []float64
+	for i := 0; i < 50; i++ {
+		want = append(want, rng.Float64())
+	}
+
+	src2 := NewCountedSource(7)
+	src2.Restore(draws)
+	if src2.Draws() != draws {
+		t.Fatalf("Draws after Restore = %d, want %d", src2.Draws(), draws)
+	}
+	rng2 := rand.New(src2)
+	for i, w := range want {
+		if got := rng2.Float64(); got != w {
+			t.Fatalf("value %d after restore: %v, want %v", i, got, w)
+		}
+	}
+}
+
+// TestKernelRestoreClock checks the kernel-level wrapper.
+func TestKernelRestoreClock(t *testing.T) {
+	k := NewKernel(3)
+	for i := 0; i < 10; i++ {
+		k.RNG().Intn(100)
+	}
+	k.AddPhase("noop", func(Cycle) {})
+	k.Run(25)
+	draws, now := k.RNGDraws(), k.Now()
+	want := k.RNG().Int63()
+
+	k2 := NewKernel(3)
+	k2.RestoreClock(now, draws)
+	if k2.Now() != now || k2.RNGDraws() != draws {
+		t.Fatalf("restored clock = (%d, %d), want (%d, %d)", k2.Now(), k2.RNGDraws(), now, draws)
+	}
+	if got := k2.RNG().Int63(); got != want {
+		t.Fatalf("restored RNG drew %d, want %d", got, want)
+	}
+}

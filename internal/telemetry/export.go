@@ -47,6 +47,13 @@ func (p *Probe) WriteMetricsCSV(w io.Writer) error {
 			lp.Index, lp.From, lp.Dir, lp.To,
 			lp.Flits, lp.HeadFlits, lp.Credits, lp.Util(p.Elapsed), lp.DeadAt)
 	}
+	// The protocol section only appears when the retry layer published
+	// counters, so metrics CSVs from runs without it are unchanged.
+	if p.RetryRetransmits != 0 || p.RetryTimeouts != 0 || p.RetryCorrupt != 0 {
+		fmt.Fprintln(w, "# protocol")
+		fmt.Fprintln(w, "retry_retransmits,retry_timeouts,retry_discarded_corrupt")
+		fmt.Fprintf(w, "%d,%d,%d\n", p.RetryRetransmits, p.RetryTimeouts, p.RetryCorrupt)
+	}
 	fmt.Fprintln(w, "# series")
 	fmt.Fprintln(w, "cycle,buf_occ,link_in_flight,link_flits,switch_moves,arb_losses,credit_stalls,res_hits,delivered_flits")
 	for _, row := range p.Series {

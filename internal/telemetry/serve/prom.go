@@ -35,6 +35,11 @@ func WriteProm(w io.Writer, s *Snapshot) error {
 		fmt.Fprintf(bw, "noc_health{detector=%q} %d\n", v.Detector, b2i(v.Healthy))
 	}
 
+	gauge("noc_last_checkpoint_cycle", "Cycle of the newest durable checkpoint (-1 when none).")
+	fmt.Fprintf(bw, "noc_last_checkpoint_cycle %d\n", s.LastCheckpointCycle)
+	gauge("noc_checkpoint_age_cycles", "Cycles since the newest durable checkpoint.")
+	fmt.Fprintf(bw, "noc_checkpoint_age_cycles %d\n", s.CheckpointAge)
+
 	counter("noc_generated_packets_total", "Packets created by clients (offered load).")
 	fmt.Fprintf(bw, "noc_generated_packets_total %d\n", s.Generated)
 	counter("noc_injected_packets_total", "Packets whose head flit entered the network.")

@@ -125,6 +125,16 @@ type Snapshot struct {
 	FaultsApplied  int64 `json:"faults_applied"`
 	OverUnityLinks int   `json:"over_unity_links"`
 
+	// Checkpointing: the cycle of the newest durable snapshot (-1 when
+	// none has been taken), cycles elapsed since it (measured from cycle
+	// 0 when none), the configured interval (0 = checkpointing off), and
+	// whether the age exceeds twice the interval — the staleness
+	// condition that degrades /healthz.
+	LastCheckpointCycle int64 `json:"last_checkpoint_cycle"`
+	CheckpointAge       int64 `json:"checkpoint_age_cycles"`
+	CheckpointEvery     int64 `json:"checkpoint_every,omitempty"`
+	CheckpointStale     bool  `json:"checkpoint_stale,omitempty"`
+
 	Latency []LatencySnap `json:"latency"`
 
 	Routers  []telemetry.RouterSnap `json:"routers"`
@@ -270,9 +280,19 @@ func (c *Collector) sample(now int64) {
 	}
 	events := c.mon.Observe(s)
 
+	lastCkpt, haveCkpt := c.n.LastCheckpoint()
+	ckptEvery := c.n.CheckpointInterval()
+	ckptAge := now
+	if haveCkpt {
+		ckptAge = now - lastCkpt
+	} else {
+		lastCkpt = -1
+	}
+	ckptStale := ckptEvery > 0 && ckptAge > 2*ckptEvery
+
 	snap := &Snapshot{
 		Cycle:            now,
-		Healthy:          c.mon.Healthy(),
+		Healthy:          c.mon.Healthy() && !ckptStale,
 		Health:           c.mon.Verdicts(),
 		Generated:        rec.Generated,
 		InjectedPackets:  rec.InjectedPackets,
@@ -289,6 +309,28 @@ func (c *Collector) sample(now int64) {
 		HotLinks:         hot,
 		Heatmap:          p.HeatmapGrid(now),
 		Series:           p.SnapshotSeriesTail(nil, c.cfg.SeriesTail),
+
+		LastCheckpointCycle: lastCkpt,
+		CheckpointAge:       ckptAge,
+		CheckpointEvery:     ckptEvery,
+		CheckpointStale:     ckptStale,
+	}
+	if ckptStale {
+		// Attribute the degradation alongside the detector verdicts so
+		// /healthz readers see why the service reports unhealthy.
+		detail := fmt.Sprintf("last checkpoint at cycle %d is %d cycles old (> 2x interval %d)",
+			lastCkpt, ckptAge, ckptEvery)
+		since := lastCkpt + 2*ckptEvery
+		if !haveCkpt {
+			detail = fmt.Sprintf("no checkpoint after %d cycles (> 2x interval %d)", ckptAge, ckptEvery)
+			since = 2 * ckptEvery
+		}
+		snap.Health = append(append([]health.Verdict{}, snap.Health...), health.Verdict{
+			Detector: "checkpoint",
+			Healthy:  false,
+			Since:    since,
+			Detail:   detail,
+		})
 	}
 	snap.Latency = append(snap.Latency,
 		LatencyFrom("packet", -1, rec.PacketLatency),

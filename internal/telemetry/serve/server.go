@@ -118,11 +118,16 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, _ *http.Request) {
 
 // healthzBody is the /healthz response shape.
 type healthzBody struct {
-	Status         string           `json:"status"` // "ok" or "unhealthy"
-	Cycle          int64            `json:"cycle"`
-	Verdicts       []healthVerdict  `json:"verdicts"`
-	OverUnityLinks int              `json:"over_unity_links"`
-	DeadLinks      int              `json:"dead_links"`
+	Status         string          `json:"status"` // "ok" or "unhealthy"
+	Cycle          int64           `json:"cycle"`
+	Verdicts       []healthVerdict `json:"verdicts"`
+	OverUnityLinks int             `json:"over_unity_links"`
+	DeadLinks      int             `json:"dead_links"`
+
+	// Checkpoint staleness (mirrors the Snapshot fields): -1 when no
+	// durable snapshot has been taken.
+	LastCheckpointCycle int64 `json:"last_checkpoint_cycle"`
+	CheckpointAge       int64 `json:"checkpoint_age_cycles"`
 }
 
 type healthVerdict struct {
@@ -138,10 +143,12 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		return
 	}
 	body := healthzBody{
-		Status:         "ok",
-		Cycle:          snap.Cycle,
-		OverUnityLinks: snap.OverUnityLinks,
-		DeadLinks:      snap.DeadLinks,
+		Status:              "ok",
+		Cycle:               snap.Cycle,
+		OverUnityLinks:      snap.OverUnityLinks,
+		DeadLinks:           snap.DeadLinks,
+		LastCheckpointCycle: snap.LastCheckpointCycle,
+		CheckpointAge:       snap.CheckpointAge,
 	}
 	for _, v := range snap.Health {
 		body.Verdicts = append(body.Verdicts, healthVerdict(v))

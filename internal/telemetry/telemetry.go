@@ -166,6 +166,14 @@ type Probe struct {
 	// FaultsApplied counts fault-injector events that took effect.
 	FaultsApplied int64
 
+	// Protocol-level robustness counters, published by the end-to-end
+	// retry layer (internal/protocol) after a run: retransmissions,
+	// retransmit-timeout expiries, and corrupted messages/acks discarded
+	// by the end-to-end checksum.
+	RetryRetransmits int64
+	RetryTimeouts    int64
+	RetryCorrupt     int64
+
 	kx, ky int
 	tracer *Tracer
 }

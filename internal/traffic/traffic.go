@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/flit"
 	"repro/internal/network"
+	"repro/internal/sim"
 )
 
 // Pattern maps a source tile to a destination tile, possibly randomly.
@@ -164,6 +165,7 @@ type Generator struct {
 	Class          int
 	StopAt         int64 // stop generating at this cycle (0 = never)
 	rng            *rand.Rand
+	src            *sim.CountedSource // rng's source, for checkpointing
 
 	// payloadBuf is the reusable injection payload: Port.Send copies the
 	// bytes into the packet's flits, so one scratch buffer serves every
@@ -179,9 +181,10 @@ func NewGenerator(tile int, p Pattern, rate float64, flitsPerPacket int, mask fl
 	if flitsPerPacket < 1 {
 		flitsPerPacket = 1
 	}
+	src := sim.NewCountedSource(seed ^ int64(tile)*0x9E3779B9)
 	return &Generator{
 		Tile: tile, Pattern: p, Rate: rate, FlitsPerPacket: flitsPerPacket,
-		Mask: mask, rng: rand.New(rand.NewSource(seed ^ int64(tile)*0x9E3779B9)),
+		Mask: mask, rng: rand.New(src), src: src,
 	}
 }
 

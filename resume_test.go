@@ -1,0 +1,86 @@
+package noc
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// The resume determinism suite extends the cross-shard contract to
+// checkpoint/restore: a golden experiment interrupted mid-run —
+// snapshotted, torn down, rebuilt from configuration, and restored — must
+// still produce the committed sequential goldens byte for byte, at any
+// shard count. core.SetResumeAt drives the interruption: every Run and
+// RunCampaign inside the experiment executes to the given fraction of its
+// horizon, checkpoints, rebuilds a fresh network, restores, and continues
+// there. (Runs whose configuration cannot be checkpointed — e.g. E20's
+// physical-wire scenario — fall back to running straight through, which
+// must also reproduce the golden.)
+
+// resumeAt arranges for fn to run with the in-memory resume point set,
+// restoring the straight-through default afterwards.
+func resumeAt(t *testing.T, frac float64, fn func()) {
+	t.Helper()
+	core.SetResumeAt(frac)
+	defer core.SetResumeAt(0)
+	fn()
+}
+
+// TestResumedGoldenExperiments interrupts the pinned golden experiments
+// at 25/50/75% of every run's horizon and resumes under shard counts
+// {1, 2, N}. To bound runtime the fraction x shard-count matrix is paired
+// diagonally (every fraction and every shard count appears; not every
+// combination), rotated per experiment so the pairs differ across
+// E1/E4/E20.
+func TestResumedGoldenExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("resumed golden experiments are not -short")
+	}
+	fracs := []float64{0.25, 0.50, 0.75}
+	shardList := append([]int{1}, shardCounts()...)
+	for ei, id := range []string{"E1", "E4", "E20"} {
+		id, ei := id, ei
+		t.Run(id, func(t *testing.T) {
+			want := readGolden(t, fmt.Sprintf("golden_%s_quick.txt", strings.ToLower(id)))
+			for fi, frac := range fracs {
+				shards := shardList[(ei+fi)%len(shardList)]
+				t.Run(fmt.Sprintf("frac%.0f/shards%d", 100*frac, shards), func(t *testing.T) {
+					resumeAt(t, frac, func() {
+						withShards(t, shards, func() {
+							e, err := core.ByID(id)
+							if err != nil {
+								t.Fatal(err)
+							}
+							tbl, err := e.Run(true)
+							if err != nil {
+								t.Fatal(err)
+							}
+							if got := tbl.Format(); got != want {
+								t.Errorf("resume at %.0f%%, shards=%d: %s diverged from straight-through golden\n--- want ---\n%s--- got ---\n%s",
+									100*frac, shards, id, want, got)
+							}
+						})
+					})
+				})
+			}
+		})
+	}
+}
+
+// TestResumedGoldenSweep interrupts the golden load-latency sweep
+// mid-point and requires the committed CSV bytes.
+func TestResumedGoldenSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("resumed golden sweeps are not -short")
+	}
+	want := readGolden(t, "golden_sweep_seed1.csv")
+	for _, frac := range []float64{0.25, 0.75} {
+		resumeAt(t, frac, func() {
+			if got := goldenSweepCSV(t, 1); got != want {
+				t.Errorf("resume at %.0f%%: sweep diverged from straight-through golden", 100*frac)
+			}
+		})
+	}
+}
