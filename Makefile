@@ -28,7 +28,11 @@ race:
 # smoke test drives a real nocsim -serve binary end to end (ephemeral
 # port announced on stderr, /metrics parses, /healthz 200, clean exit).
 # The benchjson gate covers the ServeOff/On pair so the serve-off loop
-# keeps its zero-allocation fast path. The checkpoint/restore stack is
+# keeps its zero-allocation fast path (bytes/op gates too on Serve rows),
+# and the 4096-tile pair (NetworkCycle4096/NetworkCycleIdle4096) so the
+# quiescence-gated big-die cycle loop keeps its speed and 0 allocs/op —
+# each 4096 benchmark spends a few seconds building and warming the
+# 64x64 torus before timing starts. The checkpoint/restore stack is
 # gated twice: the resumed-golden suites replay the pinned experiments
 # through a mid-run snapshot + rebuild + restore at several shard counts
 # and must stay byte-identical to the straight-through goldens, and the
@@ -44,7 +48,7 @@ ci:
 	$(GO) test -race ./...
 	$(GO) test -race -run 'TestServeSmoke' .
 	$(GO) test -race -run 'TestResumedGolden|TestCrashResume' .
-	$(GO) test -run '^$$' -bench 'NetworkCycle$$|NetworkCycleServeOff$$|NetworkCycleServeOn$$|NetworkCycle64$$|RouteCompute' -benchtime 200ms -benchmem . \
+	$(GO) test -run '^$$' -bench 'NetworkCycle$$|NetworkCycleServeOff$$|NetworkCycleServeOn$$|NetworkCycle64$$|NetworkCycle4096$$|NetworkCycleIdle4096$$|RouteCompute' -benchtime 200ms -benchmem . \
 		| $(GO) run ./cmd/benchjson -against BENCH_cycles.json -max-regress 50
 
 # fuzz gives the fault-campaign parser and the checkpoint decoder a short
@@ -61,14 +65,22 @@ fuzz:
 # (simulated cycles/sec, allocs/op) for diffing across commits. The
 # NetworkCycle pattern also matches NetworkCycleProbesOff/ProbesOn (the
 # telemetry-overhead pair), NetworkCycleServeOff/ServeOn (the live
-# observability snapshot-phase pair) and the NetworkCycle64Shards{2,4,8}
-# lockstep worker-pool runs; the shard benchmarks are recorded at GOMAXPROCS=1
-# (barrier overhead, no speedup possible) and GOMAXPROCS=8 (the parallel
-# case), keyed by the -procs suffix benchjson parses into each row.
+# observability snapshot-phase pair), the 64x64-die pair
+# NetworkCycle4096/NetworkCycleIdle4096, and the NetworkCycle64Shards{2,4,8}
+# lockstep worker-pool runs plus their NoBatch twins (epoch batching
+# disabled, isolating the quiescence fast-forward win); the shard
+# benchmarks are recorded at GOMAXPROCS=1 (barrier overhead, no speedup
+# possible) and GOMAXPROCS=8 (the parallel case), keyed by the -procs
+# suffix benchjson parses into each row. The final step re-runs the
+# 4096-tile benchmark under the CPU profiler so every refresh leaves a
+# bench_cycle4096.prof artifact (`go tool pprof bench_cycle4096.prof`)
+# beside the JSON for digging into cycle-loop regressions.
 bench:
 	{ GOMAXPROCS=1 $(GO) test -run '^$$' -bench 'NetworkCycle|RouteCompute|ECCRoundTrip|PacketSegmentation' -benchtime 1s -benchmem . ; \
 	  GOMAXPROCS=8 $(GO) test -run '^$$' -bench 'NetworkCycle64' -benchtime 1s -benchmem . ; \
 	  $(GO) test -run '^$$' -bench 'BenchmarkE[0-9]' -benchtime 1x -benchmem . ; } | $(GO) run ./cmd/benchjson -o BENCH_cycles.json
+	GOMAXPROCS=1 $(GO) test -run '^$$' -bench 'NetworkCycle4096$$' -benchtime 200ms -cpuprofile bench_cycle4096.prof .
 
 clean:
 	$(GO) clean ./...
+	rm -f bench_cycle4096.prof

@@ -1,6 +1,7 @@
 package noc
 
 import (
+	"math/rand"
 	"testing"
 
 	"repro/internal/core"
@@ -148,6 +149,101 @@ func benchCycleServe(b *testing.B, serveOn bool) {
 	n.Run(int64(b.N))
 }
 
+// BenchmarkNetworkCycle4096 measures the cycle loop on a 64x64 (4096-tile)
+// torus under a light 1% locality-bounded load — the regime the
+// quiescence-gated scan is for: most routers and links are idle on any
+// given cycle, so the per-cycle cost tracks the active worklists, not the
+// tile count.
+func BenchmarkNetworkCycle4096(b *testing.B) { benchCycle4096(b, false) }
+
+// BenchmarkNetworkCycleIdle4096 is the same 4096-tile torus with traffic
+// sources on only the first 64 tiles: the other 98% of the die is idle,
+// and the gate asserting idle-region cost stays O(active routers) is
+// TestIdleRegionCost.
+func BenchmarkNetworkCycleIdle4096(b *testing.B) { benchCycle4096(b, true) }
+
+func benchCycle4096(b *testing.B, idle bool) {
+	b.Helper()
+	n := build4096(b, idle)
+	b.ReportAllocs()
+	b.ResetTimer()
+	n.Run(int64(b.N))
+}
+
+// localWindow picks a uniform destination within ±window tiles of the
+// source in each torus dimension (wrapping, source excluded); rowOnly
+// keeps the destination on the source's row. The 4096-tile benchmarks
+// use it instead of Uniform: route words pack 2 bits per hop into a
+// uint64 (32 hops max), and on a 64x64 torus a uniform destination can
+// sit up to 64 minimal hops away — besides being unroutable,
+// die-spanning random traffic is not the on-chip locality regime these
+// benchmarks model.
+type localWindow struct {
+	k, window int
+	rowOnly   bool
+}
+
+func (l localWindow) Name() string { return "local" }
+
+func (l localWindow) Pick(src int, rng *rand.Rand) int {
+	span := 2*l.window + 1
+	for {
+		dx := rng.Intn(span) - l.window
+		dy := 0
+		if !l.rowOnly {
+			dy = rng.Intn(span) - l.window
+		}
+		if dx == 0 && dy == 0 {
+			continue
+		}
+		x := (src%l.k + dx + l.k) % l.k
+		y := (src/l.k + dy + l.k) % l.k
+		return y*l.k + x
+	}
+}
+
+func build4096(b testing.TB, idle bool) *network.Network {
+	topo, err := topology.NewFoldedTorus(64, 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n, err := network.New(network.Config{Topo: topo, Router: router.DefaultConfig(0), Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	gens := topo.NumTiles()
+	pat := localWindow{k: 64, window: 8}
+	if idle {
+		// Sources (and, row-local, destinations) on the first row only:
+		// the other 63 rows of the die stay completely idle, and every
+		// delivery lands on a tile whose client drains it.
+		gens = 64
+		pat.rowOnly = true
+	}
+	gg := make([]*traffic.Generator, gens)
+	for tile := 0; tile < gens; tile++ {
+		gg[tile] = traffic.NewGenerator(tile, pat, 4*cycle4096Rate, 2, flit.VCMask(0xFF), 1)
+		n.AttachClient(tile, gg[tile])
+	}
+	// Warm every pool's high-water mark past anything the measured load
+	// can reach: run at 4x the benchmark rate first (more flits in
+	// flight, deeper per-port delivery and reassembly bursts), then
+	// settle at the real rate. Without the overdrive, rare record-setting
+	// events — a new max of in-flight flits, a port's first triple
+	// delivery — keep allocating at a slowly decaying rate for hundreds
+	// of thousands of cycles, and short timing windows catch them.
+	n.Run(2000)
+	for _, g := range gg {
+		g.Rate = cycle4096Rate
+	}
+	n.Run(2000)
+	return n
+}
+
+// cycle4096Rate is the offered load of the 4096-tile benchmarks: light
+// (1%) on purpose — the quiescence-gated regime.
+const cycle4096Rate = 0.01
+
 // BenchmarkNetworkCycle64 is the same loop on an 8x8 torus.
 func BenchmarkNetworkCycle64(b *testing.B) { benchCycle64(b, 1) }
 
@@ -163,13 +259,25 @@ func BenchmarkNetworkCycle64Shards2(b *testing.B) { benchCycle64(b, 2) }
 func BenchmarkNetworkCycle64Shards4(b *testing.B) { benchCycle64(b, 4) }
 func BenchmarkNetworkCycle64Shards8(b *testing.B) { benchCycle64(b, 8) }
 
-func benchCycle64(b *testing.B, shards int) {
+// The NoBatch variants run the identical sharded workload with epoch
+// batching disabled (Config.BatchEpochs < 0), recording what the
+// quiescence fast-forward is worth on top of plain sharding. The default
+// rows above run with batching on (the default).
+func BenchmarkNetworkCycle64Shards2NoBatch(b *testing.B) { benchCycle64NoBatch(b, 2) }
+func BenchmarkNetworkCycle64Shards4NoBatch(b *testing.B) { benchCycle64NoBatch(b, 4) }
+func BenchmarkNetworkCycle64Shards8NoBatch(b *testing.B) { benchCycle64NoBatch(b, 8) }
+
+func benchCycle64(b *testing.B, shards int) { benchCycle64Batch(b, shards, 0) }
+
+func benchCycle64NoBatch(b *testing.B, shards int) { benchCycle64Batch(b, shards, -1) }
+
+func benchCycle64Batch(b *testing.B, shards, batch int) {
 	b.Helper()
 	topo, err := topology.NewFoldedTorus(8, 8)
 	if err != nil {
 		b.Fatal(err)
 	}
-	n, err := network.New(network.Config{Topo: topo, Router: router.DefaultConfig(0), Seed: 1, Shards: shards})
+	n, err := network.New(network.Config{Topo: topo, Router: router.DefaultConfig(0), Seed: 1, Shards: shards, BatchEpochs: batch})
 	if err != nil {
 		b.Fatal(err)
 	}

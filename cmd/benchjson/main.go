@@ -116,7 +116,11 @@ func main() {
 // multi-procs runs (or at another machine's width) still gate. New ns/op
 // may exceed old by at most maxPct percent; allocs/op likewise, except
 // that any allocation appearing in a previously allocation-free benchmark
-// is a regression outright (0 * 1.10 is still 0).
+// is a regression outright (0 * 1.10 is still 0). Serve benchmarks gate
+// bytes/op too: their contract is a constant-byte (near-zero) steady
+// state, and a byte-count regression there means the lazy-snapshot path
+// started copying per cycle — which allocs/op alone would miss when the
+// copies amortize below one allocation per op.
 func compare(path string, results []Result, maxPct float64) (regressions int, err error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -163,6 +167,14 @@ func compare(path string, results []Result, maxPct float64) (regressions int, er
 			fmt.Fprintf(os.Stderr, "benchjson: REGRESSION %s-%d: %d allocs/op vs baseline %d\n",
 				r.Name, r.Procs, r.AllocsPerOp, old.AllocsPerOp)
 			regressions++
+		}
+		if strings.Contains(r.Name, "Serve") {
+			byteLimit := int64(float64(old.BytesPerOp) * (1 + maxPct/100))
+			if r.BytesPerOp > byteLimit {
+				fmt.Fprintf(os.Stderr, "benchjson: REGRESSION %s-%d: %d B/op vs baseline %d\n",
+					r.Name, r.Procs, r.BytesPerOp, old.BytesPerOp)
+				regressions++
+			}
 		}
 	}
 	return regressions, nil

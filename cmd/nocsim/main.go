@@ -52,6 +52,7 @@ func main() {
 		mtbf     = flag.Float64("mtbf", 0, "mean cycles between stochastic faults (0 disables)")
 		watchdog = flag.Int("watchdog", 64, "credit-starvation watchdog threshold, cycles (campaign runs)")
 		shards   = flag.Int("shards", 1, "intra-cycle shards: routers simulated in parallel, identical results (0 = GOMAXPROCS, 1 = sequential)")
+		batch    = flag.Int("batch-epochs", 0, "max cycles folded into one barrier epoch while near-quiescent, sharded runs only (0 = default 64, -1 disables); identical results")
 
 		ckptEvery = flag.Int64("checkpoint-every", 0, "write a crash-safe checkpoint every N cycles (0 disables; needs -checkpoint-dir)")
 		ckptDir   = flag.String("checkpoint-dir", "", "directory for checkpoint files (ckpt-*.noc + MANIFEST)")
@@ -191,6 +192,7 @@ func main() {
 	if *shards == 0 {
 		p.Shards = -1 // core: explicit GOMAXPROCS request
 	}
+	p.BatchEpochs = *batch
 	switch *mode {
 	case "vc":
 	case "drop":

@@ -31,6 +31,7 @@ func main() {
 		seed     = flag.Int64("seed", 1, "random seed")
 		par      = flag.Int("parallel", 0, "concurrent sweep points (0 = GOMAXPROCS)")
 		shards   = flag.Int("shards", 1, "intra-cycle shards per simulation, identical results (0 = GOMAXPROCS, 1 = sequential); composes with -parallel")
+		batch    = flag.Int("batch-epochs", 0, "max cycles folded into one barrier epoch while near-quiescent, sharded runs only (0 = default 64, -1 disables); identical results")
 
 		ckptEvery = flag.Int64("checkpoint-every", 0, "checkpoint every sweep point every N cycles (0 disables; needs -checkpoint-dir)")
 		ckptDir   = flag.String("checkpoint-dir", "", "checkpoint root; each point uses its own point-NNN subdirectory")
@@ -91,6 +92,7 @@ func main() {
 	base.WarmupCycles = *warmup
 	base.MeasureCycles = *measure
 	base.Seed = *seed
+	base.BatchEpochs = *batch
 	base.CheckpointEvery = *ckptEvery
 	base.CheckpointDir = *ckptDir
 	base.Resume = *resume

@@ -60,6 +60,21 @@ func SetShards(n int) {
 // Shards reports the default intra-cycle shard count (0 = GOMAXPROCS).
 func Shards() int { return int(atomic.LoadInt64(&shards)) }
 
+// batchEpochs is the default epoch-batching cap for networks built by
+// this package: 0 defers to the network default
+// (network.DefaultBatchEpochs), negative disables batching.
+var batchEpochs int64
+
+// SetBatchEpochs sets the default epoch-batching cap for subsequently
+// built networks (see network.Config.BatchEpochs). 0 restores the
+// network default; n < 0 disables batching. Batching only engages on
+// sharded runs and never changes results.
+func SetBatchEpochs(n int) { atomic.StoreInt64(&batchEpochs, int64(n)) }
+
+// BatchEpochs reports the default epoch-batching cap (0 = network
+// default, negative = off).
+func BatchEpochs() int { return int(atomic.LoadInt64(&batchEpochs)) }
+
 // simulatedCycles accumulates the kernel cycles executed by Run and
 // RunCampaign across all goroutines, so the CLIs can report simulated
 // cycles per wall-clock second.
@@ -118,6 +133,13 @@ type RunParams struct {
 	// (SetShards), negative means GOMAXPROCS explicitly. Results are
 	// byte-identical at any shard count.
 	Shards int
+
+	// BatchEpochs caps how many cycles a sharded run folds into one
+	// barrier epoch while the network is near-quiescent
+	// (network.Config.BatchEpochs): 0 defers to the package default
+	// (SetBatchEpochs), negative disables batching. Results are
+	// byte-identical at any setting.
+	BatchEpochs int
 
 	// OnNetwork, when non-nil, runs after the network is built and the
 	// clients attached, before the first cycle — the attachment point for
@@ -227,10 +249,15 @@ func BuildNetwork(p RunParams) (*network.Network, *power.Meter, error) {
 	if sh < 0 {
 		sh = 0 // explicit GOMAXPROCS request -> network auto
 	}
+	be := p.BatchEpochs
+	if be == 0 {
+		be = BatchEpochs()
+	}
 	cfg := network.Config{
 		Topo:         topo,
 		Router:       rc,
 		Shards:       sh,
+		BatchEpochs:  be,
 		SerdesCycles: p.SerdesCycles,
 		Deflect:      p.Deflect,
 		ElasticLinks: p.ElasticLinks,

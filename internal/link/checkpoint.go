@@ -71,8 +71,8 @@ func restorePipeInts(d *checkpoint.Decoder, p *Pipe[int]) {
 // and fault status. Configuration (latency, serdes width, physical layer)
 // is not saved — the restored link must be built from the same config.
 func (l *Link) SaveState(e *checkpoint.Encoder) {
-	savePipeFlits(e, l.pipe)
-	savePipeInts(e, l.credits)
+	savePipeFlits(e, &l.pipe)
+	savePipeInts(e, &l.credits)
 	e.Int(l.busy)
 	l.Util.SaveState(e)
 	pending := l.pendingCredits[l.creditHead:]
@@ -98,8 +98,8 @@ func (l *Link) SaveState(e *checkpoint.Encoder) {
 // RestoreState restores a link saved with SaveState into a link built
 // from the same configuration. In-flight flits are drawn from pool.
 func (l *Link) RestoreState(d *checkpoint.Decoder, pool *flit.Pool) {
-	restorePipeFlits(d, l.pipe, pool)
-	restorePipeInts(d, l.credits)
+	restorePipeFlits(d, &l.pipe, pool)
+	restorePipeInts(d, &l.credits)
 	l.busy = d.Int()
 	l.Util.RestoreState(d)
 	nPending := d.Count(8)

@@ -18,8 +18,11 @@ import (
 type Link struct {
 	Name string
 
-	pipe    *Pipe[*flit.Flit]
-	credits *Pipe[int] // VC indices of freed buffer slots, travelling upstream
+	// pipe and credits are inline values, not pointers: the per-cycle
+	// Deliver/CanSend path reads their occupancy counters from the Link's
+	// own cache lines instead of chasing into separate heap objects.
+	pipe    Pipe[*flit.Flit]
+	credits Pipe[int] // VC indices of freed buffer slots, travelling upstream
 
 	Phys *Phys
 
@@ -104,8 +107,8 @@ func New(cfg Config) *Link {
 	}
 	l := &Link{
 		Name:          cfg.Name,
-		pipe:          NewPipe[*flit.Flit](cfg.LatencyCycles),
-		credits:       NewPipe[int](cfg.LatencyCycles),
+		pipe:          *NewPipe[*flit.Flit](cfg.LatencyCycles),
+		credits:       *NewPipe[int](cfg.LatencyCycles),
 		Phys:          cfg.Phys,
 		SerdesCycles:  cfg.SerdesCycles,
 		LengthPitches: cfg.LengthPitches,
@@ -145,6 +148,15 @@ func (l *Link) Idle() bool {
 	}
 	return l.pipe.Empty()
 }
+
+// EntryAlwaysFree reports whether the link's input register is free on
+// every cycle once that cycle's Deliver has run: a non-elastic link with
+// SerdesCycles == 1 shifts its entry slot empty on each delivery and its
+// wires are never busy across a cycle boundary, so a sender arbitrating
+// after the delivery phase may skip the CanSend check entirely. Elastic
+// channels (entry stage backpressured by the receiver) and serialized
+// links (wires busy for SerdesCycles) must still be polled.
+func (l *Link) EntryAlwaysFree() bool { return !l.elastic && l.SerdesCycles == 1 }
 
 // SetDown kills (or revives) the channel. A dead channel keeps accepting
 // traffic at the sending end but delivers nothing: flits and credits

@@ -99,6 +99,10 @@ func (n *Network) SaveCheckpoint(configHash uint64, cycle int64) ([]byte, error)
 	if err := n.checkpointable(); err != nil {
 		return nil, err
 	}
+	// Gated links freeze their utilization windows while off the
+	// worklists; catch every counter up so the serialised Util state is
+	// byte-identical to an ungated (or differently sharded) run's.
+	n.finalizeUtil()
 	b := checkpoint.NewBuilder(configHash, cycle)
 
 	e := b.Section("clock")
@@ -305,6 +309,17 @@ func (n *Network) RestoreCheckpoint(f *checkpoint.File) error {
 			n.activate(r.ID())
 		}
 	}
+	if n.linkGated {
+		// Re-anchor the gated utilization clock at the checkpoint cycle and
+		// enlist every link restored with flits or credits still in flight.
+		n.utilTicks = f.Cycle
+		for i := range n.links {
+			n.links[i].tickedTo = f.Cycle
+			if !n.links[i].l.Idle() {
+				n.activateLink(int32(i), f.Cycle)
+			}
+		}
+	}
 	n.NoteCheckpoint(f.Cycle)
 	return nil
 }
@@ -467,6 +482,20 @@ func (p *Port) restoreState(d *checkpoint.Decoder) {
 		}
 	}
 	p.BlockedReserved = d.I64()
+	// Rebuild the derived injection-side worklist state (port.go): the
+	// restored port stands in for a freshly built one whose lists were empty.
+	p.activeCount = 0
+	for _, in := range p.active {
+		if in != nil {
+			p.activeCount++
+		}
+	}
+	if p.injWork() > 0 {
+		p.notePump()
+	}
+	if len(p.loopback) > 0 {
+		p.noteLoopback()
+	}
 }
 
 // --- recorder state ---------------------------------------------------------

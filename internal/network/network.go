@@ -3,6 +3,7 @@ package network
 import (
 	"fmt"
 	"io"
+	"sort"
 	"strings"
 
 	"repro/internal/fault"
@@ -79,18 +80,42 @@ type Config struct {
 	// globally ordered side effects — PhysWires, a Meter, a TraceWriter,
 	// or telemetry lifecycle tracing — force 1.
 	Shards int
+
+	// BatchEpochs bounds quiescence-aware epoch batching on sharded runs
+	// (Shards > 1): when the network-wide active work drops below a
+	// threshold, up to this many cycles are folded into one barrier epoch
+	// and run inline on worker 0, eliminating up to 2×phases barrier
+	// crossings per folded cycle. Results are byte-identical either way
+	// (sim.Kernel.SetBatching). 0 selects DefaultBatchEpochs; negative
+	// disables batching; ignored on the sequential path and on
+	// configurations that force full scans (deflection, watchdogs,
+	// tracing, physical wires, power meters).
+	BatchEpochs int
 }
+
+// DefaultBatchEpochs is the epoch cap used when Config.BatchEpochs is 0.
+// It bounds how long worker 0 runs the quiescent network serially before
+// the eligibility probe is consulted against fresh worklists at a real
+// barrier — long enough to amortize the barrier away on idle stretches,
+// short enough that a traffic burst returns to lockstep execution within
+// a rounding error of wall-clock time.
+const DefaultBatchEpochs = 64
 
 // routeCacheMaxTiles bounds the route cache: above this tile count the
 // tiles² cache rows would cost more memory than recomputation is worth.
 const routeCacheMaxTiles = 1024
 
-// linkEntry couples a link to its position in the topology.
+// linkEntry couples a link to its position in the topology. tickedTo is
+// the utilization-window high-water mark for the link-gating fast path
+// (shard.go): while a link is off its shard's worklist its Util counter
+// stops ticking, and tickedTo records the utilTicks value its window was
+// frozen at so activation or a Util read can catch it up exactly.
 type linkEntry struct {
-	l    *link.Link
-	from int
-	to   int
-	dir  route.Dir
+	l        *link.Link
+	from     int
+	to       int
+	dir      route.Dir
+	tickedTo int64
 }
 
 // Network is a complete on-chip interconnection network plus the client
@@ -116,6 +141,32 @@ type Network struct {
 	shards  []*shardState
 	shardOf []int
 	onList  []bool
+
+	// Quiescence gating (shard.go). linkGated enables the per-shard link
+	// worklists (linkOn dedupes membership; outLinkIdx / inLinkIdx map
+	// tile×port to the link a send or credit wakes; utilTicks counts
+	// completed delivery phases, the reference clock for frozen Util
+	// windows). portGated enables the pump/loopback port worklists and
+	// the active-list eject walk. Both are off for configurations whose
+	// observable side effects depend on full-scan order: deflection
+	// (separate router type), watchdogs (per-link starvation bookkeeping),
+	// packet or lifecycle tracing (event order), physical wires (RNG draw
+	// order), and power meters (float accumulation order).
+	linkGated  bool
+	portGated  bool
+	linkOn     []bool
+	outLinkIdx []int32
+	inLinkIdx  []int32
+	utilTicks  int64
+
+	// clientTiles lists tiles with attached clients, ascending, so the
+	// serial client phase walks attached clients in tile order without
+	// scanning every tile.
+	clientTiles []int
+
+	// batchThresh is the active-work ceiling under which sharded runs may
+	// fold cycles into batched epochs (batchEligible).
+	batchThresh int
 
 	// tracing caches cfg.TraceWriter != nil so hot paths skip the variadic
 	// trace call (whose argument boxing allocates) when tracing is off.
@@ -262,6 +313,30 @@ func New(cfg Config) (*Network, error) {
 		}
 	}
 	n.initShards(effectiveShards(cfg, tiles))
+	// Quiescence gating: worklist-driven delivery, eject, and pump scans.
+	// See the field comments for why each configuration falls back to the
+	// full scan.
+	ordered := cfg.Deflect || n.tracing || n.traceLinks || cfg.Meter != nil
+	n.linkGated = !ordered && cfg.Watchdog == 0 && !cfg.PhysWires
+	n.portGated = !ordered
+	if n.linkGated {
+		n.linkOn = make([]bool, len(n.links))
+		n.outLinkIdx = make([]int32, tiles*router.NumPorts)
+		n.inLinkIdx = make([]int32, tiles*router.NumPorts)
+		for i := range n.outLinkIdx {
+			n.outLinkIdx[i] = -1
+			n.inLinkIdx[i] = -1
+		}
+		for i := range n.links {
+			le := &n.links[i]
+			n.outLinkIdx[le.from*router.NumPorts+int(le.dir)] = int32(i)
+			n.inLinkIdx[le.to*router.NumPorts+int(le.dir.Opposite())] = int32(i)
+		}
+	}
+	n.batchThresh = tiles / 64
+	if n.batchThresh < 8 {
+		n.batchThresh = 8
+	}
 	for _, r := range n.routers {
 		r.SetPool(&n.shards[n.shardOf[r.ID()]].pool)
 	}
@@ -381,7 +456,14 @@ func (n *Network) registerPhases() {
 	// computation and both arbitrations are state no-ops (the round-robin
 	// arbiters only advance on a grant) and quiescent regions cost nothing.
 	k.AddShardedPhase("route", n.routeShard, nil)
-	k.AddShardedPhase("linkarb", n.linkarbShard, nil)
+	// Under link gating linkarb needs a merge to apply cross-shard link
+	// activations (a send whose receiving tile lives in another shard);
+	// without gating the merge (and its extra barrier) is omitted.
+	var lam sim.PhaseFunc
+	if n.linkGated {
+		lam = n.linkarbMerge
+	}
+	k.AddShardedPhase("linkarb", n.linkarbShard, lam)
 	k.AddShardedPhase("switcharb", n.switcharbShard, nil)
 	k.AddShardedPhase("eject", n.ejectShard, n.ejectMerge)
 	k.AddPhase("clients", n.clientsTick)
@@ -390,6 +472,20 @@ func (n *Network) registerPhases() {
 		n.wdStarve = make([]int64, len(n.links))
 		n.wdCredit = make([]bool, len(n.links))
 		n.kernel.AddPhase("watchdog", n.watchdogTick)
+	}
+	// Quiescence-aware epoch batching: on sharded runs, fold cycles into
+	// single-barrier epochs while the worklists show too little active
+	// work to be worth fanning out. The kernel's Step path executes the
+	// same phase schedule inline, so results — including serial-phase
+	// timing (telemetry samples, serve snapshots, checkpoints) — are
+	// byte-identical; only the barrier count changes. Requires the gated
+	// worklists: they are the quiescence signal.
+	if len(n.shards) > 1 && n.linkGated && n.portGated && n.cfg.BatchEpochs >= 0 {
+		epochs := n.cfg.BatchEpochs
+		if epochs == 0 {
+			epochs = DefaultBatchEpochs
+		}
+		k.SetBatching(epochs, n.batchEligible)
 	}
 	// The sampling phase exists only when a probe asked for a series, so a
 	// probe-less (or counters-only) network's cycle loop is untouched.
@@ -413,8 +509,39 @@ func (n *Network) registerPhases() {
 	}
 }
 
-// AttachClient installs the client logic for a tile.
-func (n *Network) AttachClient(tile int, c Client) { n.clients[tile] = c }
+// batchEligible is the quiescence probe for epoch batching: it approves
+// folding cycles onto one worker while the total active work (routers
+// plus links on the per-shard worklists) is below the threshold where
+// fan-out overhead dominates the work itself. Consulted by worker 0 at
+// cycle boundaries, where the worklists are quiescent state.
+func (n *Network) batchEligible() bool {
+	total := 0
+	for _, s := range n.shards {
+		total += len(s.active) + len(s.activeLinks)
+		if total > n.batchThresh {
+			return false
+		}
+	}
+	return true
+}
+
+// AttachClient installs (or, with a nil client, removes) the client logic
+// for a tile, keeping the dense ascending client list the serial client
+// phase walks.
+func (n *Network) AttachClient(tile int, c Client) {
+	had := n.clients[tile] != nil
+	n.clients[tile] = c
+	switch {
+	case c != nil && !had:
+		i := sort.SearchInts(n.clientTiles, tile)
+		n.clientTiles = append(n.clientTiles, 0)
+		copy(n.clientTiles[i+1:], n.clientTiles[i:])
+		n.clientTiles[i] = tile
+	case c == nil && had:
+		i := sort.SearchInts(n.clientTiles, tile)
+		n.clientTiles = append(n.clientTiles[:i], n.clientTiles[i+1:]...)
+	}
+}
 
 // Port returns the tile's network port.
 func (n *Network) Port(tile int) *Port { return n.ports[tile] }
@@ -455,17 +582,44 @@ func (n *Network) Run(cycles int64) {
 }
 
 // Occupancy reports flits buffered anywhere in the network (routers and
-// links).
+// links). Under gating this is O(active components): every router holding
+// a flit is on its shard's worklist (acceptance activates, the route
+// sweep only drops empty routers), and every link with a flit in flight
+// is on its link worklist (sends activate, the delivery sweep only drops
+// idle links).
 func (n *Network) Occupancy() int {
 	total := 0
+	if n.linkGated {
+		for _, s := range n.shards {
+			for _, t := range s.active {
+				total += n.routers[t].Occupancy()
+			}
+		}
+		return total + n.LinksInFlight()
+	}
 	for _, r := range n.routers {
 		total += r.Occupancy()
 	}
 	for _, d := range n.defls {
 		total += d.Occupancy()
 	}
-	for _, le := range n.links {
-		total += le.l.InFlight()
+	return total + n.LinksInFlight()
+}
+
+// LinksInFlight reports flits in flight on the wires, O(active links)
+// under gating.
+func (n *Network) LinksInFlight() int {
+	total := 0
+	if n.linkGated {
+		for _, s := range n.shards {
+			for _, li := range s.activeLinks {
+				total += n.links[li].l.InFlight()
+			}
+		}
+		return total
+	}
+	for i := range n.links {
+		total += n.links[i].l.InFlight()
 	}
 	return total
 }
@@ -477,6 +631,19 @@ func (n *Network) Drain(budget int64) bool {
 	drained := n.kernel.RunUntil(func() bool {
 		if n.Occupancy() != 0 {
 			return false
+		}
+		if n.portGated {
+			// Every port with pending or in-progress injections is on
+			// its shard's pump worklist (Send/SendReserved enlist it and
+			// only the pump sweep delists drained ports).
+			for _, s := range n.shards {
+				for _, t := range s.pumpList {
+					if n.ports[t].PendingInjections() != 0 {
+						return false
+					}
+				}
+			}
+			return true
 		}
 		for _, p := range n.ports {
 			if p.PendingInjections() != 0 {
@@ -538,9 +705,30 @@ func (n *Network) ReserveFlow(src, dst, flow, phase int) (hops int, err error) {
 	return len(dirs), nil
 }
 
+// finalizeUtil catches every off-worklist link's frozen utilization
+// window up to the present before the Util counters are read. On-list
+// links tick every delivery phase and need nothing; off-list links have
+// been idle since tickedTo, so the missing window is pure idle cycles.
+func (n *Network) finalizeUtil() {
+	if !n.linkGated {
+		return
+	}
+	for i := range n.links {
+		le := &n.links[i]
+		if n.linkOn[i] {
+			continue
+		}
+		if gap := n.utilTicks - le.tickedTo; gap > 0 {
+			le.l.Util.AddCycles(gap)
+			le.tickedTo = n.utilTicks
+		}
+	}
+}
+
 // LinkUtilization summarizes the duty factor of every inter-tile channel:
 // the fraction of cycles each link's wires were busy (§4.4).
 func (n *Network) LinkUtilization() stats.Summary {
+	n.finalizeUtil()
 	var s stats.Summary
 	for _, le := range n.links {
 		s.Add(le.l.Util.Rate())
@@ -550,6 +738,7 @@ func (n *Network) LinkUtilization() stats.Summary {
 
 // MaxLinkUtilization reports the busiest channel's duty factor.
 func (n *Network) MaxLinkUtilization() float64 {
+	n.finalizeUtil()
 	best := 0.0
 	for _, le := range n.links {
 		if r := le.l.Util.Rate(); r > best {
@@ -563,6 +752,7 @@ func (n *Network) MaxLinkUtilization() float64 {
 // position, showing the mean duty factor of the tile's outgoing channels
 // as a percentage — a quick view of where the §4.4 wire sharing happens.
 func (n *Network) Heatmap() string {
+	n.finalizeUtil()
 	kx, ky := n.topo.Radix()
 	util := make(map[int]*stats.Summary)
 	for _, le := range n.links {

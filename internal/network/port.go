@@ -81,6 +81,13 @@ type Port struct {
 	reserved []*injection
 	active   [flit.NumVCs]*injection // in-progress packet per VC; nil = idle
 
+	// activeCount tracks non-nil active entries, and onPump / onLoop mark
+	// membership on the shard's pump and loopback worklists, so the gated
+	// pump and eject phases visit only ports with work (shard.go).
+	activeCount int
+	onPump      bool
+	onLoop      bool
+
 	partials []partialSlot
 
 	// rx accumulates this cycle's deliveries; lent is the slice handed out
@@ -107,6 +114,31 @@ type Port struct {
 
 // Tile reports the port's tile id.
 func (p *Port) Tile() int { return p.tile }
+
+// injWork reports packets queued or in progress at the injection side —
+// the condition for staying on the shard's pump worklist.
+func (p *Port) injWork() int {
+	return len(p.pending) + len(p.reserved) + p.activeCount
+}
+
+// notePump enlists the port on its shard's pump worklist. Called with
+// work just queued, from the serial client phase or between cycles.
+func (p *Port) notePump() {
+	if p.onPump {
+		return
+	}
+	p.onPump = true
+	p.shard.pumpList = append(p.shard.pumpList, int32(p.tile))
+}
+
+// noteLoopback enlists the port on its shard's loopback worklist.
+func (p *Port) noteLoopback() {
+	if p.onLoop {
+		return
+	}
+	p.onLoop = true
+	p.shard.loopList = append(p.shard.loopList, int32(p.tile))
+}
 
 func (p *Port) getDelivery() *Delivery {
 	n := len(p.freeDel)
@@ -171,6 +203,7 @@ func (p *Port) Send(dst int, payload []byte, mask flit.VCMask, class int) (uint6
 		d.Class, d.Birth, d.Flits = class, now, p.pkt.NumFlits()
 		p.loopback = append(p.loopback, d)
 		p.loopAt = append(p.loopAt, now+1)
+		p.noteLoopback()
 		return id, nil
 	}
 	w, rerouted, err := p.net.routeFor(p.tile, dst)
@@ -199,6 +232,7 @@ func (p *Port) Send(dst int, payload []byte, mask flit.VCMask, class int) (uint6
 	in.flits = p.pkt.AppendFlits(in.flits[:0], p.pool)
 	in.class, in.seq = class, id
 	p.pending = append(p.pending, in)
+	p.notePump()
 	if p.net.tracing {
 		p.net.trace("cycle=%d pkt=%d event=generated src=%d dst=%d bytes=%d class=%d flits=%d route=%v",
 			now, id, p.tile, dst, len(payload), class, nf, w)
@@ -237,6 +271,7 @@ func (p *Port) SendReserved(dst int, payload []byte, flow int) (uint64, error) {
 	}
 	in.vc, in.class, in.seq = rvc, 1<<30, id
 	p.reserved = append(p.reserved, in)
+	p.notePump()
 	return id, nil
 }
 
@@ -257,16 +292,10 @@ func (p *Port) Deliveries() []*Delivery {
 }
 
 // PendingInjections reports queued plus in-progress packets, for
-// source-queue depth measurements.
-func (p *Port) PendingInjections() int {
-	n := len(p.pending) + len(p.reserved)
-	for v := 0; v < flit.NumVCs; v++ {
-		if in := p.active[v]; in != nil && !in.done() {
-			n++
-		}
-	}
-	return n
-}
+// source-queue depth measurements. A non-nil active entry is never done
+// (pump clears it the cycle its last flit injects), so this is exactly
+// the pump worklist condition.
+func (p *Port) PendingInjections() int { return p.injWork() }
 
 // findPartial returns the reassembly slot for packet id, or nil.
 func (p *Port) findPartial(id uint64) *partialSlot {
@@ -484,11 +513,13 @@ func (p *Port) pump(now int64) {
 			f.VC = vc
 		}
 		p.active[vc] = best
+		p.activeCount++
 		p.removePending(best)
 	}
 	p.injectFlit(best, now)
 	if best.done() {
 		p.active[best.vc] = nil
+		p.activeCount--
 		p.putInjection(best)
 	}
 }

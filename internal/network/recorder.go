@@ -113,13 +113,16 @@ func (r *Recorder) ClassLatency(class int) *stats.Hist { return r.perClass[class
 // Classes reports the service classes that delivered measured packets, in
 // ascending order, so exporters can enumerate ClassLatency histograms
 // deterministically.
-func (r *Recorder) Classes() []int {
-	out := make([]int, 0, len(r.perClass))
+func (r *Recorder) Classes() []int { return r.AppendClasses(nil) }
+
+// AppendClasses is Classes into a reused buffer, for per-sample callers.
+func (r *Recorder) AppendClasses(dst []int) []int {
+	dst = dst[:0]
 	for c := range r.perClass {
-		out = append(out, c)
+		dst = append(dst, c)
 	}
-	sort.Ints(out)
-	return out
+	sort.Ints(dst)
+	return dst
 }
 
 // FlowLatency reports the latency histogram of a pre-scheduled flow.

@@ -1,6 +1,7 @@
 package network
 
 import (
+	"math/bits"
 	"runtime"
 
 	"repro/internal/flit"
@@ -75,6 +76,28 @@ type shardState struct {
 	// route-phase sweep, so fully quiescent regions cost nothing in the
 	// three router phases.
 	active []int
+
+	// activeLinks is the shard's link worklist (indexes into n.links),
+	// maintained only when n.linkGated: links join when their sender puts
+	// a flit on the wires or their receiver hands them a credit, and leave
+	// at the delivery sweep once Idle. Off-list links skip even the
+	// idle utilization tick; linkEntry.tickedTo records how far their
+	// window has been accounted so activation (and any Util read) can
+	// catch the counter up in one AddCycles call.
+	activeLinks []int32
+
+	// pendingLinks defers link activations whose receiver lives in
+	// another shard (a send crosses the shard boundary); linkarbMerge
+	// applies them behind the phase barrier.
+	pendingLinks []int32
+
+	// pumpList is the shard's port worklist for the pump phase: ports
+	// with queued or in-progress injections (Port.injWork() > 0).
+	// loopList is the matching worklist for pending loopback deliveries.
+	// Both are maintained through Port.notePump/noteLoopback and swept by
+	// their phase; used only when n.portGated.
+	pumpList []int32
+	loopList []int32
 
 	// pool recycles the flits created and destroyed by this shard's
 	// components. flit.Pool is not concurrency-safe; per-shard ownership
@@ -173,11 +196,79 @@ func (n *Network) acceptAt(tile int, f *flit.Flit, from route.Dir) {
 	n.activate(tile)
 }
 
+// activateLink puts a link on its owning (receiving) shard's worklist and
+// catches its utilization window up over the skipped idle cycles. Safe to
+// call repeatedly; the linkOn bit dedupes. Must only be called by the
+// owning shard's worker or from serial/merge phases.
+func (n *Network) activateLink(i int32, _ int64) {
+	if n.linkOn[i] {
+		return
+	}
+	n.linkOn[i] = true
+	le := &n.links[i]
+	if gap := n.utilTicks - le.tickedTo; gap > 0 {
+		le.l.Util.AddCycles(gap)
+	}
+	le.tickedTo = n.utilTicks
+	s := n.shards[n.shardOf[le.to]]
+	s.activeLinks = append(s.activeLinks, i)
+}
+
+// deliverGatedShard is deliverShard over the link worklist: only links
+// with traffic (or credits) in flight are visited, and a link that has
+// gone idle leaves the list — its utilization window is frozen at
+// tickedTo and caught up on reactivation. Quiescent regions therefore
+// cost nothing in the delivery phase, not even the idle tick.
+func (n *Network) deliverGatedShard(now sim.Cycle, si int) {
+	s := n.shards[si]
+	keep := s.activeLinks[:0]
+	for _, i := range s.activeLinks {
+		le := &n.links[i]
+		if le.l.Idle() {
+			// This cycle's idle tick is skipped along with the link;
+			// utilTicks has not yet counted this cycle (deliverMerge
+			// increments it), so the frozen window ends exactly here.
+			n.linkOn[i] = false
+			le.tickedTo = n.utilTicks
+			continue
+		}
+		keep = append(keep, i)
+		if n.cfg.ElasticLinks {
+			to, in := n.routers[le.to], le.dir.Opposite()
+			f := le.l.DeliverElastic(func(f *flit.Flit) bool {
+				return to.CanAccept(in, f.VC)
+			})
+			if f != nil {
+				n.acceptAt(le.to, f, in)
+			}
+			continue
+		}
+		f, credits := le.l.Deliver()
+		if len(credits) > 0 {
+			if n.shardOf[le.from] == si {
+				n.routers[le.from].HandleCredits(le.dir, credits)
+			} else {
+				for _, vc := range credits {
+					s.credits = append(s.credits, creditRet{n.routers[le.from], le.dir, vc})
+				}
+			}
+		}
+		if f != nil {
+			n.acceptAt(le.to, f, le.dir.Opposite())
+		}
+	}
+	s.activeLinks = keep
+}
+
 // deliverShard advances this shard's links by one cycle: flits complete
 // their traversal into in-shard routers, credits complete their reverse
 // traversal toward the sending router — applied inline when the sender is
 // in-shard, deferred to the barrier otherwise.
 func (n *Network) deliverShard(now sim.Cycle, si int) {
+	if n.linkGated {
+		n.deliverGatedShard(now, si)
+		return
+	}
 	s := n.shards[si]
 	for _, sl := range s.links {
 		i := sl.idx
@@ -231,8 +322,12 @@ func (n *Network) deliverShard(now sim.Cycle, si int) {
 
 // deliverMerge applies the deferred cross-shard credit returns. Credit
 // restoration is a commutative counter increment, so application order
-// cannot affect state; shard order is used for reproducibility.
+// cannot affect state; shard order is used for reproducibility. It also
+// advances utilTicks, the network-wide count of completed delivery
+// phases, which is the reference clock for gated links' frozen
+// utilization windows.
 func (n *Network) deliverMerge(sim.Cycle) {
+	n.utilTicks++
 	for _, s := range n.shards {
 		for _, cr := range s.credits {
 			cr.r.HandleCredit(cr.dir, cr.vc)
@@ -262,23 +357,68 @@ func (n *Network) routeShard(now sim.Cycle, si int) {
 
 // linkarbShard runs link arbitration over the shard's worklist. A link's
 // sender is the only component touching it during this phase, so sending
-// on a link owned by another shard (the receiver's) is race-free.
+// on a link owned by another shard (the receiver's) is race-free. Under
+// link gating the routers' packed sent masks are consumed here to wake
+// the links that just received a flit: in-shard receivers activate
+// directly, cross-shard activations are deferred to linkarbMerge (the
+// receiver's worklist belongs to another worker).
 func (n *Network) linkarbShard(now sim.Cycle, si int) {
 	s := n.shards[si]
 	for _, tile := range s.active {
-		if r := n.routers[tile]; r.Occupancy() != 0 {
-			r.LinkArbitrate(now)
+		r := n.routers[tile]
+		if r.Occupancy() == 0 {
+			continue
+		}
+		r.LinkArbitrate(now)
+		if !n.linkGated {
+			continue
+		}
+		for m := r.SentOutputs(); m != 0; m &= m - 1 {
+			li := n.outLinkIdx[tile*router.NumPorts+bits.TrailingZeros32(m)]
+			if li < 0 || n.linkOn[li] {
+				continue
+			}
+			if n.shardOf[n.links[li].to] == si {
+				n.activateLink(li, int64(now))
+			} else {
+				s.pendingLinks = append(s.pendingLinks, li)
+			}
 		}
 	}
 }
 
+// linkarbMerge applies the deferred cross-shard link activations. Each
+// link has exactly one sender, so no activation is pended twice; the
+// linkOn re-check in activateLink makes the fold idempotent anyway.
+func (n *Network) linkarbMerge(now sim.Cycle) {
+	for _, s := range n.shards {
+		for _, li := range s.pendingLinks {
+			n.activateLink(li, int64(now))
+		}
+		s.pendingLinks = s.pendingLinks[:0]
+	}
+}
+
 // switcharbShard runs switch arbitration (plus the deflection routers'
-// combined arbitration) over the shard.
+// combined arbitration) over the shard. Under link gating the routers'
+// packed credited masks are consumed here to wake the links carrying the
+// freed-slot credits upstream; a credit always travels on a link whose
+// receiving tile is this router, so the activation is always in-shard.
 func (n *Network) switcharbShard(now sim.Cycle, si int) {
 	s := n.shards[si]
 	for _, tile := range s.active {
-		if r := n.routers[tile]; r.Occupancy() != 0 {
-			r.SwitchArbitrate(now)
+		r := n.routers[tile]
+		if r.Occupancy() == 0 {
+			continue
+		}
+		r.SwitchArbitrate(now)
+		if !n.linkGated {
+			continue
+		}
+		for m := r.CreditedInputs(); m != 0; m &= m - 1 {
+			if li := n.inLinkIdx[tile*router.NumPorts+bits.TrailingZeros32(m)]; li >= 0 {
+				n.activateLink(li, int64(now))
+			}
 		}
 	}
 	if n.cfg.Deflect {
@@ -291,9 +431,32 @@ func (n *Network) switcharbShard(now sim.Cycle, si int) {
 // ejectShard delivers ejected flits to the shard's ports: reassembly,
 // abort handling, and matured loopbacks. Recorder updates are deferred
 // per shard (see Port.receive / deliverLoopbacks) and folded in by
-// ejectMerge.
+// ejectMerge. Under port gating only routers on the worklist can hold
+// eject-queue flits (the queue counts toward occupancy), and loopbacks
+// are tracked on their own worklist, so quiescent tiles are never
+// visited. A tile with both still sees its ejected flits before its
+// loopbacks, exactly as the full scan orders them.
 func (n *Network) ejectShard(now sim.Cycle, si int) {
 	s := n.shards[si]
+	if n.portGated {
+		for _, tile := range s.active {
+			if ejected := n.routers[tile].Eject(); len(ejected) > 0 {
+				n.ports[tile].receive(ejected, now)
+			}
+		}
+		keep := s.loopList[:0]
+		for _, t := range s.loopList {
+			p := n.ports[t]
+			p.deliverLoopbacks(now)
+			if len(p.loopback) == 0 {
+				p.onLoop = false
+				continue
+			}
+			keep = append(keep, t)
+		}
+		s.loopList = keep
+		return
+	}
 	for tile := s.lo; tile < s.hi; tile++ {
 		p := n.ports[tile]
 		var ejected []*flit.Flit
@@ -331,17 +494,35 @@ func (n *Network) ejectMerge(now sim.Cycle) {
 // clientsTick is the serial client phase: packet generation draws globally
 // ordered packet ids (which appear in traces and goldens), so Tick runs on
 // one goroutine in tile order, exactly as the sequential loop always has.
+// The dense clientTiles list (ascending, maintained by AttachClient) keeps
+// the walk proportional to attached clients, not tiles.
 func (n *Network) clientsTick(now sim.Cycle) {
-	for tile, c := range n.clients {
-		if c != nil {
-			c.Tick(now, n.ports[tile])
-		}
+	for _, tile := range n.clientTiles {
+		n.clients[tile].Tick(now, n.ports[tile])
 	}
 }
 
-// pumpShard drives injection arbitration for the shard's ports.
+// pumpShard drives injection arbitration for the shard's ports. Under
+// port gating only ports with queued or in-progress injections are on the
+// worklist; a port whose work has drained leaves it and rejoins on the
+// next Send. Injection effects are port-local (plus shard counters and
+// the tile's own router), so worklist order is as good as tile order.
 func (n *Network) pumpShard(now sim.Cycle, si int) {
 	s := n.shards[si]
+	if n.portGated {
+		keep := s.pumpList[:0]
+		for _, t := range s.pumpList {
+			p := n.ports[t]
+			if p.injWork() == 0 {
+				p.onPump = false
+				continue
+			}
+			keep = append(keep, t)
+			p.pump(now)
+		}
+		s.pumpList = keep
+		return
+	}
 	for tile := s.lo; tile < s.hi; tile++ {
 		n.ports[tile].pump(now)
 	}

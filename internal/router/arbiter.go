@@ -13,6 +13,8 @@
 // misrouting (deflection) router in deflect.go.
 package router
 
+import "math/bits"
+
 // rrArbiter is a round-robin arbiter over n requesters: the grant pointer
 // advances past the last winner, so bandwidth is shared fairly among
 // persistent requesters.
@@ -37,4 +39,19 @@ func (a *rrArbiter) Grant(req []bool) int {
 		}
 	}
 	return -1
+}
+
+// GrantMask is Grant over a packed request word (bit i = requester i):
+// the first set bit at or after the pointer wins, wrapping to the lowest
+// set bit, with the same pointer update. Callers must not set bits >= n.
+func (a *rrArbiter) GrantMask(req uint32) int {
+	if req == 0 {
+		return -1
+	}
+	idx := bits.TrailingZeros32(req >> uint(a.next) << uint(a.next))
+	if idx == 32 {
+		idx = bits.TrailingZeros32(req)
+	}
+	a.next = (idx + 1) % a.n
+	return idx
 }

@@ -12,10 +12,12 @@ import (
 // statistics. Configuration (and the static reservation table it implies)
 // is not saved — the restored router must be built from the same config.
 func (r *Router) SaveState(e *checkpoint.Encoder) {
-	for _, ic := range r.inputs {
+	for pi := range r.inputs {
+		ic := &r.inputs[pi]
 		e.Int(ic.arb.next)
 		e.U32(uint32(len(ic.vcs)))
-		for _, st := range ic.vcs {
+		for v := range ic.vcs {
+			st := &ic.vcs[v]
 			flit.SaveFlits(e, st.buf[st.head:])
 			e.U8(uint8(st.outPort))
 			e.Int(st.outVC)
@@ -27,7 +29,8 @@ func (r *Router) SaveState(e *checkpoint.Encoder) {
 			e.Int(st.pktDst)
 		}
 	}
-	for _, oc := range r.outputs {
+	for oi := range r.outputs {
+		oc := &r.outputs[oi]
 		e.Int(oc.arb.next)
 		for _, f := range oc.staging {
 			e.Bool(f != nil)
@@ -36,9 +39,9 @@ func (r *Router) SaveState(e *checkpoint.Encoder) {
 			}
 		}
 		flit.SaveFlits(e, oc.bypass)
-		e.U32(uint32(len(oc.credits)))
-		for _, c := range oc.credits {
-			e.Int(c)
+		e.U32(uint32(r.cfg.NumVCs))
+		for _, c := range oc.credits[:r.cfg.NumVCs] {
+			e.Int(int(c))
 		}
 		e.U32(uint32(len(oc.vcOwner)))
 		for _, o := range oc.vcOwner {
@@ -74,7 +77,8 @@ func (r *Router) SaveState(e *checkpoint.Encoder) {
 // the incremental occupancy count is recomputed from the restored
 // structures.
 func (r *Router) RestoreState(d *checkpoint.Decoder, pool *flit.Pool) {
-	for _, ic := range r.inputs {
+	for pi := range r.inputs {
+		ic := &r.inputs[pi]
 		ic.arb.next = d.Int()
 		n := d.Count(1)
 		if n != len(ic.vcs) {
@@ -83,7 +87,8 @@ func (r *Router) RestoreState(d *checkpoint.Decoder, pool *flit.Pool) {
 			}
 			return
 		}
-		for _, st := range ic.vcs {
+		for v := range ic.vcs {
+			st := &ic.vcs[v]
 			for i := range st.buf {
 				st.buf[i] = nil
 			}
@@ -99,7 +104,8 @@ func (r *Router) RestoreState(d *checkpoint.Decoder, pool *flit.Pool) {
 			st.pktDst = d.Int()
 		}
 	}
-	for _, oc := range r.outputs {
+	for oi := range r.outputs {
+		oc := &r.outputs[oi]
 		oc.arb.next = d.Int()
 		for i := range oc.staging {
 			oc.staging[i] = nil
@@ -109,14 +115,14 @@ func (r *Router) RestoreState(d *checkpoint.Decoder, pool *flit.Pool) {
 		}
 		oc.bypass = flit.RestoreFlits(d, oc.bypass[:0], pool)
 		nc := d.Count(8)
-		if nc != len(oc.credits) {
+		if nc != r.cfg.NumVCs {
 			if d.Err() == nil {
-				d.Fail("router %d: credit width mismatch: checkpoint %d, router %d", r.cfg.ID, nc, len(oc.credits))
+				d.Fail("router %d: credit width mismatch: checkpoint %d, router %d", r.cfg.ID, nc, r.cfg.NumVCs)
 			}
 			return
 		}
-		for i := range oc.credits {
-			oc.credits[i] = d.Int()
+		for i := 0; i < nc; i++ {
+			oc.credits[i] = int32(d.Int())
 		}
 		no := d.Count(8)
 		if no != len(oc.vcOwner) {
@@ -157,5 +163,6 @@ func (r *Router) RestoreState(d *checkpoint.Decoder, pool *flit.Pool) {
 	r.Stats.AbortedPackets = d.I64()
 	if d.Err() == nil {
 		r.occ = r.OccupancyRecount()
+		r.rebuildMasks()
 	}
 }

@@ -30,8 +30,8 @@ func TestDatelineRequiresEvenVCs(t *testing.T) {
 
 func TestDownstreamClass(t *testing.T) {
 	r := datelineRouter(t)
-	east := r.outputs[portIndex(route.East)]
-	north := r.outputs[portIndex(route.North)]
+	east := &r.outputs[portIndex(route.East)]
+	north := &r.outputs[portIndex(route.North)]
 	f := &flit.Flit{}
 
 	// Fresh packet continuing straight: low class.
@@ -59,7 +59,7 @@ func TestDownstreamClass(t *testing.T) {
 	}
 	// Without dateline VCs the class is always low.
 	plain, _ := New(DefaultConfig(0))
-	pe := plain.outputs[portIndex(route.East)]
+	pe := &plain.outputs[portIndex(route.East)]
 	pe.dateline = true
 	if plain.downstreamClass(route.West, pe, f) {
 		t.Error("dateline class active without DatelineVCs")
@@ -68,10 +68,11 @@ func TestDownstreamClass(t *testing.T) {
 
 func TestChooseVCClasses(t *testing.T) {
 	r := datelineRouter(t)
-	oc := r.outputs[portIndex(route.East)]
+	oc := &r.outputs[portIndex(route.East)]
 	for v := range oc.credits {
 		oc.credits[v] = 4
 	}
+	r.rebuildMasks()
 	// Mask bit 0 grants the pair {0, 4}: low class gets 0, high class 4.
 	if got := r.chooseVC(oc, flit.MaskFor(0), false); got != 0 {
 		t.Fatalf("low-class VC = %d, want 0", got)
@@ -85,6 +86,7 @@ func TestChooseVCClasses(t *testing.T) {
 	}
 	// Busy low VC of the pair: no low-class choice remains for this mask.
 	oc.vcOwner[0] = 99
+	r.rebuildMasks()
 	if got := r.chooseVC(oc, flit.MaskFor(0), false); got != -1 {
 		t.Fatalf("busy pair granted VC %d", got)
 	}
@@ -102,10 +104,11 @@ func TestReservedPairExclusion(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	oc := r.outputs[portIndex(route.East)]
+	oc := &r.outputs[portIndex(route.East)]
 	for v := range oc.credits {
 		oc.credits[v] = 4
 	}
+	r.rebuildMasks()
 	// A mask granting only the reserved pair yields nothing for dynamic
 	// traffic in either class.
 	if got := r.chooseVC(oc, flit.MaskFor(3)|flit.MaskFor(7), false); got != -1 {

@@ -1,6 +1,8 @@
 package router
 
 import (
+	"math/bits"
+
 	"repro/internal/flit"
 	"repro/internal/route"
 )
@@ -33,6 +35,11 @@ func (r *Router) SetVCStuck(d route.Dir, vc int, on bool) {
 	}
 	if vc >= 0 && vc < r.cfg.NumVCs {
 		r.stuckVC[pi][vc] = on
+		if on {
+			r.inputs[pi].stuckMask |= 1 << uint(vc)
+		} else {
+			r.inputs[pi].stuckMask &^= 1 << uint(vc)
+		}
 	}
 }
 
@@ -53,7 +60,7 @@ func (r *Router) KillOutput(d route.Dir) {
 	}
 	r.deadOut[po] = true
 	r.anyDead = true
-	oc := r.outputs[po]
+	oc := &r.outputs[po]
 	for i, f := range oc.staging {
 		if f != nil {
 			r.dropFaulted(f)
@@ -61,6 +68,7 @@ func (r *Router) KillOutput(d route.Dir) {
 			r.occ--
 		}
 	}
+	oc.stagedMask = 0
 	for _, f := range oc.bypass {
 		r.dropFaulted(f)
 		r.occ--
@@ -96,19 +104,21 @@ func (r *Router) FaultSweep(now int64) {
 	if !r.anyDead {
 		return
 	}
-	for pi, ic := range r.inputs {
-		for _, st := range ic.vcs {
+	for pi := range r.inputs {
+		ic := &r.inputs[pi]
+		for vi := range ic.vcs {
+			st := &ic.vcs[vi]
 			if !st.routed || !r.deadOut[portIndex(st.outPort)] {
 				continue
 			}
 			for st.bufLen() > 0 {
-				f := st.popFront()
+				f := ic.pop(vi)
 				r.occ--
 				r.creditUpstream(pi, f.VC)
 				isTail := f.Type.IsTail()
 				r.dropFaulted(f)
 				if isTail {
-					st.routed = false
+					ic.setRouted(vi, false)
 					st.outVC = -1
 					break
 				}
@@ -125,8 +135,9 @@ func (r *Router) FaultSweep(now int64) {
 // discard the partial packet. Called by the network when a watchdog
 // declares the incoming link dead.
 func (r *Router) AbandonInput(d route.Dir, now int64) {
-	ic := r.inputs[portIndex(d)]
-	for vi, st := range ic.vcs {
+	ic := &r.inputs[portIndex(d)]
+	for vi := range ic.vcs {
+		st := &ic.vcs[vi]
 		var cut bool
 		var id uint64
 		var src, dst int
@@ -155,7 +166,7 @@ func (r *Router) AbandonInput(d route.Dir, now int64) {
 		abort.Seq = AbortSeq
 		abort.Src = src
 		abort.Dst = dst
-		st.pushBack(abort)
+		ic.push(vi, abort)
 		r.occ++
 	}
 }
@@ -165,18 +176,17 @@ func (r *Router) AbandonInput(d route.Dir, now int64) {
 // The credit watchdog counts starvation cycles only while demand exists,
 // so an idle link never trips it.
 func (r *Router) HasDemand(d route.Dir) bool {
-	oc := r.outputs[portIndex(d)]
-	for _, f := range oc.staging {
-		if f != nil {
-			return true
-		}
+	oc := &r.outputs[portIndex(d)]
+	if oc.stagedMask != 0 {
+		return true
 	}
 	if len(oc.bypass) > 0 {
 		return true
 	}
-	for _, ic := range r.inputs {
-		for _, st := range ic.vcs {
-			if st.routed && st.outPort == d && st.bufLen() > 0 {
+	for pi := range r.inputs {
+		ic := &r.inputs[pi]
+		for m := ic.occMask & ic.routedMask; m != 0; m &= m - 1 {
+			if ic.vcs[bits.TrailingZeros32(m)].outPort == d {
 				return true
 			}
 		}

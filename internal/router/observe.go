@@ -27,9 +27,11 @@ type WaitingVC struct {
 // computation and the last dequeue, so a VC that is busily draining a
 // long packet is never reported.
 func (r *Router) AppendWaiting(now, minAge int64, out []WaitingVC) []WaitingVC {
-	for pi, ic := range r.inputs {
+	for pi := range r.inputs {
+		ic := &r.inputs[pi]
 		stalled := r.stalledIn[pi]
-		for vi, st := range ic.vcs {
+		for vi := range ic.vcs {
+			st := &ic.vcs[vi]
 			if st.bufLen() == 0 {
 				continue
 			}

@@ -2,6 +2,7 @@ package router
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/flit"
 	"repro/internal/route"
@@ -18,42 +19,38 @@ func (r *Router) SwitchArbitrate(now int64) {
 	if r.cfg.ReservedVC >= 0 {
 		r.moveReserved(now)
 	}
-	for pi, ic := range r.inputs {
+	for pi := range r.inputs {
+		ic := &r.inputs[pi]
 		if r.stalledIn[pi] {
 			continue
 		}
-		req := ic.req
-		hasPrio := false
-		for v, st := range ic.vcs {
-			req[v] = false
-			if v == r.cfg.ReservedVC || r.vcIsStuck(pi, v) {
-				continue
-			}
-			if r.eligible(pi, st, now) {
-				req[v] = true
-				if r.isPriority(v) {
-					hasPrio = true
-				}
+		// Only occupied, routed, unwedged, non-reserved VCs can request
+		// the switch; the packed word prunes the whole port in one test.
+		cand := ic.occMask & ic.routedMask &^ ic.stuckMask &^ r.inReservedMask
+		if cand == 0 {
+			continue
+		}
+		var req uint32
+		for m := cand; m != 0; m &= m - 1 {
+			v := bits.TrailingZeros32(m)
+			if r.eligible(pi, &ic.vcs[v], now) {
+				req |= 1 << uint(v)
 			}
 		}
 		// Class-of-service: when any priority-VC flit is eligible, the
 		// arbitration is restricted to priority VCs (§2.1: the VC mask
 		// "identifies a class of service").
-		if hasPrio {
-			for v := range req {
-				if !r.isPriority(v) {
-					req[v] = false
-				}
-			}
+		if p := req & r.prioMask; p != 0 {
+			req = p
 		}
-		win := ic.arb.Grant(req)
+		win := ic.arb.GrantMask(req)
 		if r.probe != nil {
 			r.noteArbitration(pi, ic, req, win, now)
 		}
 		if win < 0 {
 			continue
 		}
-		r.moveFlit(pi, ic.vcs[win], now)
+		r.moveFlit(pi, win, now)
 	}
 }
 
@@ -62,12 +59,13 @@ func (r *Router) SwitchArbitrate(now int64) {
 // out by a priority class), its output's staging buffer was occupied, or it
 // lacked a downstream VC/credit. Only runs with a probe attached, so the
 // disabled path pays nothing.
-func (r *Router) noteArbitration(pi int, ic *inputController, req []bool, win int, now int64) {
-	for v, st := range ic.vcs {
+func (r *Router) noteArbitration(pi int, ic *inputController, req uint32, win int, now int64) {
+	for v := range ic.vcs {
+		st := &ic.vcs[v]
 		if v == r.cfg.ReservedVC || r.vcIsStuck(pi, v) || st.bufLen() == 0 || !st.routed {
 			continue
 		}
-		if req[v] {
+		if req&(1<<uint(v)) != 0 {
 			if v != win {
 				r.probe.ArbLosses++
 			}
@@ -96,20 +94,21 @@ func (r *Router) noteArbitration(pi int, ic *inputController, req []bool, win in
 
 // moveReserved advances reserved-VC flits into their output bypasses.
 func (r *Router) moveReserved(now int64) {
-	for pi, ic := range r.inputs {
+	for pi := range r.inputs {
+		ic := &r.inputs[pi]
 		if r.stalledIn[pi] || r.vcIsStuck(pi, r.cfg.ReservedVC) {
 			continue
 		}
-		st := ic.vcs[r.cfg.ReservedVC]
+		st := &ic.vcs[r.cfg.ReservedVC]
 		if st.bufLen() == 0 || !st.routed {
 			continue
 		}
-		f := st.popFront()
+		f := ic.pop(r.cfg.ReservedVC)
 		st.lastDeq = now
-		oc := r.outputs[portIndex(st.outPort)]
+		oc := &r.outputs[portIndex(st.outPort)]
 		inVC := f.VC
 		if f.Type.IsTail() {
-			st.routed = false
+			ic.setRouted(r.cfg.ReservedVC, false)
 		}
 		if r.deadOut[portIndex(st.outPort)] {
 			r.creditUpstream(pi, inVC)
@@ -118,6 +117,7 @@ func (r *Router) moveReserved(now int64) {
 			continue
 		}
 		oc.bypass = append(oc.bypass, f)
+		r.outWorkMask |= 1 << uint(portIndex(st.outPort))
 		r.creditUpstream(pi, inVC)
 		r.Stats.BypassMoves++
 		if r.probe != nil {
@@ -130,13 +130,15 @@ func (r *Router) moveReserved(now int64) {
 }
 
 // eligible reports whether the flit at the front of st can traverse the
-// switch this cycle.
+// switch this cycle. Callers must have established that the VC is
+// occupied and routed (both SwitchArbitrate and noteArbitration test the
+// packed occ/routed masks first), so it does not reload that state.
 func (r *Router) eligible(pi int, st *vcState, now int64) bool {
-	if st.bufLen() == 0 || !st.routed {
-		return false
-	}
-	f := st.front()
-	if r.cfg.NonSpeculative && f.Type.IsHead() && st.routedAt == now {
+	// st.frontHead mirrors front().Type.IsHead(), so this path only
+	// dereferences the flit itself for heads (which need VC allocation);
+	// a body flit's eligibility reads nothing beyond the vcState and the
+	// output controller's packed state.
+	if r.cfg.NonSpeculative && st.frontHead && st.routedAt == now {
 		// Without speculation, VC allocation happens the cycle after
 		// route computation; the head only competes for the switch then.
 		return false
@@ -145,17 +147,18 @@ func (r *Router) eligible(pi int, st *vcState, now int64) bool {
 		// The output died; FaultSweep will drain this VC.
 		return false
 	}
-	oc := r.outputs[portIndex(st.outPort)]
-	if oc.staging[pi] != nil {
+	oc := &r.outputs[portIndex(st.outPort)]
+	if oc.stagedMask&(1<<uint(pi)) != 0 {
 		return false
 	}
 	if oc.dir == route.Local || r.cfg.Mode == ModeDrop {
 		return true
 	}
-	if f.Type.IsHead() {
+	if st.frontHead {
+		f := st.front()
 		return r.chooseVCFor(oc, f, r.downstreamClass(route.Dir(pi), oc, f)) >= 0
 	}
-	return st.outVC >= 0 && (r.cfg.ElasticLinks || oc.credits[st.outVC] > 0)
+	return st.outVC >= 0 && (r.cfg.ElasticLinks || oc.creditMask&(1<<uint(st.outVC)) != 0)
 }
 
 // chooseVCFor applies the per-packet credit requirement: one flit under
@@ -248,19 +251,33 @@ func (r *Router) chooseVC(oc *outputController, mask flit.VCMask, high bool) int
 }
 
 // chooseVCNeed is chooseVC with an explicit credit requirement (virtual
-// cut-through asks for the whole packet's worth).
+// cut-through asks for the whole packet's worth). The candidate set —
+// permitted by the packet's VC mask, in the required dateline class, not
+// of the reserved pair, unowned, and credited — is computed as one packed
+// word; the lowest set bit preserves the deterministic lowest-index-first
+// choice of the unpacked scan.
 func (r *Router) chooseVCNeed(oc *outputController, mask flit.VCMask, high bool, need int) int {
 	pairs := r.vcPairs()
-	base := 0
-	if high {
-		base = pairs
+	pm := uint32(mask) & r.pairSelMask
+	if r.cfg.DatelineVCs {
+		pm = (uint32(mask) | uint32(mask)>>uint(pairs)) & r.pairSelMask
 	}
-	for p := 0; p < pairs; p++ {
-		v := base + p
-		if r.reservedPair(v) || !r.pairPermitted(mask, p) {
-			continue
-		}
-		if oc.vcOwner[v] == 0 && (r.cfg.ElasticLinks || oc.credits[v] >= need) {
+	if high {
+		pm <<= uint(pairs)
+	}
+	cand := pm &^ r.reservedPairMask &^ oc.ownerMask
+	if !r.cfg.ElasticLinks {
+		cand &= oc.creditMask
+	}
+	if cand == 0 {
+		return -1
+	}
+	if need <= 1 || r.cfg.ElasticLinks {
+		return bits.TrailingZeros32(cand)
+	}
+	for m := cand; m != 0; m &= m - 1 {
+		v := bits.TrailingZeros32(m)
+		if int(oc.credits[v]) >= need {
 			return v
 		}
 	}
@@ -270,10 +287,12 @@ func (r *Router) chooseVCNeed(oc *outputController, mask flit.VCMask, high bool,
 // moveFlit commits a switch traversal: the flit leaves its input buffer,
 // acquires its downstream VC and a credit if needed, and lands in the
 // output's staging buffer for its input port.
-func (r *Router) moveFlit(pi int, st *vcState, now int64) {
-	f := st.popFront()
+func (r *Router) moveFlit(pi, vi int, now int64) {
+	ic := &r.inputs[pi]
+	st := &ic.vcs[vi]
+	f := ic.pop(vi)
 	st.lastDeq = now
-	oc := r.outputs[portIndex(st.outPort)]
+	oc := &r.outputs[portIndex(st.outPort)]
 	inVC := f.VC
 	if r.cfg.Mode == ModeVC && oc.dir != route.Local {
 		if f.Type.IsHead() {
@@ -282,11 +301,12 @@ func (r *Router) moveFlit(pi int, st *vcState, now int64) {
 				panic(fmt.Sprintf("router %d: head %v won arbitration without a VC", r.cfg.ID, f))
 			}
 			oc.vcOwner[v] = f.PacketID + 1
+			oc.ownerMask |= 1 << uint(v)
 			st.outVC = v
 		}
 		f.VC = st.outVC
 		if !r.cfg.ElasticLinks {
-			oc.credits[f.VC]--
+			oc.takeCredit(f.VC)
 		}
 	}
 	if r.cfg.DatelineVCs {
@@ -301,10 +321,12 @@ func (r *Router) moveFlit(pi int, st *vcState, now int64) {
 		}
 	}
 	if f.Type.IsTail() {
-		st.routed = false
+		ic.setRouted(vi, false)
 		st.outVC = -1
 	}
 	oc.staging[pi] = f
+	oc.stagedMask |= 1 << uint(pi)
+	r.outWorkMask |= 1 << uint(portIndex(oc.dir))
 	r.creditUpstream(pi, inVC)
 	r.Stats.SwitchMoves++
 	if r.probe != nil {
@@ -328,6 +350,7 @@ func (r *Router) creditUpstream(pi int, vc int) {
 	}
 	if l := r.inLinks[pi]; l != nil {
 		l.SendCredit(vc)
+		r.creditedMask |= 1 << uint(pi)
 	}
 }
 
@@ -341,51 +364,80 @@ func (r *Router) CanAccept(from route.Dir, vc int) bool {
 	return r.inputs[portIndex(from)].vcs[vc].bufLen() < r.cfg.BufFlits
 }
 
+// SentOutputs returns and clears the packed set of output ports that sent
+// a flit onto their link since the last call; the network uses it to wake
+// idle links on its worklists. Bit i = port i.
+func (r *Router) SentOutputs() uint32 {
+	m := r.sentMask
+	r.sentMask = 0
+	return m
+}
+
+// CreditedInputs returns and clears the packed set of input ports whose
+// upstream link was handed a credit since the last call. Bit i = port i.
+func (r *Router) CreditedInputs() uint32 {
+	m := r.creditedMask
+	r.creditedMask = 0
+	return m
+}
+
 // LinkArbitrate lets the flits staged at each output port compete for the
 // outgoing link (§2.3: "the flits in these buffers arbitrate for the link
 // to the input controller on the next tile"). Reserved slots of the cyclic
 // reservation table carry their flow's flit from the bypass without
 // arbitration; the tile output delivers one flit per cycle to the client.
 func (r *Router) LinkArbitrate(now int64) {
-	for _, oc := range r.outputs {
+	for wm := r.outWorkMask; wm != 0; wm &= wm - 1 {
+		oi := bits.TrailingZeros32(wm)
+		oc := &r.outputs[oi]
 		if oc.dir == route.Local {
 			r.ejectOne(oc)
+			if oc.stagedMask == 0 && len(oc.bypass) == 0 {
+				r.outWorkMask &^= 1 << uint(oi)
+			}
 			continue
 		}
-		if oc.link == nil || !oc.link.CanSend() {
-			continue
-		}
-		if flow := oc.table.FlowAt(now); flow != 0 {
-			if idx := findFlow(oc.bypass, flow); idx >= 0 {
-				f := oc.bypass[idx]
-				oc.bypass = append(oc.bypass[:idx], oc.bypass[idx+1:]...)
-				if r.probe != nil {
-					r.probe.ResHits++
-				}
-				r.mustSend(oc, f)
+		// Idle output: drop it from the work mask. The table check below
+		// must still run every cycle on reserved outputs so the ResMisses
+		// telemetry sees unclaimed slots, so those bits stay set.
+		if oc.stagedMask == 0 && len(oc.bypass) == 0 {
+			if !oc.table.anyRes {
+				r.outWorkMask &^= 1 << uint(oi)
 				continue
 			}
-			if r.probe != nil {
-				r.probe.ResMisses++
-			}
-			if !oc.table.WorkConserving {
-				continue // strict TDM: unclaimed reserved slot idles
-			}
 		}
-		req := oc.req
-		any := false
-		for i, f := range oc.staging {
-			req[i] = f != nil
-			if f != nil {
-				any = true
-			}
-		}
-		if !any {
+		if oc.link == nil || (!oc.entryFree && !oc.link.CanSend()) {
 			continue
 		}
-		w := oc.arb.Grant(req)
+		// FlowAt costs two int64 modulos plus a table load; with no slot
+		// ever reserved (anyRes false, the common case) it can only return
+		// 0, so skip it outright.
+		if oc.table.anyRes {
+			if flow := oc.table.FlowAt(now); flow != 0 {
+				if idx := findFlow(oc.bypass, flow); idx >= 0 {
+					f := oc.bypass[idx]
+					oc.bypass = append(oc.bypass[:idx], oc.bypass[idx+1:]...)
+					if r.probe != nil {
+						r.probe.ResHits++
+					}
+					r.mustSend(oc, f)
+					continue
+				}
+				if r.probe != nil {
+					r.probe.ResMisses++
+				}
+				if !oc.table.WorkConserving {
+					continue // strict TDM: unclaimed reserved slot idles
+				}
+			}
+		}
+		if oc.stagedMask == 0 {
+			continue
+		}
+		w := oc.arb.GrantMask(oc.stagedMask)
 		f := oc.staging[w]
 		oc.staging[w] = nil
+		oc.stagedMask &^= 1 << uint(w)
 		r.mustSend(oc, f)
 	}
 }
@@ -395,8 +447,10 @@ func (r *Router) mustSend(oc *outputController, f *flit.Flit) {
 		panic(fmt.Sprintf("router %d: %v", r.cfg.ID, err))
 	}
 	r.occ--
+	r.sentMask |= 1 << uint(portIndex(oc.dir))
 	if r.cfg.Mode == ModeVC && f.Type.IsTail() && f.VC < len(oc.vcOwner) {
 		oc.vcOwner[f.VC] = 0
+		oc.ownerMask &^= 1 << uint(f.VC)
 	}
 }
 
@@ -413,20 +467,13 @@ func (r *Router) ejectOne(oc *outputController) {
 		}
 		return
 	}
-	req := oc.req
-	any := false
-	for i, f := range oc.staging {
-		req[i] = f != nil
-		if f != nil {
-			any = true
-		}
-	}
-	if !any {
+	if oc.stagedMask == 0 {
 		return
 	}
-	w := oc.arb.Grant(req)
+	w := oc.arb.GrantMask(oc.stagedMask)
 	f := oc.staging[w]
 	oc.staging[w] = nil
+	oc.stagedMask &^= 1 << uint(w)
 	r.ejectQ = append(r.ejectQ, f)
 	r.Stats.Ejected++
 	if r.probe != nil {
@@ -446,23 +493,23 @@ func findFlow(flits []*flit.Flit, flow int) int {
 // HandleCredits restores credits returned by the downstream router on the
 // output link in direction d.
 func (r *Router) HandleCredits(d route.Dir, vcs []int) {
-	oc := r.outputs[portIndex(d)]
+	oc := &r.outputs[portIndex(d)]
 	for _, vc := range vcs {
-		if vc < 0 || vc >= len(oc.credits) {
+		if vc < 0 || vc >= r.cfg.NumVCs {
 			panic(fmt.Sprintf("router %d: credit for invalid VC %d", r.cfg.ID, vc))
 		}
-		oc.credits[vc]++
+		oc.addCredit(vc)
 	}
 }
 
 // HandleCredit restores a single downstream credit; the slice-free variant
 // of HandleCredits for deferred cross-shard credit returns.
 func (r *Router) HandleCredit(d route.Dir, vc int) {
-	oc := r.outputs[portIndex(d)]
-	if vc < 0 || vc >= len(oc.credits) {
+	oc := &r.outputs[portIndex(d)]
+	if vc < 0 || vc >= r.cfg.NumVCs {
 		panic(fmt.Sprintf("router %d: credit for invalid VC %d", r.cfg.ID, vc))
 	}
-	oc.credits[vc]++
+	oc.addCredit(vc)
 }
 
 // Eject returns the flits delivered to the tile this cycle. The returned
@@ -486,12 +533,13 @@ func (r *Router) Occupancy() int { return r.occ }
 // It must always equal Occupancy(); the invariant test enforces that.
 func (r *Router) OccupancyRecount() int {
 	n := 0
-	for _, ic := range r.inputs {
-		for _, st := range ic.vcs {
-			n += st.bufLen()
+	for pi := range r.inputs {
+		for v := range r.inputs[pi].vcs {
+			n += r.inputs[pi].vcs[v].bufLen()
 		}
 	}
-	for _, oc := range r.outputs {
+	for oi := range r.outputs {
+		oc := &r.outputs[oi]
 		for _, f := range oc.staging {
 			if f != nil {
 				n++
@@ -502,8 +550,124 @@ func (r *Router) OccupancyRecount() int {
 	return n + len(r.ejectQ)
 }
 
+// rebuildMasks reconstitutes every packed mask mirror from the unpacked
+// state it shadows, after a checkpoint restore or a structural fault edit.
+func (r *Router) rebuildMasks() {
+	for pi := range r.inputs {
+		ic := &r.inputs[pi]
+		ic.occMask, ic.routedMask, ic.stuckMask = 0, 0, 0
+		for v := range ic.vcs {
+			if ic.vcs[v].bufLen() > 0 {
+				ic.occMask |= 1 << uint(v)
+				ic.vcs[v].frontHead = ic.vcs[v].front().Type.IsHead()
+			}
+			if ic.vcs[v].routed {
+				ic.routedMask |= 1 << uint(v)
+			}
+		}
+		if s := r.stuckVC[pi]; s != nil {
+			for v, on := range s {
+				if on {
+					ic.stuckMask |= 1 << uint(v)
+				}
+			}
+		}
+	}
+	r.outWorkMask = 0
+	for oi := range r.outputs {
+		oc := &r.outputs[oi]
+		oc.stagedMask, oc.creditMask, oc.ownerMask = 0, 0, 0
+		for i, f := range oc.staging {
+			if f != nil {
+				oc.stagedMask |= 1 << uint(i)
+			}
+		}
+		if oc.stagedMask != 0 || len(oc.bypass) > 0 || (oc.table != nil && oc.table.anyRes) {
+			r.outWorkMask |= 1 << uint(oi)
+		}
+		for v, c := range oc.credits {
+			if c > 0 {
+				oc.creditMask |= 1 << uint(v)
+			}
+		}
+		for v, o := range oc.vcOwner {
+			if o != 0 {
+				oc.ownerMask |= 1 << uint(v)
+			}
+		}
+	}
+}
+
 // CreditCount reports the credits currently held for direction d and VC
 // vc, for invariant tests.
 func (r *Router) CreditCount(d route.Dir, vc int) int {
-	return r.outputs[portIndex(d)].credits[vc]
+	return int(r.outputs[portIndex(d)].credits[vc])
+}
+
+// checkMasks verifies every packed mask mirror against the unpacked state
+// it shadows, for the property tests. It returns a description of the
+// first mismatch, or "".
+func (r *Router) checkMasks() string {
+	for pi := range r.inputs {
+		ic := &r.inputs[pi]
+		var occ, routed, stuck uint32
+		for v := range ic.vcs {
+			if ic.vcs[v].bufLen() > 0 {
+				occ |= 1 << uint(v)
+			}
+			if ic.vcs[v].routed {
+				routed |= 1 << uint(v)
+			}
+			if r.vcIsStuck(pi, v) {
+				stuck |= 1 << uint(v)
+			}
+			if st := &ic.vcs[v]; st.bufLen() > 0 && st.frontHead != st.front().Type.IsHead() {
+				return fmt.Sprintf("router %d input %d vc %d: frontHead %v, want %v", r.cfg.ID, pi, v, st.frontHead, st.front().Type.IsHead())
+			}
+		}
+		if occ != ic.occMask {
+			return fmt.Sprintf("router %d input %d: occMask %b, want %b", r.cfg.ID, pi, ic.occMask, occ)
+		}
+		if routed != ic.routedMask {
+			return fmt.Sprintf("router %d input %d: routedMask %b, want %b", r.cfg.ID, pi, ic.routedMask, routed)
+		}
+		if stuck != ic.stuckMask {
+			return fmt.Sprintf("router %d input %d: stuckMask %b, want %b", r.cfg.ID, pi, ic.stuckMask, stuck)
+		}
+	}
+	for oi := range r.outputs {
+		oc := &r.outputs[oi]
+		var staged, credit, owner uint32
+		for i, f := range oc.staging {
+			if f != nil {
+				staged |= 1 << uint(i)
+			}
+		}
+		for v, c := range oc.credits {
+			if c > 0 {
+				credit |= 1 << uint(v)
+			}
+		}
+		for v, o := range oc.vcOwner {
+			if o != 0 {
+				owner |= 1 << uint(v)
+			}
+		}
+		if staged != oc.stagedMask {
+			return fmt.Sprintf("router %d output %d: stagedMask %b, want %b", r.cfg.ID, oi, oc.stagedMask, staged)
+		}
+		if credit != oc.creditMask {
+			return fmt.Sprintf("router %d output %d: creditMask %b, want %b", r.cfg.ID, oi, oc.creditMask, credit)
+		}
+		if owner != oc.ownerMask {
+			return fmt.Sprintf("router %d output %d: ownerMask %b, want %b", r.cfg.ID, oi, oc.ownerMask, owner)
+		}
+		// outWorkMask may hold stale extra bits (LinkArbitrate retires
+		// them lazily) but must cover every output with real work.
+		work := staged != 0 || len(oc.bypass) > 0 || (oc.table != nil && oc.table.anyRes)
+		if work && r.outWorkMask&(1<<uint(oi)) == 0 {
+			return fmt.Sprintf("router %d output %d: work pending but missing from outWorkMask %b", r.cfg.ID, oi, r.outWorkMask)
+		}
+	}
+	return ""
 }

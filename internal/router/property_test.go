@@ -119,6 +119,11 @@ func TestRouterConservationProperty(t *testing.T) {
 			r.RouteCompute(now)
 			r.LinkArbitrate(now)
 			r.SwitchArbitrate(now)
+			// The packed mask mirrors must track the unpacked state they
+			// shadow through every phase.
+			if msg := r.checkMasks(); msg != "" {
+				t.Fatalf("trial %d cycle %d: %s", trial, cycle, msg)
+			}
 			for _, st := range streams {
 				if len(st.queue) == 0 {
 					continue

@@ -11,6 +11,7 @@ import "fmt"
 type ResTable struct {
 	period int
 	flows  []int // flow id per slot; 0 = unreserved
+	anyRes bool  // cached Reserved(), for the link-arbitration fast path
 	// WorkConserving lets dynamic traffic claim an unclaimed reserved
 	// slot. The paper's strict reading leaves such slots idle ("dynamic
 	// traffic arbitrates for the cycles on each link that are not
@@ -40,6 +41,7 @@ func (t *ResTable) Reserve(phase int, flow int) error {
 		return fmt.Errorf("router: slot %d already reserved for flow %d", s, t.flows[s])
 	}
 	t.flows[s] = flow
+	t.anyRes = true
 	return nil
 }
 

@@ -2,6 +2,7 @@ package router
 
 import (
 	"fmt"
+	"math/bits"
 	"strings"
 
 	"repro/internal/flit"
@@ -113,6 +114,13 @@ type vcState struct {
 	buf  []*flit.Flit
 	head int
 
+	// frontHead caches front().Type.IsHead() while the buffer is
+	// non-empty, so the eligibility test in switch arbitration can
+	// classify body flits from the vcState's own cache line instead of
+	// dereferencing the flit. Maintained by pushBack/popFront and
+	// reconstituted by rebuildMasks after a restore.
+	frontHead bool
+
 	outPort  route.Dir
 	outVC    int
 	routed   bool
@@ -148,6 +156,8 @@ func (st *vcState) popFront() *flit.Flit {
 	if st.head == len(st.buf) {
 		st.buf = st.buf[:0]
 		st.head = 0
+	} else {
+		st.frontHead = st.buf[st.head].Type.IsHead()
 	}
 	return f
 }
@@ -155,6 +165,9 @@ func (st *vcState) popFront() *flit.Flit {
 // pushBack enqueues a flit, compacting the array in place when the dead
 // front space is needed.
 func (st *vcState) pushBack(f *flit.Flit) {
+	if st.bufLen() == 0 {
+		st.frontHead = f.Type.IsHead()
+	}
 	if st.head > 0 && len(st.buf) == cap(st.buf) {
 		n := copy(st.buf, st.buf[st.head:])
 		for i := n; i < len(st.buf); i++ {
@@ -167,27 +180,92 @@ func (st *vcState) pushBack(f *flit.Flit) {
 }
 
 // inputController is one of the five input controllers.
+//
+// The per-VC booleans that drive the per-cycle scans are mirrored into
+// packed bitmasks (bit v = VC v) so RouteCompute and SwitchArbitrate touch
+// one word per port instead of walking NumVCs structs: occMask tracks
+// bufLen() > 0, routedMask tracks vcState.routed, stuckMask tracks
+// injected stuck-VC faults. The vcState fields remain the checkpointed
+// source of truth; rebuildMasks reconstitutes the mirrors after a restore.
 type inputController struct {
-	dir route.Dir
-	vcs []*vcState
-	arb *rrArbiter
-	req []bool // per-cycle arbitration scratch, allocated once
+	dir        route.Dir
+	occMask    uint32
+	routedMask uint32
+	stuckMask  uint32
+	vcs        []vcState
+	arb        rrArbiter
+}
+
+// push enqueues a flit on VC v, keeping the occupancy mask coherent.
+func (ic *inputController) push(v int, f *flit.Flit) {
+	ic.vcs[v].pushBack(f)
+	ic.occMask |= 1 << uint(v)
+}
+
+// pop dequeues the front flit of VC v, keeping the occupancy mask coherent.
+func (ic *inputController) pop(v int) *flit.Flit {
+	st := &ic.vcs[v]
+	f := st.popFront()
+	if st.bufLen() == 0 {
+		ic.occMask &^= 1 << uint(v)
+	}
+	return f
+}
+
+// setRouted flips the routing state machine of VC v, keeping the routed
+// mask coherent.
+func (ic *inputController) setRouted(v int, on bool) {
+	if on {
+		ic.vcs[v].routed = true
+		ic.routedMask |= 1 << uint(v)
+	} else {
+		ic.vcs[v].routed = false
+		ic.routedMask &^= 1 << uint(v)
+	}
 }
 
 // outputController is one of the five output controllers: a single staging
 // flit per input-port connection, the downstream credit and VC-allocation
 // state, the reservation table, and the reserved-traffic bypass.
+//
+// Like the input side, the hot per-VC state is mirrored into packed masks:
+// stagedMask tracks staging[i] != nil (bit i = input port i), creditMask
+// tracks credits[v] > 0, ownerMask tracks vcOwner[v] != 0. The unpacked
+// arrays remain the checkpointed source of truth.
 type outputController struct {
-	dir      route.Dir
+	dir        route.Dir
+	stagedMask uint32
+	creditMask uint32
+	ownerMask  uint32
+	// credits is inline (not a heap slice) so the per-flit credit
+	// take/return touches the same cache lines as the masks beside it;
+	// only the first cfg.NumVCs entries are live.
+	credits  [flit.NumVCs]int32
 	link     *link.Link // nil for the local port
+	// entryFree caches link.EntryAlwaysFree(): when true, link arbitration
+	// skips the CanSend pointer chase (link → pipe → slots) because the
+	// delivery phase provably left the input register empty this cycle.
+	entryFree bool
 	staging  [NumPorts]*flit.Flit
 	bypass   []*flit.Flit // reserved flits awaiting their slot
-	credits  []int        // per downstream VC
 	vcOwner  []uint64     // packetID+1 holding each downstream VC; 0 = free
-	arb      *rrArbiter
+	arb      rrArbiter
 	table    *ResTable
-	dateline bool   // this link crosses a torus ring's dateline
-	req      []bool // per-cycle arbitration scratch, allocated once
+	dateline bool // this link crosses a torus ring's dateline
+}
+
+// addCredit restores one downstream credit on VC v.
+func (oc *outputController) addCredit(v int) {
+	oc.credits[v]++
+	oc.creditMask |= 1 << uint(v)
+}
+
+// takeCredit consumes one downstream credit on VC v.
+func (oc *outputController) takeCredit(v int) {
+	oc.credits[v]--
+	if oc.credits[v] == 0 {
+		oc.creditMask &^= 1 << uint(v)
+	}
 }
 
 // Stats counts router events.
@@ -204,12 +282,38 @@ type Stats struct {
 	AbortedPackets      int64 // mid-flight packets terminated by abort tails
 }
 
-// Router is the paper's virtual-channel router.
+// Router is the paper's virtual-channel router. The input and output
+// controllers are stored by value so one router's hot state is a handful
+// of contiguous allocations rather than a pointer web — at 4096 tiles the
+// difference is whether the per-cycle scan stays in cache.
 type Router struct {
 	cfg     Config
-	inputs  [NumPorts]*inputController
-	outputs [NumPorts]*outputController
+	inputs  [NumPorts]inputController
+	outputs [NumPorts]outputController
 	inLinks [NumPorts]*link.Link // upstream links, for returning credits
+
+	// Precomputed VC-mask constants (see New): prioMask has a bit per
+	// class-of-service priority VC, inReservedMask the input-side reserved
+	// VC, reservedPairMask both dateline classes of the reserved pair, and
+	// pairSelMask the low vcPairs() bits.
+	prioMask         uint32
+	inReservedMask   uint32
+	reservedPairMask uint32
+	pairSelMask      uint32
+
+	// sentMask and creditedMask accumulate, per output/input port, which
+	// ports sent a flit (mustSend) or returned an upstream credit
+	// (creditUpstream) since the network last consumed them; the network's
+	// link worklists use them to reactivate idle links. Bit i = port i.
+	sentMask     uint32
+	creditedMask uint32
+
+	// outWorkMask has a bit per output port with possible link-arbitration
+	// work: a staged or bypassed flit, or an active reservation table
+	// (which must be consulted every cycle). LinkArbitrate walks only the
+	// set bits and clears the ones that come up empty; moveFlit,
+	// moveReserved, and Reservations set them.
+	outWorkMask uint32
 
 	// adaptiveFn reports the turn-model-legal productive outputs toward
 	// dst from this tile (empty when dst is this tile). Set by the
@@ -305,22 +409,37 @@ func New(cfg Config) (*Router, error) {
 	r := &Router{cfg: cfg}
 	dirs := []route.Dir{route.North, route.East, route.South, route.West, route.Local}
 	for _, d := range dirs {
-		ic := &inputController{dir: d, arb: newRRArbiter(cfg.NumVCs), req: make([]bool, cfg.NumVCs)}
-		for v := 0; v < cfg.NumVCs; v++ {
+		ic := &r.inputs[portIndex(d)]
+		ic.dir = d
+		ic.arb = rrArbiter{n: cfg.NumVCs}
+		ic.vcs = make([]vcState, cfg.NumVCs)
+		for v := range ic.vcs {
 			// +1: AbandonInput may append an abort tail to a full buffer.
-			ic.vcs = append(ic.vcs, &vcState{outVC: -1, buf: make([]*flit.Flit, 0, cfg.BufFlits+1)})
+			ic.vcs[v] = vcState{outVC: -1, buf: make([]*flit.Flit, 0, cfg.BufFlits+1)}
 		}
-		r.inputs[portIndex(d)] = ic
-		oc := &outputController{
-			dir:     d,
-			arb:     newRRArbiter(NumPorts),
-			credits: make([]int, cfg.NumVCs),
-			vcOwner: make([]uint64, cfg.NumVCs),
-			table:   NewResTable(cfg.ResPeriod),
-		}
-		oc.req = make([]bool, NumPorts)
+		oc := &r.outputs[portIndex(d)]
+		oc.dir = d
+		oc.arb = rrArbiter{n: NumPorts}
+		oc.vcOwner = make([]uint64, cfg.NumVCs)
+		oc.table = NewResTable(cfg.ResPeriod)
 		oc.table.WorkConserving = cfg.WorkConserving
-		r.outputs[portIndex(d)] = oc
+	}
+	pairs := cfg.NumVCs
+	if cfg.DatelineVCs {
+		pairs = cfg.NumVCs / 2
+	}
+	r.pairSelMask = 1<<uint(pairs) - 1
+	if cfg.ReservedVC >= 0 {
+		r.inReservedMask = 1 << uint(cfg.ReservedVC)
+		r.reservedPairMask = 1 << uint(cfg.ReservedVC%pairs)
+		if cfg.DatelineVCs {
+			r.reservedPairMask |= r.reservedPairMask << uint(pairs)
+		}
+	}
+	for v := 0; v < cfg.NumVCs; v++ {
+		if r.isPriority(v) {
+			r.prioMask |= 1 << uint(v)
+		}
 	}
 	return r, nil
 }
@@ -334,10 +453,15 @@ func (r *Router) Config() Config { return r.cfg }
 // SetOutLink attaches the outgoing link in direction d and initializes its
 // credit counters to the downstream buffer depth.
 func (r *Router) SetOutLink(d route.Dir, l *link.Link, downstreamBufFlits int) {
-	oc := r.outputs[portIndex(d)]
+	oc := &r.outputs[portIndex(d)]
 	oc.link = l
-	for v := range oc.credits {
-		oc.credits[v] = downstreamBufFlits
+	oc.entryFree = l != nil && l.EntryAlwaysFree()
+	oc.creditMask = 0
+	for v := range oc.credits[:r.cfg.NumVCs] {
+		oc.credits[v] = int32(downstreamBufFlits)
+		if downstreamBufFlits > 0 {
+			oc.creditMask |= 1 << uint(v)
+		}
 	}
 }
 
@@ -376,17 +500,21 @@ func (r *Router) SampleTelemetry() {
 	if r.probe == nil {
 		return
 	}
-	for _, ic := range r.inputs {
-		for v, st := range ic.vcs {
-			r.probe.VCOccSum[v] += int64(st.bufLen())
+	for pi := range r.inputs {
+		ic := &r.inputs[pi]
+		for v := range ic.vcs {
+			r.probe.VCOccSum[v] += int64(ic.vcs[v].bufLen())
 		}
 	}
 	r.probe.Samples++
 }
 
 // Reservations exposes the reservation table of the output port in
-// direction d, so the network-level scheduler can book slots.
+// direction d, so the network-level scheduler can book slots. The output
+// joins the link-arbitration work mask pessimistically: if the caller
+// books nothing, the next LinkArbitrate pass drops it again.
 func (r *Router) Reservations(d route.Dir) *ResTable {
+	r.outWorkMask |= 1 << uint(portIndex(d))
 	return r.outputs[portIndex(d)].table
 }
 
@@ -404,11 +532,11 @@ func (r *Router) CanInject(vc int) bool {
 // overflow indicates a protocol violation and panics; in drop mode the
 // packet is discarded instead (§3.2).
 func (r *Router) AcceptFlit(f *flit.Flit, from route.Dir) {
-	ic := r.inputs[portIndex(from)]
+	ic := &r.inputs[portIndex(from)]
 	if f.VC < 0 || f.VC >= r.cfg.NumVCs {
 		panic(fmt.Sprintf("router %d: flit %v on invalid VC", r.cfg.ID, f))
 	}
-	st := ic.vcs[f.VC]
+	st := &ic.vcs[f.VC]
 	if r.cfg.Mode == ModeDrop {
 		// Dropping flow control transports single-flit packets (as
 		// contention-dropping networks do): a drop is then always a whole
@@ -424,7 +552,7 @@ func (r *Router) AcceptFlit(f *flit.Flit, from route.Dir) {
 			}
 			return
 		}
-		st.pushBack(f)
+		ic.push(f.VC, f)
 		r.occ++
 		return
 	}
@@ -432,7 +560,7 @@ func (r *Router) AcceptFlit(f *flit.Flit, from route.Dir) {
 		panic(fmt.Sprintf("router %d: input %v VC %d overflow (credit protocol violation)",
 			r.cfg.ID, from, f.VC))
 	}
-	st.pushBack(f)
+	ic.push(f.VC, f)
 	r.occ++
 }
 
@@ -451,11 +579,11 @@ func (r *Router) adaptiveChoice(f *flit.Flit) route.Dir {
 	best := candidates[0]
 	bestCredits := -1
 	for _, d := range candidates {
-		oc := r.outputs[portIndex(d)]
+		oc := &r.outputs[portIndex(d)]
 		total := 0
 		for v, c := range oc.credits {
 			if oc.vcOwner[v] == 0 {
-				total += c
+				total += int(c)
 			}
 		}
 		if total > bestCredits {
@@ -470,14 +598,15 @@ func (r *Router) adaptiveChoice(f *flit.Flit) route.Dir {
 // the route field and uses these two bits to select one of four output
 // ports").
 func (r *Router) RouteCompute(now int64) {
-	for pi, ic := range r.inputs {
+	for pi := range r.inputs {
+		ic := &r.inputs[pi]
 		if r.stalledIn[pi] {
 			continue
 		}
-		for vi, st := range ic.vcs {
-			if st.routed || st.bufLen() == 0 || r.vcIsStuck(pi, vi) {
-				continue
-			}
+		// Occupied, unrouted, unwedged VCs: one packed word per port.
+		for m := ic.occMask &^ ic.routedMask &^ ic.stuckMask; m != 0; m &= m - 1 {
+			vi := bits.TrailingZeros32(m)
+			st := &ic.vcs[vi]
 			f := st.front()
 			if !f.Type.IsHead() {
 				panic(fmt.Sprintf("router %d: non-head flit %v at front of unrouted VC", r.cfg.ID, f))
@@ -495,7 +624,7 @@ func (r *Router) RouteCompute(now int64) {
 					st.outPort = route.Turn(heading, code)
 				}
 			}
-			st.routed = true
+			ic.setRouted(vi, true)
 			st.routedAt = now
 			if r.probe != nil {
 				r.probe.Routed++

@@ -139,13 +139,14 @@ func TestRouteComputeTurns(t *testing.T) {
 		f := mk(c.code)
 		r.AcceptFlit(f, route.West)
 		r.RouteCompute(0)
-		st := r.inputs[portIndex(route.West)].vcs[0]
+		st := &r.inputs[portIndex(route.West)].vcs[0]
 		if !st.routed || st.outPort != c.want {
 			t.Fatalf("code %v: routed to %v, want %v", c.code, st.outPort, c.want)
 		}
 		// Clear for next case.
 		st.buf, st.head = nil, 0
 		st.routed = false
+		r.rebuildMasks()
 	}
 	// From the local (injection) port the code is an absolute direction.
 	f := mk(route.Right) // absolute south

@@ -44,6 +44,11 @@ type Kernel struct {
 	// shards is the intra-cycle parallelism for sharded phases; <= 1 is
 	// the sequential path (see shard.go).
 	shards int
+
+	// batchMax/batchOK configure quiescence-aware epoch batching for the
+	// parallel runner (SetBatching, see shard.go).
+	batchMax int
+	batchOK  func() bool
 }
 
 // NewKernel returns a kernel whose random source is seeded with seed.

@@ -139,7 +139,9 @@ type Sample struct {
 	Waiting []VCWait
 
 	// HotLinks are the busiest channels of the window just ended, hottest
-	// first (ties by index), as precomputed by the collector.
+	// first (ties by index), as precomputed by the collector. The slice is
+	// borrowed: Observe may read it during the call but copies anything it
+	// keeps, so callers can reuse the buffer across samples.
 	HotLinks []LinkLoad
 
 	// DeadLinks is the number of channels the watchdogs declared dead —
@@ -445,7 +447,8 @@ func (m *Monitor) observeCongestion(s Sample, offered, ejected, span int64, even
 		if rising && (falling || held) {
 			if m.falls == 0 {
 				m.fallStartCyc = s.Cycle
-				m.fallStartHot = s.HotLinks
+				// Copy: the caller owns (and reuses) the HotLinks buffer.
+				m.fallStartHot = append(m.fallStartHot[:0], s.HotLinks...)
 			}
 			m.falls++
 		} else {
@@ -492,12 +495,15 @@ func (m *Monitor) observeCongestion(s Sample, offered, ejected, span int64, even
 }
 
 // Verdicts reports every detector's current judgment, in a fixed order.
-func (m *Monitor) Verdicts() []Verdict {
-	return []Verdict{
-		{Detector: DetectorDeadlock, Healthy: !m.dlUnhealthy, Since: m.dlSince, Detail: m.dlDetail},
-		{Detector: DetectorStarvation, Healthy: !m.stUnhealthy, Since: m.stSince, Detail: m.stDetail},
-		{Detector: DetectorCongestion, Healthy: !m.cgUnhealthy, Since: m.cgSince, Detail: m.cgDetail},
-	}
+func (m *Monitor) Verdicts() []Verdict { return m.AppendVerdicts(nil) }
+
+// AppendVerdicts appends every detector's current judgment to dst, in a
+// fixed order, without allocating when dst has capacity.
+func (m *Monitor) AppendVerdicts(dst []Verdict) []Verdict {
+	return append(dst,
+		Verdict{Detector: DetectorDeadlock, Healthy: !m.dlUnhealthy, Since: m.dlSince, Detail: m.dlDetail},
+		Verdict{Detector: DetectorStarvation, Healthy: !m.stUnhealthy, Since: m.stSince, Detail: m.stDetail},
+		Verdict{Detector: DetectorCongestion, Healthy: !m.cgUnhealthy, Since: m.cgSince, Detail: m.cgDetail})
 }
 
 // Healthy reports whether every detector is currently healthy.

@@ -9,11 +9,13 @@
 // phase (like the clients phase), so under -shards it runs on the
 // barrier side of the worker pool — single-threaded with respect to all
 // simulator state, and byte-identical for any shard count. Each sample it
-// builds an immutable Snapshot by value-copying every counter it reads,
-// then publishes it through an atomic pointer; HTTP handlers only ever
-// read published snapshots, never simulator state. When serve is not
-// attached, no phase is registered and the cycle loop keeps its
-// 0 allocs/cycle fast path.
+// value-copies every counter it reads into a mutex-guarded set of reused
+// buffers; the immutable Snapshot handed to readers is deep-copied from
+// those buffers lazily — on the first Latest call after the sample, or
+// in-phase when a mirror or SSE subscriber needs every sample — so HTTP
+// handlers never touch simulator state and the steady-state sampling
+// path allocates nothing. When serve is not attached, no phase is
+// registered and the cycle loop keeps its 0 allocs/cycle fast path.
 package serve
 
 import (
@@ -22,7 +24,6 @@ import (
 	"io"
 	"sort"
 	"sync"
-	"sync/atomic"
 
 	"repro/internal/network"
 	"repro/internal/sim"
@@ -154,13 +155,23 @@ type Collector struct {
 	cfg Config
 	mon *health.Monitor
 
-	pub atomic.Pointer[Snapshot]
-
 	// Serial-phase scratch, reused across samples.
-	waitBuf  []health.VCWait
-	prevFlit []int64
+	waitBuf    []health.VCWait
+	prevFlit   []int64
+	loadBuf    []health.LinkLoad
+	classBuf   []int
+	classNames map[int]string
 
+	// raw accumulates each sample into reused buffers; built is the
+	// immutable Snapshot derived from it on demand (Latest), so the
+	// steady-state sampling path allocates nothing while nobody is
+	// watching. rawSeq counts samples; builtSeq marks the sample built
+	// last, so repeat Latest calls between samples share one snapshot.
 	mu        sync.Mutex
+	raw       Snapshot
+	rawSeq    uint64
+	builtSeq  uint64
+	built     *Snapshot
 	subs      map[chan []byte]struct{}
 	mirror    io.Writer
 	mirrorErr error
@@ -177,10 +188,11 @@ func AttachCollector(n *network.Network, cfg Config) (*Collector, error) {
 	}
 	cfg = cfg.withDefaults()
 	c := &Collector{
-		n:    n,
-		cfg:  cfg,
-		mon:  health.New(cfg.Health),
-		subs: make(map[chan []byte]struct{}),
+		n:          n,
+		cfg:        cfg,
+		mon:        health.New(cfg.Health),
+		classNames: make(map[int]string),
+		subs:       make(map[chan []byte]struct{}),
 	}
 	n.Kernel().AddPhase("serve", c.phase)
 	return c, nil
@@ -192,7 +204,52 @@ func (c *Collector) Config() Config { return c.cfg }
 // Latest returns the most recently published snapshot (nil before the
 // first sample). The snapshot is immutable; callers may hold it as long
 // as they like.
-func (c *Collector) Latest() *Snapshot { return c.pub.Load() }
+func (c *Collector) Latest() *Snapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.latestLocked()
+}
+
+// latestLocked returns the immutable snapshot of the newest sample,
+// deep-copying the reused sample buffers on the first demand after each
+// sample and serving the cached copy until the next one.
+func (c *Collector) latestLocked() *Snapshot {
+	if c.rawSeq == 0 {
+		return nil
+	}
+	if c.builtSeq != c.rawSeq {
+		c.built = c.raw.clone()
+		c.builtSeq = c.rawSeq
+	}
+	return c.built
+}
+
+func cloneSlice[T any](s []T) []T {
+	if s == nil {
+		return nil
+	}
+	return append(make([]T, 0, len(s)), s...)
+}
+
+// clone deep-copies the snapshot so the result shares no memory with the
+// collector's reused sample buffers.
+func (s *Snapshot) clone() *Snapshot {
+	out := *s
+	out.Health = cloneSlice(s.Health)
+	out.Latency = cloneSlice(s.Latency)
+	for i := range out.Latency {
+		out.Latency[i].Quantiles = cloneSlice(out.Latency[i].Quantiles)
+	}
+	out.Routers = cloneSlice(s.Routers)
+	out.Links = cloneSlice(s.Links)
+	out.HotLinks = cloneSlice(s.HotLinks)
+	out.Heatmap = cloneSlice(s.Heatmap)
+	for i := range out.Heatmap {
+		out.Heatmap[i] = cloneSlice(out.Heatmap[i])
+	}
+	out.Series = cloneSlice(s.Series)
+	return &out
+}
 
 // Monitor exposes the health monitor for tests that drive the collector
 // synchronously. The monitor is only written by the serial phase; read it
@@ -253,18 +310,16 @@ func (c *Collector) minWaitAge() int64 {
 }
 
 // sample observes the network (serially, inside the phase), feeds the
-// health monitor, and publishes a fresh snapshot.
+// health monitor, and records the sample into the reused raw buffers.
+// The published immutable Snapshot is only materialised when someone is
+// actually watching (Latest, a mirror, or SSE subscribers), keeping the
+// steady-state sampling path free of per-sample allocation.
 func (c *Collector) sample(now int64) {
 	p := c.n.Probe()
 	rec := c.n.Recorder()
 
-	var bufOcc int64
-	links := c.n.Links()
-	var inFlight int64
-	for _, l := range links {
-		inFlight += int64(l.InFlight())
-	}
-	bufOcc = int64(c.n.Occupancy()) - inFlight
+	inFlight := int64(c.n.LinksInFlight())
+	bufOcc := int64(c.n.Occupancy()) - inFlight
 
 	c.waitBuf = c.n.AppendWaitingVCs(now, c.minWaitAge(), c.waitBuf[:0])
 	hot := c.hotLinks(p)
@@ -290,31 +345,30 @@ func (c *Collector) sample(now int64) {
 	}
 	ckptStale := ckptEvery > 0 && ckptAge > 2*ckptEvery
 
-	snap := &Snapshot{
-		Cycle:            now,
-		Healthy:          c.mon.Healthy() && !ckptStale,
-		Health:           c.mon.Verdicts(),
-		Generated:        rec.Generated,
-		InjectedPackets:  rec.InjectedPackets,
-		DeliveredPackets: rec.DeliveredPackets,
-		DeliveredFlits:   rec.DeliveredFlits,
-		Throughput:       rec.ThroughputFlitsPerCycle(now),
-		BufOcc:           bufOcc,
-		LinkInFlight:     inFlight,
-		DeadLinks:        p.DeadLinks,
-		FaultsApplied:    p.FaultsApplied,
-		OverUnityLinks:   p.OverUnityLinks(now),
-		Routers:          p.SnapshotRouters(nil),
-		Links:            p.SnapshotLinks(nil, now),
-		HotLinks:         hot,
-		Heatmap:          p.HeatmapGrid(now),
-		Series:           p.SnapshotSeriesTail(nil, c.cfg.SeriesTail),
-
-		LastCheckpointCycle: lastCkpt,
-		CheckpointAge:       ckptAge,
-		CheckpointEvery:     ckptEvery,
-		CheckpointStale:     ckptStale,
-	}
+	c.mu.Lock()
+	snap := &c.raw
+	snap.Cycle = now
+	snap.Healthy = c.mon.Healthy() && !ckptStale
+	snap.Health = c.mon.AppendVerdicts(snap.Health[:0])
+	snap.Generated = rec.Generated
+	snap.InjectedPackets = rec.InjectedPackets
+	snap.DeliveredPackets = rec.DeliveredPackets
+	snap.DeliveredFlits = rec.DeliveredFlits
+	snap.Throughput = rec.ThroughputFlitsPerCycle(now)
+	snap.BufOcc = bufOcc
+	snap.LinkInFlight = inFlight
+	snap.DeadLinks = p.DeadLinks
+	snap.FaultsApplied = p.FaultsApplied
+	snap.OverUnityLinks = p.OverUnityLinks(now)
+	snap.Routers = p.SnapshotRouters(snap.Routers)
+	snap.Links = p.SnapshotLinks(snap.Links, now)
+	snap.HotLinks = append(snap.HotLinks[:0], hot...)
+	snap.Heatmap = p.AppendHeatmapGrid(snap.Heatmap, now)
+	snap.Series = p.SnapshotSeriesTail(snap.Series, c.cfg.SeriesTail)
+	snap.LastCheckpointCycle = lastCkpt
+	snap.CheckpointAge = ckptAge
+	snap.CheckpointEvery = ckptEvery
+	snap.CheckpointStale = ckptStale
 	if ckptStale {
 		// Attribute the degradation alongside the detector verdicts so
 		// /healthz readers see why the service reports unhealthy.
@@ -325,24 +379,31 @@ func (c *Collector) sample(now int64) {
 			detail = fmt.Sprintf("no checkpoint after %d cycles (> 2x interval %d)", ckptAge, ckptEvery)
 			since = 2 * ckptEvery
 		}
-		snap.Health = append(append([]health.Verdict{}, snap.Health...), health.Verdict{
+		snap.Health = append(snap.Health, health.Verdict{
 			Detector: "checkpoint",
 			Healthy:  false,
 			Since:    since,
 			Detail:   detail,
 		})
 	}
-	snap.Latency = append(snap.Latency,
-		LatencyFrom("packet", -1, rec.PacketLatency),
-		LatencyFrom("network", -1, rec.NetworkLatency))
-	for _, class := range rec.Classes() {
-		snap.Latency = append(snap.Latency,
-			LatencyFrom(fmt.Sprintf("class%d", class), class, rec.ClassLatency(class)))
+	snap.Latency = latencyInto(snap.Latency[:0], "packet", -1, rec.PacketLatency)
+	snap.Latency = latencyInto(snap.Latency, "network", -1, rec.NetworkLatency)
+	c.classBuf = rec.AppendClasses(c.classBuf)
+	for _, class := range c.classBuf {
+		snap.Latency = latencyInto(snap.Latency, c.className(class), class, rec.ClassLatency(class))
 	}
-	c.pub.Store(snap)
+	c.rawSeq++
+	// Materialise the immutable copy in-phase only for consumers that
+	// need every sample; HTTP readers build it on demand via Latest.
+	var out *Snapshot
+	if c.mirror != nil || len(c.subs) > 0 {
+		out = c.latestLocked()
+	}
+	mirror := c.mirror
+	c.mu.Unlock()
 
-	if c.mirror != nil {
-		if err := json.NewEncoder(c.mirror).Encode(snap); err != nil {
+	if mirror != nil {
+		if err := json.NewEncoder(mirror).Encode(out); err != nil {
 			c.mu.Lock()
 			if c.mirrorErr == nil {
 				c.mirrorErr = err
@@ -350,16 +411,50 @@ func (c *Collector) sample(now int64) {
 			c.mu.Unlock()
 		}
 	}
-	c.broadcast(snap, events)
+	if out != nil {
+		c.broadcast(out, events)
+	}
+}
+
+// className caches the "class<k>" latency series names so steady-state
+// samples skip the Sprintf.
+func (c *Collector) className(class int) string {
+	if name, ok := c.classNames[class]; ok {
+		return name
+	}
+	name := fmt.Sprintf("class%d", class)
+	c.classNames[class] = name
+	return name
+}
+
+// latencyInto appends LatencyFrom(name, class, h) to dst, reusing the
+// Quantiles buffer left in the slot by an earlier sample when dst's
+// capacity holds one.
+func latencyInto(dst []LatencySnap, name string, class int, h *stats.Hist) []LatencySnap {
+	var q []Quantile
+	if n := len(dst); n < cap(dst) {
+		q = dst[:n+1][n].Quantiles[:0]
+	}
+	ls := LatencySnap{Name: name, Class: class, Quantiles: q}
+	if h != nil {
+		ls.Count = h.Count()
+		ls.Sum = h.Sum()
+		ls.Mean = h.Mean()
+		for _, qq := range ExportedQuantiles {
+			ls.Quantiles = append(ls.Quantiles, Quantile{Q: qq, V: h.Quantile(qq)})
+		}
+	}
+	return append(dst, ls)
 }
 
 // hotLinks computes the busiest channels of the window just ended from
-// the per-link flit deltas, hottest first (ties by index).
+// the per-link flit deltas, hottest first (ties by index). The result
+// aliases a reused buffer, valid until the next call.
 func (c *Collector) hotLinks(p *telemetry.Probe) []health.LinkLoad {
 	if len(c.prevFlit) < len(p.Links) {
 		c.prevFlit = append(c.prevFlit, make([]int64, len(p.Links)-len(c.prevFlit))...)
 	}
-	var loads []health.LinkLoad
+	loads := c.loadBuf[:0]
 	for i, lp := range p.Links {
 		if lp == nil {
 			continue
@@ -379,6 +474,7 @@ func (c *Collector) hotLinks(p *telemetry.Probe) []health.LinkLoad {
 		}
 		return loads[i].Index < loads[j].Index
 	})
+	c.loadBuf = loads
 	if len(loads) > c.cfg.HotLinks {
 		loads = loads[:c.cfg.HotLinks]
 	}

@@ -130,11 +130,25 @@ func (p *Probe) OverUnityLinks(cycles int64) int {
 // given horizon, row y=ky-1 first (matching the ASCII and CSV renderings).
 // Nil when no grid was registered.
 func (p *Probe) HeatmapGrid(cycles int64) [][]float64 {
+	return p.AppendHeatmapGrid(nil, cycles)
+}
+
+// AppendHeatmapGrid is HeatmapGrid into a reused grid: dst's rows are
+// kept when their width matches, so a steady-state sampler allocates
+// nothing after the first call. Returns nil when no grid was registered.
+func (p *Probe) AppendHeatmapGrid(dst [][]float64, cycles int64) [][]float64 {
 	if p.kx == 0 || p.ky == 0 {
 		return nil
 	}
-	sums := make([]float64, p.kx*p.ky)
-	counts := make([]int, p.kx*p.ky)
+	cells := p.kx * p.ky
+	if cap(p.heatSums) < cells {
+		p.heatSums = make([]float64, cells)
+		p.heatCounts = make([]int, cells)
+	}
+	sums, counts := p.heatSums[:cells], p.heatCounts[:cells]
+	for i := range sums {
+		sums[i], counts[i] = 0, 0
+	}
 	for _, lp := range p.Links {
 		if lp == nil {
 			continue
@@ -143,10 +157,17 @@ func (p *Probe) HeatmapGrid(cycles int64) [][]float64 {
 		sums[idx] += lp.Util(cycles)
 		counts[idx]++
 	}
-	grid := make([][]float64, 0, p.ky)
+	grid := dst[:0]
 	for y := p.ky - 1; y >= 0; y-- {
-		row := make([]float64, p.kx)
+		var row []float64
+		if n := len(grid); n < cap(grid) {
+			row = grid[:n+1][n]
+		}
+		if len(row) != p.kx {
+			row = make([]float64, p.kx)
+		}
 		for x := 0; x < p.kx; x++ {
+			row[x] = 0
 			if c := counts[y*p.kx+x]; c > 0 {
 				row[x] = sums[y*p.kx+x] / float64(c)
 			}

@@ -176,6 +176,10 @@ type Probe struct {
 
 	kx, ky int
 	tracer *Tracer
+
+	// AppendHeatmapGrid scratch, reused across snapshots.
+	heatSums   []float64
+	heatCounts []int
 }
 
 // New returns an empty probe; the network populates it at construction.

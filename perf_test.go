@@ -57,6 +57,42 @@ func TestCycleLoopAllocFree(t *testing.T) {
 	}
 }
 
+// TestIdleRegionCost gates the quiescence-aware scan on the 4096-tile
+// torus: with traffic sources on only 64 of 4096 tiles, a simulated
+// cycle must cost a small fraction of the fully loaded cycle — the
+// per-cycle sweeps walk the active-router and active-link worklists, so
+// idle regions cost O(active routers), not O(tiles). The 25% bound is
+// deliberately loose (the measured ratio is a few percent) so scheduler
+// noise can't trip it; it fails only if a full-die scan comes back to
+// the hot path.
+func TestIdleRegionCost(t *testing.T) {
+	if testing.Short() {
+		t.Skip("idle-region cost gate is not -short")
+	}
+	busy := build4096(t, false)
+	idle := build4096(t, true)
+	busy.Run(2000)
+	idle.Run(2000)
+	const cycles = 2000
+	best := func(n *network.Network) time.Duration {
+		bestD := time.Duration(1 << 62)
+		for i := 0; i < 3; i++ {
+			start := time.Now()
+			n.Run(cycles)
+			if d := time.Since(start); d < bestD {
+				bestD = d
+			}
+		}
+		return bestD
+	}
+	busyD := best(busy)
+	idleD := best(idle)
+	if ratio := float64(idleD) / float64(busyD); ratio > 0.25 {
+		t.Fatalf("idle 4096-tile cycle costs %.0f%% of busy (idle %v vs busy %v per %d cycles); want <= 25%%: idle regions must cost O(active routers)",
+			100*ratio, idleD, busyD, cycles)
+	}
+}
+
 // TestDrainReturnsEveryFlit is the pool leak check: after a drain, every
 // flit drawn from the network's pool has been recycled — whether it was
 // delivered normally, dropped at a full buffer (drop mode), discarded on

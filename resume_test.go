@@ -69,6 +69,43 @@ func TestResumedGoldenExperiments(t *testing.T) {
 	}
 }
 
+// TestResumedBatchingGolden interrupts E1 mid-run with sharding and a
+// tiny epoch cap (3 cycles): the checkpoint must land on the exact
+// requested cycle even when that cycle falls mid-epoch (the fold loop
+// re-checks the budget between folded cycles, so a snapshot horizon
+// never overshoots), and the resumed run must still reproduce the
+// committed golden bytes. The resumes under the default cap are covered
+// by TestResumedGoldenExperiments, where sharded runs batch by default.
+func TestResumedBatchingGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("resumed batching goldens are not -short")
+	}
+	want := readGolden(t, "golden_e1_quick.txt")
+	for _, frac := range []float64{0.37, 0.50} {
+		frac := frac
+		t.Run(fmt.Sprintf("frac%.0f", 100*frac), func(t *testing.T) {
+			resumeAt(t, frac, func() {
+				withBatching(t, 3, func() {
+					withShards(t, 2, func() {
+						e, err := core.ByID("E1")
+						if err != nil {
+							t.Fatal(err)
+						}
+						tbl, err := e.Run(true)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if got := tbl.Format(); got != want {
+							t.Errorf("resume at %.0f%% with tiny epochs diverged from golden\n--- want ---\n%s--- got ---\n%s",
+								100*frac, want, got)
+						}
+					})
+				})
+			})
+		})
+	}
+}
+
 // TestResumedGoldenSweep interrupts the golden load-latency sweep
 // mid-point and requires the committed CSV bytes.
 func TestResumedGoldenSweep(t *testing.T) {
