@@ -27,9 +27,17 @@ race:
 # test-cache quirk can't silently drop them from the sweep, and the serve
 # smoke test drives a real nocsim -serve binary end to end (ephemeral
 # port announced on stderr, /metrics parses, /healthz 200, clean exit).
+# The flight-recorder post-mortem smoke does the same for the black-box
+# path: a real nocsim wedges itself under the deliberate-deadlock fault
+# campaign with -flightrec on, the detector fire dumps the ring with no
+# operator involvement, and a real nocpost binary's verdict must recompute
+# the same root cause and attribution the live detectors recorded.
 # The benchjson gate covers the ServeOff/On pair so the serve-off loop
 # keeps its zero-allocation fast path (bytes/op gates too on Serve rows),
-# and the 4096-tile pair (NetworkCycle4096/NetworkCycleIdle4096) so the
+# the FlightRecOff/On pair so a build without -flightrec keeps the
+# 0 allocs/op hot path and the recorder itself stays ring-append cheap
+# (FlightRec rows gate bytes/op too), and the 4096-tile pair
+# (NetworkCycle4096/NetworkCycleIdle4096) so the
 # quiescence-gated big-die cycle loop keeps its speed and 0 allocs/op —
 # each 4096 benchmark spends a few seconds building and warming the
 # 64x64 torus before timing starts. The checkpoint/restore stack is
@@ -48,7 +56,8 @@ ci:
 	$(GO) test -race ./...
 	$(GO) test -race -run 'TestServeSmoke' .
 	$(GO) test -race -run 'TestResumedGolden|TestCrashResume' .
-	$(GO) test -run '^$$' -bench 'NetworkCycle$$|NetworkCycleServeOff$$|NetworkCycleServeOn$$|NetworkCycle64$$|NetworkCycle4096$$|NetworkCycleIdle4096$$|RouteCompute' -benchtime 200ms -benchmem . \
+	$(GO) test -race -run 'TestFlightRecSmoke|TestFlightRecReconstructionExact' .
+	$(GO) test -run '^$$' -bench 'NetworkCycle$$|NetworkCycleServeOff$$|NetworkCycleServeOn$$|NetworkCycleFlightRecOff$$|NetworkCycleFlightRecOn$$|NetworkCycle64$$|NetworkCycle4096$$|NetworkCycleIdle4096$$|RouteCompute' -benchtime 200ms -benchmem . \
 		| $(GO) run ./cmd/benchjson -against BENCH_cycles.json -max-regress 50
 
 # fuzz gives the fault-campaign parser and the checkpoint decoder a short
@@ -65,7 +74,8 @@ fuzz:
 # (simulated cycles/sec, allocs/op) for diffing across commits. The
 # NetworkCycle pattern also matches NetworkCycleProbesOff/ProbesOn (the
 # telemetry-overhead pair), NetworkCycleServeOff/ServeOn (the live
-# observability snapshot-phase pair), the 64x64-die pair
+# observability snapshot-phase pair), NetworkCycleFlightRecOff/FlightRecOn
+# (the flight-recorder ring-phase pair), the 64x64-die pair
 # NetworkCycle4096/NetworkCycleIdle4096, and the NetworkCycle64Shards{2,4,8}
 # lockstep worker-pool runs plus their NoBatch twins (epoch batching
 # disabled, isolating the quiescence fast-forward win); the shard

@@ -11,6 +11,7 @@ import (
 	"repro/internal/route"
 	"repro/internal/router"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/flightrec"
 	"repro/internal/telemetry/serve"
 	"repro/internal/topology"
 	"repro/internal/traffic"
@@ -140,6 +141,45 @@ func benchCycleServe(b *testing.B, serveOn bool) {
 	}
 	if serveOn {
 		if _, err := serve.AttachCollector(n, serve.Config{Every: serve.DefaultEvery}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	n.Run(2000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	n.Run(int64(b.N))
+}
+
+// BenchmarkNetworkCycleFlightRecOff and BenchmarkNetworkCycleFlightRecOn
+// bound the flight-recorder overhead: the identical baseline loop with a
+// telemetry probe, with and without the recorder's serial ring phase
+// attached. Off must stay on the 0 allocs/cycle fast path; On appends one
+// fixed-size delta record per cycle into the preallocated ring and takes a
+// keyframe every Window/2 cycles, so its steady state is also
+// allocation-free outside the keyframe cadence. Both fold into
+// BENCH_cycles.json via `make bench`.
+func BenchmarkNetworkCycleFlightRecOff(b *testing.B) { benchCycleFlightRec(b, false) }
+
+func BenchmarkNetworkCycleFlightRecOn(b *testing.B) { benchCycleFlightRec(b, true) }
+
+func benchCycleFlightRec(b *testing.B, recOn bool) {
+	b.Helper()
+	topo, err := topology.NewFoldedTorus(4, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n, err := network.New(network.Config{
+		Topo: topo, Router: router.DefaultConfig(0), Seed: 1,
+		Probe: telemetry.New(telemetry.Config{}),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for tile := 0; tile < topo.NumTiles(); tile++ {
+		n.AttachClient(tile, traffic.NewGenerator(tile, traffic.Uniform{Tiles: 16}, 0.3, 2, flit.VCMask(0xFF), 1))
+	}
+	if recOn {
+		if _, err := flightrec.Attach(n, flightrec.Config{Dir: b.TempDir()}); err != nil {
 			b.Fatal(err)
 		}
 	}

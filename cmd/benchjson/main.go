@@ -116,11 +116,12 @@ func main() {
 // multi-procs runs (or at another machine's width) still gate. New ns/op
 // may exceed old by at most maxPct percent; allocs/op likewise, except
 // that any allocation appearing in a previously allocation-free benchmark
-// is a regression outright (0 * 1.10 is still 0). Serve benchmarks gate
-// bytes/op too: their contract is a constant-byte (near-zero) steady
-// state, and a byte-count regression there means the lazy-snapshot path
-// started copying per cycle — which allocs/op alone would miss when the
-// copies amortize below one allocation per op.
+// is a regression outright (0 * 1.10 is still 0). Serve and FlightRec
+// benchmarks gate bytes/op too: their contract is a constant-byte
+// (near-zero) steady state, and a byte-count regression there means the
+// lazy-snapshot path (or the recorder's ring append) started copying per
+// cycle — which allocs/op alone would miss when the copies amortize below
+// one allocation per op.
 func compare(path string, results []Result, maxPct float64) (regressions int, err error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -168,7 +169,7 @@ func compare(path string, results []Result, maxPct float64) (regressions int, er
 				r.Name, r.Procs, r.AllocsPerOp, old.AllocsPerOp)
 			regressions++
 		}
-		if strings.Contains(r.Name, "Serve") {
+		if strings.Contains(r.Name, "Serve") || strings.Contains(r.Name, "FlightRec") {
 			byteLimit := int64(float64(old.BytesPerOp) * (1 + maxPct/100))
 			if r.BytesPerOp > byteLimit {
 				fmt.Fprintf(os.Stderr, "benchjson: REGRESSION %s-%d: %d B/op vs baseline %d\n",

@@ -1,8 +1,9 @@
 // Package obs wires the shared observability flags (-metrics,
-// -metrics-every, -metrics-out, -tracefile-out, -serve, -pprof) into the
-// command binaries: it builds the telemetry probe the flags ask for,
-// attaches the live observability service, starts and stops CPU
-// profiling, and exports the collected artifacts after a run.
+// -metrics-every, -metrics-out, -tracefile-out, -serve, -flightrec,
+// -pprof) into the command binaries: it builds the telemetry probe the
+// flags ask for, attaches the live observability service and the flight
+// recorder, starts and stops CPU profiling, and exports the collected
+// artifacts after a run.
 package obs
 
 import (
@@ -10,10 +11,14 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime/pprof"
+	"syscall"
 
+	"repro/internal/core"
 	"repro/internal/network"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/flightrec"
 	"repro/internal/telemetry/serve"
 )
 
@@ -25,6 +30,10 @@ type Flags struct {
 	TraceOut     string
 	Serve        string
 	Pprof        string
+
+	FlightRec       bool
+	FlightRecCycles int
+	FlightRecDir    string
 }
 
 // Register installs the observability flags on the default flag set.
@@ -34,14 +43,17 @@ func Register() *Flags {
 	flag.Int64Var(&f.MetricsEvery, "metrics-every", 0, "telemetry time-series sampling interval, cycles (0 disables the series)")
 	flag.StringVar(&f.MetricsOut, "metrics-out", "", "write per-component telemetry counters and the sampled series as CSV to this file (requires -metrics)")
 	flag.StringVar(&f.TraceOut, "tracefile-out", "", "record per-packet lifecycle events and write Chrome trace-event JSON (chrome://tracing) to this file (requires -metrics)")
-	flag.StringVar(&f.Serve, "serve", "", "serve live observability over HTTP on this address for the duration of the run (/metrics, /snapshot, /healthz, /events); e.g. :8080 or 127.0.0.1:0")
+	flag.StringVar(&f.Serve, "serve", "", "serve live observability over HTTP on this address for the duration of the run (/metrics, /snapshot, /healthz, /events, /debug/flightrec); e.g. :8080 or 127.0.0.1:0")
 	flag.StringVar(&f.Pprof, "pprof", "", "write a CPU profile of the run to this file")
+	flag.BoolVar(&f.FlightRec, "flightrec", false, "attach the flight recorder: a ring of per-cycle event deltas plus periodic keyframes, dumped for nocpost when a health detector fires, on SIGQUIT, on panic, or via /debug/flightrec")
+	flag.IntVar(&f.FlightRecCycles, "flightrec-cycles", 0, fmt.Sprintf("flight-recorder ring capacity in cycles (default %d; requires -flightrec)", flightrec.DefaultWindow))
+	flag.StringVar(&f.FlightRecDir, "flightrec-dir", "", "directory flight-recorder dumps are written to (default .; requires -flightrec)")
 	return f
 }
 
 // Enabled reports whether any flag requires a telemetry probe.
 func (f *Flags) Enabled() bool {
-	return f.Metrics || f.MetricsEvery > 0 || f.MetricsOut != "" || f.TraceOut != "" || f.Serve != ""
+	return f.Metrics || f.MetricsEvery > 0 || f.MetricsOut != "" || f.TraceOut != "" || f.Serve != "" || f.FlightRec
 }
 
 // Validate rejects inconsistent observability flags, mirroring the strict
@@ -57,6 +69,15 @@ func (f *Flags) Validate() error {
 	}
 	if f.TraceOut != "" && !f.Metrics {
 		return fmt.Errorf("-tracefile-out requires -metrics")
+	}
+	if f.FlightRecCycles != 0 && !f.FlightRec {
+		return fmt.Errorf("-flightrec-cycles requires -flightrec")
+	}
+	if f.FlightRecCycles < 0 {
+		return fmt.Errorf("-flightrec-cycles must be >= 0 (got %d)", f.FlightRecCycles)
+	}
+	if f.FlightRecDir != "" && !f.FlightRec {
+		return fmt.Errorf("-flightrec-dir requires -flightrec")
 	}
 	return nil
 }
@@ -79,6 +100,83 @@ func (f *Flags) AttachServe(n *network.Network) (*serve.Server, error) {
 	}
 	fmt.Fprintf(os.Stderr, "serving live observability on http://%s\n", s.Addr())
 	return s, nil
+}
+
+// AttachFlightRec attaches the flight recorder the -flightrec flags ask
+// for (no-op without -flightrec): the recorder's serial ring/keyframe
+// phase on the network's kernel, the kernel crash hook for dump-on-panic,
+// a SIGQUIT handler for dump-on-demand from the terminal, and — when the
+// live service is up — the /debug/flightrec endpoint. kind, specJSON, and
+// hash identify the run for replay (core.SpecForRun / core.ConfigHash).
+// The returned stop function releases the signal handler; call it when
+// the run ends. Must be called before the network's first cycle.
+func (f *Flags) AttachFlightRec(n *network.Network, srv *serve.Server, kind string, specJSON []byte, hash uint64) (*flightrec.Recorder, func(), error) {
+	if !f.FlightRec {
+		return nil, func() {}, nil
+	}
+	rec, err := flightrec.Attach(n, flightrec.Config{
+		Window:     f.FlightRecCycles,
+		Dir:        f.FlightRecDir,
+		ConfigHash: hash,
+		SpecJSON:   specJSON,
+		SpecKind:   kind,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	if srv != nil {
+		srv.SetDumper(rec)
+	}
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGQUIT)
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			case <-sigc:
+				if path, err := rec.TriggerDump("sigquit"); err != nil {
+					fmt.Fprintf(os.Stderr, "flightrec: SIGQUIT dump failed: %v\n", err)
+				} else {
+					fmt.Fprintf(os.Stderr, "flightrec: dump written to %s\n", path)
+				}
+			}
+		}
+	}()
+	stop := func() {
+		signal.Stop(sigc)
+		close(done)
+	}
+	return rec, stop, nil
+}
+
+// AttachFlightRecRun is AttachFlightRec for a plain core.Run: it derives
+// the replayable spec and config hash from the run parameters the same
+// way core stamps its own checkpoints.
+func (f *Flags) AttachFlightRecRun(n *network.Network, srv *serve.Server, p core.RunParams) (*flightrec.Recorder, func(), error) {
+	if !f.FlightRec {
+		return nil, func() {}, nil
+	}
+	spec, err := core.SpecForRun("run", p).JSON()
+	if err != nil {
+		return nil, nil, err
+	}
+	return f.AttachFlightRec(n, srv, "run", spec, core.ConfigHash("run", p, ""))
+}
+
+// ReportFlightRec logs where a recorder's dumps went (and any write
+// error) after a run; a nil recorder is a no-op.
+func ReportFlightRec(w io.Writer, rec *flightrec.Recorder) {
+	if rec == nil {
+		return
+	}
+	if err := rec.Err(); err != nil {
+		fmt.Fprintf(w, "flightrec: dump error: %v\n", err)
+	}
+	for _, p := range rec.Dumps() {
+		fmt.Fprintf(w, "flightrec: dump written to %s\n", p)
+	}
 }
 
 // HeatmapProbe returns a counters-only probe (no series, no tracing) for

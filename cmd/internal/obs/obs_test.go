@@ -24,6 +24,12 @@ func TestValidate(t *testing.T) {
 		{"metrics-out without metrics", Flags{MetricsOut: "m.csv"}, "-metrics-out requires -metrics"},
 		{"trace-out without metrics", Flags{TraceOut: "t.json"}, "-tracefile-out requires -metrics"},
 		{"trace-out with serve only", Flags{Serve: ":0", TraceOut: "t.json"}, "-tracefile-out requires -metrics"},
+		{"flightrec alone", Flags{FlightRec: true}, ""},
+		{"flightrec with cycles", Flags{FlightRec: true, FlightRecCycles: 8192}, ""},
+		{"flightrec with dir", Flags{FlightRec: true, FlightRecDir: "dumps"}, ""},
+		{"flightrec-cycles without flightrec", Flags{FlightRecCycles: 8192}, "-flightrec-cycles requires -flightrec"},
+		{"flightrec-dir without flightrec", Flags{FlightRecDir: "dumps"}, "-flightrec-dir requires -flightrec"},
+		{"negative flightrec-cycles", Flags{FlightRec: true, FlightRecCycles: -1}, "-flightrec-cycles must be >= 0"},
 	} {
 		tc := tc
 		t.Run(tc.name, func(t *testing.T) {
@@ -56,6 +62,7 @@ func TestEnabled(t *testing.T) {
 		{MetricsOut: "m.csv"},
 		{TraceOut: "t.json"},
 		{Serve: ":0"},
+		{FlightRec: true},
 	} {
 		if !f.Enabled() {
 			t.Errorf("%+v does not report Enabled", f)

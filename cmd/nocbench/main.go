@@ -19,6 +19,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/network"
 	"repro/internal/sim"
+	"repro/internal/telemetry/flightrec"
 	"repro/internal/telemetry/serve"
 )
 
@@ -130,15 +131,29 @@ func main() {
 		inst.Rate = 0.3
 		inst.Probe = obsFlags.NewProbe()
 		var srv *serve.Server
+		var frRec *flightrec.Recorder
+		frStop := func() {}
 		inst.OnNetwork = func(n *network.Network) error {
 			s, err := obsFlags.AttachServe(n)
+			if err != nil {
+				return err
+			}
 			srv = s
-			return err
+			rec, stop, err := obsFlags.AttachFlightRecRun(n, srv, inst)
+			if err != nil {
+				return err
+			}
+			if rec != nil {
+				frRec, frStop = rec, stop
+			}
+			return nil
 		}
 		if _, err := core.Run(inst); err != nil {
 			fmt.Fprintln(os.Stderr, "nocbench: telemetry run:", err)
 			os.Exit(1)
 		}
+		frStop()
+		obs.ReportFlightRec(os.Stderr, frRec)
 		if srv != nil {
 			srv.Close()
 		}

@@ -24,6 +24,7 @@ import (
 	"repro/internal/flit"
 	"repro/internal/network"
 	"repro/internal/router"
+	"repro/internal/telemetry/flightrec"
 	"repro/internal/telemetry/serve"
 	"repro/internal/topology"
 	"repro/internal/traffic"
@@ -185,6 +186,12 @@ func main() {
 		p.Metered = false
 		fmt.Fprintln(os.Stderr, "nocsim: note: checkpointing disables the power meter (energy lines omitted)")
 	}
+	// Flight-recorder keyframes are checkpoint snapshots, so the meter
+	// blocks them the same way; -flightrec trades the energy lines too.
+	if obsFlags.FlightRec && p.Metered {
+		p.Metered = false
+		fmt.Fprintln(os.Stderr, "nocsim: note: -flightrec disables the power meter (energy lines omitted)")
+	}
 	p.CheckpointEvery = *ckptEvery
 	p.CheckpointDir = *ckptDir
 	p.Resume = *resume
@@ -215,15 +222,38 @@ func main() {
 		p.Probe = obs.HeatmapProbe()
 	}
 	// -serve attaches the live observability service to the run's network
-	// just before the first cycle; the endpoints stay up for the duration
-	// of the run.
-	var srv *serve.Server
+	// just before the first cycle; -flightrec attaches the flight recorder
+	// the same way. The recorder stamps dumps and keyframes with the run's
+	// identity (spec JSON + config hash), which the campaign and trace
+	// paths refine below before the network is built.
+	frKind, frExtra := "run", ""
+	var (
+		srv    *serve.Server
+		frRec  *flightrec.Recorder
+		frStop = func() {}
+	)
 	p.OnNetwork = func(n *network.Network) error {
 		s, err := obsFlags.AttachServe(n)
+		if err != nil {
+			return err
+		}
 		srv = s
-		return err
+		spec, err := core.SpecForRun(frKind, p).JSON()
+		if err != nil {
+			return err
+		}
+		rec, stop, err := obsFlags.AttachFlightRec(n, srv, frKind, spec, core.ConfigHash(frKind, p, frExtra))
+		if err != nil {
+			return err
+		}
+		if rec != nil {
+			frRec, frStop = rec, stop
+		}
+		return nil
 	}
 	defer func() {
+		frStop()
+		obs.ReportFlightRec(os.Stderr, frRec)
 		if srv != nil {
 			srv.Close()
 		}
@@ -235,6 +265,12 @@ func main() {
 	defer stopProf()
 
 	if campaign {
+		// Mirror runCampaign's parameter edits and core.RunCampaign's hash
+		// inputs here so the flight recorder's spec and config hash match
+		// the run that is actually executed.
+		p.Watchdog = *watchdog
+		frKind = "campaign"
+		frExtra = fmt.Sprintf("%s|%v|%d", *faults, *mtbf, p.WarmupCycles+p.MeasureCycles)
 		if err := runCampaign(p, *faults, *mtbf, *watchdog); err != nil {
 			fatal(err)
 		}
@@ -245,7 +281,9 @@ func main() {
 	}
 
 	if *trace != "" {
-		if err := runTrace(p, *trace); err != nil {
+		p.WarmupCycles = 0 // runTrace measures the replay in full
+		frKind = "trace"
+		if err := runTrace(p, *trace, &frExtra); err != nil {
 			fatal(err)
 		}
 		if err := obsFlags.Emit(os.Stdout, p.Probe, *heatmap); err != nil {
@@ -333,8 +371,10 @@ func runCampaign(p core.RunParams, spec string, mtbf float64, watchdog int) erro
 }
 
 // runTrace replays a trace file through the configured network and prints
-// delivery statistics.
-func runTrace(p core.RunParams, path string) error {
+// delivery statistics. The trace's identity is written through extraOut
+// before the network is built so the flight recorder's config hash matches
+// the one core.RunToHorizon stamps on checkpoints.
+func runTrace(p core.RunParams, path string, extraOut *string) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -350,6 +390,9 @@ func runTrace(p core.RunParams, path string) error {
 		if e.Cycle > horizon {
 			horizon = e.Cycle
 		}
+	}
+	if extraOut != nil {
+		*extraOut = fmt.Sprintf("%s|%d|%d", path, len(events), horizon)
 	}
 	build := func() (*network.Network, error) {
 		n, _, err := core.BuildNetwork(p)

@@ -16,6 +16,7 @@ import (
 	"repro/cmd/internal/obs"
 	"repro/internal/core"
 	"repro/internal/network"
+	"repro/internal/telemetry/flightrec"
 	"repro/internal/telemetry/serve"
 )
 
@@ -129,15 +130,29 @@ func main() {
 		// The instrumentation run is throwaway: never checkpoint it.
 		inst.CheckpointEvery, inst.CheckpointDir, inst.Resume = 0, "", false
 		var srv *serve.Server
+		var frRec *flightrec.Recorder
+		frStop := func() {}
 		inst.OnNetwork = func(n *network.Network) error {
 			s, err := obsFlags.AttachServe(n)
+			if err != nil {
+				return err
+			}
 			srv = s
-			return err
+			rec, stop, err := obsFlags.AttachFlightRecRun(n, srv, inst)
+			if err != nil {
+				return err
+			}
+			if rec != nil {
+				frRec, frStop = rec, stop
+			}
+			return nil
 		}
 		if _, err := core.Run(inst); err != nil {
 			fmt.Fprintln(os.Stderr, "nocsweep: telemetry run:", err)
 			os.Exit(1)
 		}
+		frStop()
+		obs.ReportFlightRec(os.Stderr, frRec)
 		if srv != nil {
 			srv.Close()
 		}

@@ -1,0 +1,146 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/telemetry/health"
+	"repro/internal/telemetry/serve"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden frame")
+
+// frameSnapshots is a fixed polling history that exercises every render
+// branch: the UNHEALTHY banner, both sparklines, the faults line, a stale
+// checkpoint, an ok and a FIRING detector (with a detail long enough to
+// truncate), the hot-link table capped at -links, and the heatmap.
+func frameSnapshots() []*serve.Snapshot {
+	packetLat := func(p99 int64) []serve.LatencySnap {
+		return []serve.LatencySnap{{
+			Name: "packet", Class: -1, Count: 900, Sum: 31500, Mean: 35,
+			Quantiles: []serve.Quantile{{Q: 0.5, V: p99 / 2}, {Q: 0.99, V: p99}},
+		}}
+	}
+	base := func(cycle, flits, p99 int64) *serve.Snapshot {
+		return &serve.Snapshot{
+			Cycle:            cycle,
+			Healthy:          true,
+			Generated:        cycle / 2,
+			DeliveredPackets: cycle / 3,
+			DeliveredFlits:   flits,
+			Throughput:       float64(flits) / float64(cycle),
+			BufOcc:           42,
+			LinkInFlight:     7,
+			Latency:          packetLat(p99),
+		}
+	}
+	last := base(4096, 5400, 210)
+	last.Healthy = false
+	last.Health = []health.Verdict{
+		{Detector: "deadlock", Healthy: true},
+		{Detector: "starvation", Healthy: false, Since: 3901, Detail: "t5:N.vc0 head flit stalled 256 cycles; " + strings.Repeat("waiters pile up behind the wedged port ", 3)},
+		{Detector: "congestion", Healthy: true, Detail: "delivered 0.31 flits/cycle"},
+	}
+	last.DeadLinks = 1
+	last.FaultsApplied = 4
+	last.OverUnityLinks = 0
+	last.LastCheckpointCycle = 2048
+	last.CheckpointAge = 2048
+	last.CheckpointEvery = 512
+	last.CheckpointStale = true
+	last.HotLinks = []health.LinkLoad{
+		{Index: 12, From: 5, To: 6, Dir: "E", Flits: 911},
+		{Index: 3, From: 1, To: 5, Dir: "N", Flits: 640},
+		{Index: 44, From: 10, To: 9, Dir: "W", Flits: 512},
+	}
+	last.Heatmap = [][]float64{
+		{0.91, 0.12, 0.33, 0.04},
+		{0.25, 1.00, 0.50, 0.08},
+		{0.00, 0.66, 0.75, 0.10},
+		{0.05, 0.20, 0.40, 0.60},
+	}
+	return []*serve.Snapshot{
+		base(1024, 900, 40),
+		base(2048, 2100, 80),
+		base(3072, 3900, 150),
+		last,
+	}
+}
+
+// TestRenderGoldenFrame pins the exact ANSI frame noctop paints for a
+// fixed history — colors, escape sequences, column alignment, sparkline
+// glyphs, and detail truncation. Regenerate with `go test -run Golden
+// -update ./cmd/noctop` after an intentional layout change.
+func TestRenderGoldenFrame(t *testing.T) {
+	d := &dash{links: 2}
+	snaps := frameSnapshots()
+	for _, s := range snaps {
+		d.observe(s)
+	}
+	got := d.render(snaps[len(snaps)-1], "sim.example:8080")
+
+	golden := filepath.Join("testdata", "golden_frame.txt")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("frame drifted from golden.\n--- got ---\n%q\n--- want ---\n%q", got, want)
+	}
+
+	// Spot-check the load-bearing pieces so a stale golden cannot hide a
+	// regression in the essentials.
+	for _, needle := range []string{
+		"\x1b[41;97m UNHEALTHY \x1b[0m", // red banner
+		"cycle 4096",
+		"\x1b[31mFIRING\x1b[0m",
+		"\x1b[32mok\x1b[0m",
+		"\x1b[31mSTALE\x1b[0m",
+		"...",      // long starvation detail truncated at 100 chars
+		"L12",      // hottest link listed first
+		"100%",     // saturated heatmap cell
+		"\x1b[K\n", // per-line tail clear for in-place repaint
+		"dead links 1",
+	} {
+		if !strings.Contains(got, needle) {
+			t.Errorf("frame lacks %q", needle)
+		}
+	}
+	if strings.Contains(got, "L44") {
+		t.Error("-links 2 did not cap the hot-link table")
+	}
+	// Three observe() deltas → three sparkline columns, peak rendered as
+	// the full block.
+	if !strings.Contains(got, "█") {
+		t.Error("sparkline has no peak glyph")
+	}
+}
+
+// TestRenderFirstPoll pins the degenerate first frame: one sample, no
+// deltas yet, no optional sections — render must not panic or emit the
+// fault/checkpoint/hot-link/heatmap blocks.
+func TestRenderFirstPoll(t *testing.T) {
+	d := &dash{links: 5}
+	s := &serve.Snapshot{Cycle: 64, Healthy: true}
+	d.observe(s)
+	got := d.render(s, "localhost:8080")
+	if !strings.Contains(got, "\x1b[42;30m HEALTHY \x1b[0m") {
+		t.Error("first frame lacks the healthy banner")
+	}
+	for _, absent := range []string{"faults", "checkpoint", "hot links", "duty factor"} {
+		if strings.Contains(got, absent) {
+			t.Errorf("first frame has the optional %q section", absent)
+		}
+	}
+}

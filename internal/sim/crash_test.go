@@ -1,0 +1,100 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+// runExpectingPanic invokes fn and returns the recovered value, failing the
+// test if fn returned normally.
+func runExpectingPanic(t *testing.T, fn func()) (recovered any) {
+	t.Helper()
+	defer func() {
+		recovered = recover()
+		if recovered == nil {
+			t.Fatal("expected a panic to propagate out of the kernel")
+		}
+	}()
+	fn()
+	return nil
+}
+
+// TestCrashHookObservesPanic: the hook sees the cycle the kernel was
+// executing and the original panic value, and the panic still unwinds to
+// the caller afterwards.
+func TestCrashHookObservesPanic(t *testing.T) {
+	k := NewKernel(1)
+	k.AddPhase("boom", func(now Cycle) {
+		if now == 5 {
+			panic("phase exploded")
+		}
+	})
+	var hookNow Cycle = -1
+	var hookVal any
+	calls := 0
+	k.SetCrashHook(func(now Cycle, recovered any) {
+		hookNow, hookVal, calls = now, recovered, calls+1
+	})
+
+	r := runExpectingPanic(t, func() { k.Run(100) })
+	if s, ok := r.(string); !ok || s != "phase exploded" {
+		t.Fatalf("re-raised panic = %v, want the original value", r)
+	}
+	if calls != 1 {
+		t.Fatalf("hook ran %d times, want 1", calls)
+	}
+	if hookNow != 5 {
+		t.Fatalf("hook saw cycle %d, want the mid-crash cycle 5", hookNow)
+	}
+	if s, ok := hookVal.(string); !ok || s != "phase exploded" {
+		t.Fatalf("hook saw recovered value %v", hookVal)
+	}
+}
+
+// TestCrashHookPanicIsSwallowed: a hook that itself panics must not mask
+// the original cause — the caller still sees the phase's panic value.
+func TestCrashHookPanicIsSwallowed(t *testing.T) {
+	k := NewKernel(1)
+	k.AddPhase("boom", func(now Cycle) {
+		if now == 3 {
+			panic("original cause")
+		}
+	})
+	k.SetCrashHook(func(now Cycle, recovered any) {
+		panic("hook is also broken")
+	})
+	r := runExpectingPanic(t, func() { k.Run(10) })
+	if s, ok := r.(string); !ok || !strings.Contains(s, "original cause") {
+		t.Fatalf("caller saw %v; the hook's own panic masked the cause", r)
+	}
+}
+
+// TestCrashHookGuardsRunUntil: the guard covers RunUntil the same as Run.
+func TestCrashHookGuardsRunUntil(t *testing.T) {
+	k := NewKernel(1)
+	k.AddPhase("boom", func(now Cycle) {
+		if now == 7 {
+			panic("until crash")
+		}
+	})
+	var hookNow Cycle = -1
+	k.SetCrashHook(func(now Cycle, recovered any) { hookNow = now })
+	r := runExpectingPanic(t, func() { k.RunUntil(func() bool { return false }, 100) })
+	if s, ok := r.(string); !ok || s != "until crash" {
+		t.Fatalf("re-raised panic = %v", r)
+	}
+	if hookNow != 7 {
+		t.Fatalf("hook saw cycle %d, want 7", hookNow)
+	}
+}
+
+// TestNoHookPanicStillPropagates: without a hook nothing recovers — the
+// panic reaches the caller untouched (and no guard frame is even pushed).
+func TestNoHookPanicStillPropagates(t *testing.T) {
+	k := NewKernel(1)
+	k.AddPhase("boom", func(now Cycle) { panic("bare") })
+	r := runExpectingPanic(t, func() { k.Run(1) })
+	if s, ok := r.(string); !ok || s != "bare" {
+		t.Fatalf("panic = %v, want the phase's value", r)
+	}
+}

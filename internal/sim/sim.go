@@ -49,6 +49,10 @@ type Kernel struct {
 	// parallel runner (SetBatching, see shard.go).
 	batchMax int
 	batchOK  func() bool
+
+	// crashHook, when set, observes a panic unwinding Run/RunUntil before
+	// it propagates (SetCrashHook).
+	crashHook func(now Cycle, recovered any)
 }
 
 // NewKernel returns a kernel whose random source is seeded with seed.
@@ -113,9 +117,36 @@ func (k *Kernel) Step() {
 	k.now++
 }
 
+// SetCrashHook installs fn to observe a panic unwinding Run or RunUntil
+// before it propagates: the flight recorder uses it to freeze its window
+// on the way down. The hook runs on the panicking goroutine with the
+// simulation mid-cycle — it must treat the state as read-only wreckage.
+// The original panic is always re-raised, and a panic inside the hook
+// itself is swallowed so it cannot mask the cause. A panic on a pool
+// worker goroutine (shards > 1) crashes the process before the runner
+// returns and is not observable here.
+func (k *Kernel) SetCrashHook(fn func(now Cycle, recovered any)) { k.crashHook = fn }
+
+// crashGuard is the deferred recover behind Run/RunUntil when a crash
+// hook is installed.
+func (k *Kernel) crashGuard() {
+	if r := recover(); r != nil {
+		if h := k.crashHook; h != nil {
+			func() {
+				defer func() { recover() }()
+				h(k.now, r)
+			}()
+		}
+		panic(r)
+	}
+}
+
 // Run executes n cycles, on the lockstep worker pool when SetShards
 // configured intra-cycle parallelism.
 func (k *Kernel) Run(n int64) {
+	if k.crashHook != nil {
+		defer k.crashGuard()
+	}
 	if k.shards > 1 && n > 0 {
 		k.runParallel(n, nil)
 		return
@@ -129,6 +160,9 @@ func (k *Kernel) Run(n int64) {
 // is exhausted. It reports whether cond became true. cond always runs
 // single-threaded, between cycles.
 func (k *Kernel) RunUntil(cond func() bool, budget int64) bool {
+	if k.crashHook != nil {
+		defer k.crashGuard()
+	}
 	if k.shards > 1 && budget > 0 {
 		return k.runParallel(budget, cond)
 	}

@@ -319,6 +319,20 @@ func deadlockDetail(s Sample) string {
 	return sb.String()
 }
 
+// DeadlockDetail attributes a no-progress condition from a single sample,
+// exactly as the live deadlock detector does when it fires. The post-mortem
+// tool (cmd/nocpost) recomputes attributions from dumped samples through
+// this entry point, so its verdicts are string-identical to the live ones.
+func DeadlockDetail(s Sample) string { return deadlockDetail(s) }
+
+// WaitCycle finds a cycle in the waiting-VC graph of a sample, the core of
+// deadlock attribution, exposed for post-mortem analysis.
+func WaitCycle(waiting []VCWait) []VCWait { return waitCycle(waiting) }
+
+// Label renders a VCWait's canonical "t<tile>:<port>.vc<n>" name, the form
+// detector attributions use.
+func (w VCWait) Label() string { return w.label() }
+
 // waitCycle finds a cycle in the waiting-VC graph. Each routed waiter has
 // at most one successor — the downstream VC it needs a credit from — so
 // the graph is functional and a colored walk finds a cycle in O(n).

@@ -24,6 +24,7 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/network"
 	"repro/internal/sim"
@@ -172,7 +173,7 @@ type Collector struct {
 	rawSeq    uint64
 	builtSeq  uint64
 	built     *Snapshot
-	subs      map[chan []byte]struct{}
+	subs      map[*Subscriber]struct{}
 	mirror    io.Writer
 	mirrorErr error
 }
@@ -192,7 +193,7 @@ func AttachCollector(n *network.Network, cfg Config) (*Collector, error) {
 		cfg:        cfg,
 		mon:        health.New(cfg.Health),
 		classNames: make(map[int]string),
-		subs:       make(map[chan []byte]struct{}),
+		subs:       make(map[*Subscriber]struct{}),
 	}
 	n.Kernel().AddPhase("serve", c.phase)
 	return c, nil
@@ -268,21 +269,42 @@ func (c *Collector) MirrorErr() error {
 	return c.mirrorErr
 }
 
-// Subscribe registers an SSE subscriber: a channel that receives
-// pre-rendered SSE frames. Slow subscribers miss frames rather than
-// stalling the simulation.
-func (c *Collector) Subscribe() chan []byte {
-	ch := make(chan []byte, 32)
+// subQueue is each subscriber's bounded frame queue depth. A client that
+// cannot drain this many frames is stalled; further frames are dropped
+// and counted rather than ever blocking the publisher (the simulation's
+// serial phase).
+const subQueue = 32
+
+// Subscriber is one /events client's bounded queue of pre-rendered SSE
+// frames. Slow or stalled clients miss frames — never stall the
+// simulation — and the miss count is reported on the stream when the
+// client catches back up.
+type Subscriber struct {
+	ch      chan []byte
+	dropped atomic.Int64
+}
+
+// C is the frame channel the client drains.
+func (s *Subscriber) C() <-chan []byte { return s.ch }
+
+// Dropped reports how many frames have been dropped on this subscriber's
+// queue so far.
+func (s *Subscriber) Dropped() int64 { return s.dropped.Load() }
+
+// Subscribe registers an SSE subscriber. Slow subscribers miss frames
+// (counted per subscriber) rather than stalling the simulation.
+func (c *Collector) Subscribe() *Subscriber {
+	sub := &Subscriber{ch: make(chan []byte, subQueue)}
 	c.mu.Lock()
-	c.subs[ch] = struct{}{}
+	c.subs[sub] = struct{}{}
 	c.mu.Unlock()
-	return ch
+	return sub
 }
 
 // Unsubscribe removes a subscriber registered with Subscribe.
-func (c *Collector) Unsubscribe(ch chan []byte) {
+func (c *Collector) Unsubscribe(sub *Subscriber) {
 	c.mu.Lock()
-	delete(c.subs, ch)
+	delete(c.subs, sub)
 	c.mu.Unlock()
 }
 
@@ -522,11 +544,14 @@ func (c *Collector) broadcast(snap *Snapshot, events []health.Event) {
 		frames = append(frames, []byte("event: health\ndata: "+string(b)+"\n\n"))
 	}
 	c.mu.Lock()
-	for ch := range c.subs {
+	for sub := range c.subs {
 		for _, f := range frames {
 			select {
-			case ch <- f:
-			default: // slow subscriber: drop the frame
+			case sub.ch <- f:
+			default:
+				// Stalled subscriber: drop the frame and count the miss;
+				// the publisher (a serial simulation phase) never blocks.
+				sub.dropped.Add(1)
 			}
 		}
 	}

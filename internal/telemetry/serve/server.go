@@ -12,8 +12,9 @@ import (
 )
 
 // Server is the embedded HTTP front of a Collector: it binds a listener,
-// serves the four endpoints, and never touches simulator state (handlers
-// read only published snapshots).
+// serves the endpoints, and never touches simulator state (handlers read
+// only published snapshots, or hand off to the flight recorder's own
+// cycle-boundary machinery).
 type Server struct {
 	col *Collector
 	ln  net.Listener
@@ -21,7 +22,29 @@ type Server struct {
 
 	mu     sync.Mutex
 	closed bool
+	dumper DumpTrigger
 }
+
+// DumpTrigger is what /debug/flightrec drives: an attached flight
+// recorder that can freeze its window into a dump file on demand. The
+// interface lives here so the recorder package can depend on serve-free
+// layers while the server stays recorder-agnostic.
+type DumpTrigger interface {
+	// TriggerDump writes a dump for the given reason and returns its path.
+	TriggerDump(reason string) (string, error)
+}
+
+// SetDumper attaches (or, with nil, detaches) the flight recorder behind
+// /debug/flightrec.
+func (s *Server) SetDumper(d DumpTrigger) {
+	s.mu.Lock()
+	s.dumper = d
+	s.mu.Unlock()
+}
+
+// sseHeartbeat is the /events keep-alive comment interval; a variable so
+// the stalled-reader test can shrink it.
+var sseHeartbeat = 15 * time.Second
 
 // Start attaches a collector to the network and serves it on addr
 // (":8080", "127.0.0.1:0", ...). The listener is bound before Start
@@ -48,6 +71,7 @@ func StartWith(col *Collector, addr string) (*Server, error) {
 	mux.HandleFunc("/snapshot", s.handleSnapshot)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/events", s.handleEvents)
+	mux.HandleFunc("/debug/flightrec", s.handleFlightrec)
 	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	go s.srv.Serve(ln) //nolint:errcheck // Serve always returns on Close
 	return s, nil
@@ -83,6 +107,7 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "  /snapshot  full JSON snapshot (heatmap, per-component counters)")
 	fmt.Fprintln(w, "  /healthz   online detector verdicts (200 healthy / 503 tripped)")
 	fmt.Fprintln(w, "  /events    SSE stream of health transitions and sampled rows")
+	fmt.Fprintln(w, "  /debug/flightrec  POST/GET: dump the flight recorder's window now")
 }
 
 // snapshotOr503 fetches the latest snapshot or fails the request; before
@@ -103,6 +128,37 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	WriteProm(w, snap) //nolint:errcheck // client went away
+	// Process self-monitoring rows render at request time, never into the
+	// snapshot: snapshots must stay deterministic (the shard-determinism
+	// suite compares their byte streams), and goroutine counts or heap
+	// sizes are anything but.
+	WriteRuntimeProm(w) //nolint:errcheck // client went away
+}
+
+// handleFlightrec asks the attached flight recorder (SetDumper) to dump
+// its window. Without a recorder the endpoint 404s, so it is always safe
+// to register.
+func (s *Server) handleFlightrec(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	d := s.dumper
+	s.mu.Unlock()
+	if d == nil {
+		http.Error(w, "no flight recorder attached (run with -flightrec)", http.StatusNotFound)
+		return
+	}
+	reason := r.URL.Query().Get("reason")
+	if reason == "" {
+		reason = "http"
+	}
+	path, err := d.TriggerDump(reason)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(struct { //nolint:errcheck // client went away
+		Path string `json:"path"`
+	}{Path: path})
 }
 
 func (s *Server) handleSnapshot(w http.ResponseWriter, _ *http.Request) {
@@ -177,15 +233,33 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusOK)
 	fmt.Fprint(w, ": stream open\n\n")
 	fl.Flush()
-	ch := s.col.Subscribe()
-	defer s.col.Unsubscribe(ch)
+	sub := s.col.Subscribe()
+	defer s.col.Unsubscribe(sub)
+	hb := time.NewTicker(sseHeartbeat)
+	defer hb.Stop()
+	var reported int64
 	for {
 		select {
 		case <-r.Context().Done():
 			return
-		case frame, ok := <-ch:
+		case <-hb.C:
+			// Keep-alive comment so idle streams (long Every, quiescent
+			// network) survive proxies and clients detect half-open TCP.
+			if _, err := fmt.Fprint(w, ": heartbeat\n\n"); err != nil {
+				return
+			}
+			fl.Flush()
+		case frame, ok := <-sub.C():
 			if !ok {
 				return
+			}
+			if d := sub.Dropped(); d > reported {
+				// The client stalled and missed frames; tell it how many
+				// so it knows its view has gaps.
+				if _, err := fmt.Fprintf(w, ": %d frame(s) dropped while stalled\n\n", d-reported); err != nil {
+					return
+				}
+				reported = d
 			}
 			if _, err := w.Write(frame); err != nil {
 				return

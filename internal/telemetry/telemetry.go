@@ -176,11 +176,28 @@ type Probe struct {
 
 	kx, ky int
 	tracer *Tracer
+	sink   EventSink
 
 	// AppendHeatmapGrid scratch, reused across snapshots.
 	heatSums   []float64
 	heatCounts []int
 }
+
+// EventSink receives the probe's discrete fault transitions as they
+// happen, in addition to the cumulative counters. Both forwarding points
+// run from serial kernel phases (the fault injector and the watchdog), so
+// implementations need no locking against simulation state. The flight
+// recorder uses this to timestamp fault transitions in its event log.
+type EventSink interface {
+	// OnFault mirrors Probe.OnFault: an applied fault-injector event.
+	OnFault(now int64, kind, where int)
+	// OnLinkDead mirrors Probe.OnLinkDead: a watchdog fail-stop.
+	OnLinkDead(index int, now int64)
+}
+
+// SetEventSink installs (or, with nil, removes) the fault-transition
+// forwarding sink.
+func (p *Probe) SetEventSink(s EventSink) { p.sink = s }
 
 // New returns an empty probe; the network populates it at construction.
 func New(cfg Config) *Probe {
@@ -267,6 +284,9 @@ func (p *Probe) OnLinkDead(index int, now int64) {
 	if p.tracer != nil {
 		p.tracer.Add(Event{Cycle: now, Kind: EvLinkDead, A: int32(index)})
 	}
+	if p.sink != nil {
+		p.sink.OnLinkDead(index, now)
+	}
 }
 
 // OnFault records an applied fault-injector event (kind is the injector's
@@ -275,6 +295,9 @@ func (p *Probe) OnFault(now int64, kind int, where int) {
 	p.FaultsApplied++
 	if p.tracer != nil {
 		p.tracer.Add(Event{Cycle: now, Kind: EvFault, A: int32(kind), B: int32(where)})
+	}
+	if p.sink != nil {
+		p.sink.OnFault(now, kind, where)
 	}
 }
 
