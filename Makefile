@@ -13,8 +13,12 @@ test:
 vet:
 	$(GO) vet ./...
 
+# The full race pass needs an explicit timeout: the root package's suite
+# (goldens, determinism cross products, resumed and forked sweeps) runs
+# well past go test's default 10m per-package budget under the race
+# detector on small machines.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 30m ./...
 
 # ci is the gate: everything compiles, vets clean, passes under the race
 # detector (which includes the cross-shard determinism suite exercising
@@ -46,18 +50,28 @@ race:
 # and must stay byte-identical to the straight-through goldens, and the
 # crash-resume smoke SIGKILLs a real nocsim mid-campaign, tears the
 # newest checkpoint file, and diffs the resumed run's report and metrics
-# CSV against an uninterrupted reference.
+# CSV against an uninterrupted reference. The campaign engine is gated
+# the same two ways: the fork/replication determinism suite (forked
+# sweeps byte-match the straight-through goldens, replica 0 byte-matches
+# a plain run) runs under the race detector, and the campaign benchmarks
+# ride the benchjson gate — SweepPointReuse must hold its 0 allocs/op
+# (and 0 B/op) pooled re-init, NetworkBuild4096 records the cold-build
+# cost it replaces, and the SweepThroughput pair gates points/sec
+# downward so the warm-fork amortization can't silently rot.
 ci:
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) vet ./internal/telemetry ./internal/telemetry/health ./internal/telemetry/serve ./cmd/internal/obs
 	$(GO) test -race ./internal/telemetry ./internal/telemetry/health ./internal/telemetry/serve ./cmd/internal/obs
 	$(GO) test -race ./internal/checkpoint ./internal/network ./internal/core
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 30m ./...
 	$(GO) test -race -run 'TestServeSmoke' .
 	$(GO) test -race -run 'TestResumedGolden|TestCrashResume' .
 	$(GO) test -race -run 'TestFlightRecSmoke|TestFlightRecReconstructionExact' .
-	$(GO) test -run '^$$' -bench 'NetworkCycle$$|NetworkCycleServeOff$$|NetworkCycleServeOn$$|NetworkCycleFlightRecOff$$|NetworkCycleFlightRecOn$$|NetworkCycle64$$|NetworkCycle4096$$|NetworkCycleIdle4096$$|RouteCompute' -benchtime 200ms -benchmem . \
+	$(GO) test -race -run 'TestForkedGoldenSweep|TestReplicatedRunDeterminism|TestReplicatedSweepMatchesRuns|TestArenaReuseDeterminism' .
+	{ $(GO) test -run '^$$' -bench 'NetworkCycle$$|NetworkCycleServeOff$$|NetworkCycleServeOn$$|NetworkCycleFlightRecOff$$|NetworkCycleFlightRecOn$$|NetworkCycle64$$|NetworkCycle4096$$|NetworkCycleIdle4096$$|RouteCompute' -benchtime 200ms -benchmem . ; \
+	  $(GO) test -run '^$$' -bench 'NetworkBuild4096$$|SweepPointReuse$$' -benchtime 20x -benchmem . ; \
+	  $(GO) test -run '^$$' -bench 'SweepThroughput' -benchtime 1x . ; } \
 		| $(GO) run ./cmd/benchjson -against BENCH_cycles.json -max-regress 50
 
 # fuzz gives the fault-campaign parser and the checkpoint decoder a short
@@ -81,13 +95,19 @@ fuzz:
 # disabled, isolating the quiescence fast-forward win); the shard
 # benchmarks are recorded at GOMAXPROCS=1 (barrier overhead, no speedup
 # possible) and GOMAXPROCS=8 (the parallel case), keyed by the -procs
-# suffix benchjson parses into each row. The final step re-runs the
+# suffix benchjson parses into each row. The campaign-engine rows record
+# the amortized sweep machinery: NetworkBuild4096 (cold 4096-tile build),
+# SweepPointReuse (pooled in-place Reset, must stay 0 allocs/op), and the
+# SweepThroughput warm/cold pair whose points/sec ratio is the warm-fork
+# amortization factor. The final step re-runs the
 # 4096-tile benchmark under the CPU profiler so every refresh leaves a
 # bench_cycle4096.prof artifact (`go tool pprof bench_cycle4096.prof`)
 # beside the JSON for digging into cycle-loop regressions.
 bench:
 	{ GOMAXPROCS=1 $(GO) test -run '^$$' -bench 'NetworkCycle|RouteCompute|ECCRoundTrip|PacketSegmentation' -benchtime 1s -benchmem . ; \
 	  GOMAXPROCS=8 $(GO) test -run '^$$' -bench 'NetworkCycle64' -benchtime 1s -benchmem . ; \
+	  $(GO) test -run '^$$' -bench 'NetworkBuild4096$$|SweepPointReuse$$' -benchtime 50x -benchmem . ; \
+	  $(GO) test -run '^$$' -bench 'SweepThroughput' -benchtime 1x . ; \
 	  $(GO) test -run '^$$' -bench 'BenchmarkE[0-9]' -benchtime 1x -benchmem . ; } | $(GO) run ./cmd/benchjson -o BENCH_cycles.json
 	GOMAXPROCS=1 $(GO) test -run '^$$' -bench 'NetworkCycle4096$$' -benchtime 200ms -cpuprofile bench_cycle4096.prof .
 

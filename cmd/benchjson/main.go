@@ -40,6 +40,11 @@ type Result struct {
 	// CyclesPerSec is simulated cycles per wall-clock second, only set
 	// for benchmarks whose op is one network cycle (NetworkCycle*).
 	CyclesPerSec float64 `json:"cycles_per_sec,omitempty"`
+	// PointsPerSec is campaign throughput in sweep measurements per
+	// wall-clock second, reported by the SweepThroughput benchmarks via
+	// b.ReportMetric (a custom "points/sec" column). Higher is better, so
+	// the gate flags drops, not rises.
+	PointsPerSec float64 `json:"points_per_sec,omitempty"`
 }
 
 // Record is the top-level BENCH_cycles.json document.
@@ -169,11 +174,23 @@ func compare(path string, results []Result, maxPct float64) (regressions int, er
 				r.Name, r.Procs, r.AllocsPerOp, old.AllocsPerOp)
 			regressions++
 		}
-		if strings.Contains(r.Name, "Serve") || strings.Contains(r.Name, "FlightRec") {
+		if strings.Contains(r.Name, "Serve") || strings.Contains(r.Name, "FlightRec") ||
+			strings.Contains(r.Name, "SweepPointReuse") {
 			byteLimit := int64(float64(old.BytesPerOp) * (1 + maxPct/100))
 			if r.BytesPerOp > byteLimit {
 				fmt.Fprintf(os.Stderr, "benchjson: REGRESSION %s-%d: %d B/op vs baseline %d\n",
 					r.Name, r.Procs, r.BytesPerOp, old.BytesPerOp)
+				regressions++
+			}
+		}
+		// Campaign throughput gates downward: points/sec below the
+		// baseline by more than maxPct means warm forks or arena reuse
+		// stopped paying.
+		if old.PointsPerSec > 0 && r.PointsPerSec > 0 {
+			floor := old.PointsPerSec * (1 - maxPct/100)
+			if r.PointsPerSec < floor {
+				fmt.Fprintf(os.Stderr, "benchjson: REGRESSION %s-%d: %.2f points/sec vs baseline %.2f (-%.1f%%, limit %.0f%%)\n",
+					r.Name, r.Procs, r.PointsPerSec, old.PointsPerSec, 100*(1-r.PointsPerSec/old.PointsPerSec), maxPct)
 				regressions++
 			}
 		}
@@ -212,6 +229,8 @@ func parseLine(line string) (Result, bool) {
 			r.BytesPerOp, _ = strconv.ParseInt(v, 10, 64)
 		case "allocs/op":
 			r.AllocsPerOp, _ = strconv.ParseInt(v, 10, 64)
+		case "points/sec":
+			r.PointsPerSec, _ = strconv.ParseFloat(v, 64)
 		}
 	}
 	if r.NsPerOp == 0 {

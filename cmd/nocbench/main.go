@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/cmd/internal/obs"
+	"repro/internal/artifact"
 	"repro/internal/core"
 	"repro/internal/network"
 	"repro/internal/sim"
@@ -123,6 +124,9 @@ func main() {
 	cycles := core.SimulatedCycles()
 	fmt.Fprintf(os.Stderr, "%d experiments in %.2fs wall clock, %d simulated cycles (%.2fM cycles/s)\n",
 		len(experiments), elapsed.Seconds(), cycles, float64(cycles)/elapsed.Seconds()/1e6)
+	if hits, misses := artifact.Stats(); hits+misses > 0 {
+		fmt.Fprintf(os.Stderr, "artifact cache: %d hits, %d misses (route tables, topologies, adjacency shared across runs)\n", hits, misses)
+	}
 
 	// The experiments own their networks, so telemetry instruments one
 	// extra run of the paper's baseline configuration.

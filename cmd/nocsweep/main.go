@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/cmd/internal/obs"
+	"repro/internal/artifact"
 	"repro/internal/core"
 	"repro/internal/network"
 	"repro/internal/telemetry/flightrec"
@@ -33,6 +34,7 @@ func main() {
 		par      = flag.Int("parallel", 0, "concurrent sweep points (0 = GOMAXPROCS)")
 		shards   = flag.Int("shards", 1, "intra-cycle shards per simulation, identical results (0 = GOMAXPROCS, 1 = sequential); composes with -parallel")
 		batch    = flag.Int("batch-epochs", 0, "max cycles folded into one barrier epoch while near-quiescent, sharded runs only (0 = default 64, -1 disables); identical results")
+		replicas = flag.Int("replicas", 1, "measurement replicas per point, warm-forked from one shared warmup (replica seeds derive from -seed; 1 = single measurement)")
 
 		ckptEvery = flag.Int64("checkpoint-every", 0, "checkpoint every sweep point every N cycles (0 disables; needs -checkpoint-dir)")
 		ckptDir   = flag.String("checkpoint-dir", "", "checkpoint root; each point uses its own point-NNN subdirectory")
@@ -56,6 +58,14 @@ func main() {
 	}
 	if (*ckptEvery > 0 || *resume) && *ckptDir == "" {
 		fmt.Fprintln(os.Stderr, "nocsweep: -checkpoint-every/-resume need -checkpoint-dir")
+		os.Exit(1)
+	}
+	if *replicas < 1 {
+		fmt.Fprintf(os.Stderr, "nocsweep: -replicas must be >= 1; got %d\n", *replicas)
+		os.Exit(1)
+	}
+	if *replicas > 1 && (*ckptEvery > 0 || *resume || *ckptDir != "") {
+		fmt.Fprintln(os.Stderr, "nocsweep: -replicas forks warmups in memory and does not compose with disk checkpointing flags")
 		os.Exit(1)
 	}
 
@@ -98,23 +108,51 @@ func main() {
 	base.CheckpointDir = *ckptDir
 	base.Resume = *resume
 
-	points, err := core.Sweep(base, rates)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "nocsweep:", err)
-		os.Exit(1)
-	}
-	fmt.Println("offered,accepted,avg_latency,p50,p99,max,util_mean,util_max")
-	for _, pt := range points {
-		r := pt.Result
-		fmt.Printf("%.3f,%.4f,%.2f,%d,%d,%d,%.4f,%.4f\n",
-			pt.Rate, r.AcceptedFlits, r.AvgLatency, r.P50Latency, r.P99Latency,
-			r.MaxLatency, r.LinkUtilMean, r.LinkUtilMax)
+	var points []core.SweepPoint
+	if *replicas > 1 {
+		// Replicated mode: every point runs one shared warmup and forks
+		// each measurement window from its in-memory snapshot. The CSV
+		// gains a replica column; the saturation estimate uses per-point
+		// means.
+		rpts, err := core.SweepReplicated(base, rates, *replicas)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nocsweep:", err)
+			os.Exit(1)
+		}
+		fmt.Println("offered,replica,accepted,avg_latency,p50,p99,max,util_mean,util_max")
+		for _, pt := range rpts {
+			for ri, r := range pt.Replicas {
+				fmt.Printf("%.3f,%d,%.4f,%.2f,%d,%d,%d,%.4f,%.4f\n",
+					pt.Rate, ri, r.AcceptedFlits, r.AvgLatency, r.P50Latency, r.P99Latency,
+					r.MaxLatency, r.LinkUtilMean, r.LinkUtilMax)
+			}
+			points = append(points, core.SweepPoint{Rate: pt.Rate, Result: pt.Mean()})
+		}
+	} else {
+		var err error
+		points, err = core.Sweep(base, rates)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nocsweep:", err)
+			os.Exit(1)
+		}
+		fmt.Println("offered,accepted,avg_latency,p50,p99,max,util_mean,util_max")
+		for _, pt := range points {
+			r := pt.Result
+			fmt.Printf("%.3f,%.4f,%.2f,%d,%d,%d,%.4f,%.4f\n",
+				pt.Rate, r.AcceptedFlits, r.AvgLatency, r.P50Latency, r.P99Latency,
+				r.MaxLatency, r.LinkUtilMean, r.LinkUtilMax)
+		}
 	}
 	fmt.Fprintf(os.Stderr, "saturation ≈ %.3f flits/node/cycle\n", core.SaturationRate(points))
 	elapsed := time.Since(start)
 	cycles := core.SimulatedCycles()
-	fmt.Fprintf(os.Stderr, "%d points in %.2fs wall clock, %d simulated cycles (%.2fM cycles/s)\n",
-		len(points), elapsed.Seconds(), cycles, float64(cycles)/elapsed.Seconds()/1e6)
+	measurements := len(points) * *replicas
+	fmt.Fprintf(os.Stderr, "%d points × %d replicas in %.2fs wall clock (%.2f points/s), %d simulated cycles (%.2fM cycles/s)\n",
+		len(points), *replicas, elapsed.Seconds(), float64(measurements)/elapsed.Seconds(),
+		cycles, float64(cycles)/elapsed.Seconds()/1e6)
+	if hits, misses := artifact.Stats(); hits+misses > 0 {
+		fmt.Fprintf(os.Stderr, "artifact cache: %d hits, %d misses\n", hits, misses)
+	}
 
 	// Sweep points run concurrently on throwaway networks, so telemetry
 	// instruments one extra sequential run at the heaviest load instead.

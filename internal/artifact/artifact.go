@@ -1,0 +1,100 @@
+// Package artifact is a content-keyed cache for immutable build products
+// of a simulation configuration: route tables, topology adjacency lists,
+// and model outputs that are pure functions of (topology, size, routing).
+// Computing them once per key and sharing the result read-only across
+// sweep points, parallel sim.ForEach workers, and long-lived service
+// sessions removes the dominant repeated-setup cost of campaign runs.
+//
+// Values stored in the cache must be immutable after Build returns:
+// every consumer sees the same object concurrently, with no copies and
+// no locks on the read path beyond the lookup itself.
+package artifact
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// entry is one cache slot. The once latch dedupes concurrent builds of
+// the same key: every caller blocks on the first builder and then shares
+// its result.
+type entry struct {
+	once sync.Once
+	val  any
+	err  error
+}
+
+// Cache is a concurrency-safe content-keyed store of immutable artifacts.
+// The zero value is not usable; call New.
+type Cache struct {
+	mu      sync.Mutex
+	entries map[string]*entry
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// New returns an empty cache.
+func New() *Cache {
+	return &Cache{entries: make(map[string]*entry)}
+}
+
+// Get returns the artifact stored under key, building it with build on
+// first use. Concurrent Gets of the same key run build exactly once and
+// share the result. A failed build is cached too (the configuration is
+// the key, so retrying cannot succeed); callers always see the same
+// (value, error) pair for a key.
+func (c *Cache) Get(key string, build func() (any, error)) (any, error) {
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if !ok {
+		e = &entry{}
+		c.entries[key] = e
+	}
+	c.mu.Unlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	e.once.Do(func() { e.val, e.err = build() })
+	return e.val, e.err
+}
+
+// Stats reports the cumulative hit and miss counts. A miss is a Get that
+// created the entry (and ran the build); a hit found an existing entry,
+// whether already built or still being built by another goroutine. The
+// counts are process-global and monotone — they are operational metrics,
+// not simulation state, and must never feed deterministic outputs.
+func (c *Cache) Stats() (hits, misses int64) {
+	return c.hits.Load(), c.misses.Load()
+}
+
+// Len reports the number of cached entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Clear drops every entry and zeroes the counters, for tests. In-flight
+// Gets keep their entry references and complete normally.
+func (c *Cache) Clear() {
+	c.mu.Lock()
+	c.entries = make(map[string]*entry)
+	c.mu.Unlock()
+	c.hits.Store(0)
+	c.misses.Store(0)
+}
+
+// Default is the process-wide cache the core layer shares artifacts
+// through.
+var Default = New()
+
+// Get fetches from the Default cache.
+func Get(key string, build func() (any, error)) (any, error) {
+	return Default.Get(key, build)
+}
+
+// Stats reports the Default cache's hit/miss counters.
+func Stats() (hits, misses int64) { return Default.Stats() }

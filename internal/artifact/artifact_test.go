@@ -1,0 +1,112 @@
+package artifact
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestGetBuildsOncePerKey(t *testing.T) {
+	c := New()
+	builds := 0
+	build := func() (any, error) { builds++; return 42, nil }
+	for i := 0; i < 5; i++ {
+		v, err := c.Get("k", build)
+		if err != nil || v.(int) != 42 {
+			t.Fatalf("Get = %v, %v", v, err)
+		}
+	}
+	if builds != 1 {
+		t.Fatalf("build ran %d times, want 1", builds)
+	}
+	hits, misses := c.Stats()
+	if hits != 4 || misses != 1 {
+		t.Fatalf("stats = %d hits / %d misses, want 4/1", hits, misses)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+}
+
+func TestGetCachesErrors(t *testing.T) {
+	c := New()
+	boom := errors.New("boom")
+	builds := 0
+	for i := 0; i < 3; i++ {
+		_, err := c.Get("bad", func() (any, error) { builds++; return nil, boom })
+		if !errors.Is(err, boom) {
+			t.Fatalf("err = %v, want %v", err, boom)
+		}
+	}
+	if builds != 1 {
+		t.Fatalf("failed build ran %d times, want 1 (errors are cached)", builds)
+	}
+}
+
+func TestConcurrentGetSharesOneBuild(t *testing.T) {
+	c := New()
+	var builds int // guarded by the once latch itself
+	val := &struct{ n int }{n: 7}
+	var wg sync.WaitGroup
+	results := make([]any, 32)
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err := c.Get("shared", func() (any, error) {
+				builds++
+				return val, nil
+			})
+			if err != nil {
+				t.Errorf("Get: %v", err)
+			}
+			results[i] = v
+		}(i)
+	}
+	wg.Wait()
+	if builds != 1 {
+		t.Fatalf("build ran %d times, want 1", builds)
+	}
+	for i, v := range results {
+		if v != any(val) {
+			t.Fatalf("goroutine %d got a different object: %p vs %p", i, v, val)
+		}
+	}
+	hits, misses := c.Stats()
+	if hits+misses != 32 || misses < 1 {
+		t.Fatalf("stats = %d hits / %d misses, want 32 total with >=1 miss", hits, misses)
+	}
+}
+
+func TestDistinctKeysDistinctValues(t *testing.T) {
+	c := New()
+	for i := 0; i < 4; i++ {
+		i := i
+		v, err := c.Get(fmt.Sprintf("k%d", i), func() (any, error) { return i, nil })
+		if err != nil || v.(int) != i {
+			t.Fatalf("key k%d: got %v, %v", i, v, err)
+		}
+	}
+	if c.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", c.Len())
+	}
+}
+
+func TestClear(t *testing.T) {
+	c := New()
+	c.Get("k", func() (any, error) { return 1, nil })
+	c.Get("k", func() (any, error) { return 1, nil })
+	c.Clear()
+	if c.Len() != 0 {
+		t.Fatalf("Len after Clear = %d", c.Len())
+	}
+	if h, m := c.Stats(); h != 0 || m != 0 {
+		t.Fatalf("stats after Clear = %d/%d", h, m)
+	}
+	builds := 0
+	c.Get("k", func() (any, error) { builds++; return 2, nil })
+	if builds != 1 {
+		t.Fatalf("build after Clear ran %d times, want 1", builds)
+	}
+}

@@ -180,6 +180,66 @@ func TestLoadLatestFallsBackPastCorrupt(t *testing.T) {
 	}
 }
 
+func TestLoadLatestReportRecordsSkips(t *testing.T) {
+	dir := t.TempDir()
+	for _, cycle := range []int64{100, 200, 300} {
+		b := NewBuilder(1, cycle)
+		b.Section("s").I64(cycle)
+		if _, err := WriteFile(dir, cycle, b.Bytes()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Tear the newest checkpoint and corrupt the middle one outright.
+	newest := filepath.Join(dir, FileName(300))
+	data, err := os.ReadFile(newest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(newest, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, FileName(200)), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, _, skipped, err := LoadLatestReport(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Cycle != 100 {
+		t.Fatalf("restored cycle %d, want 100", f.Cycle)
+	}
+	if len(skipped) != 2 || skipped[0].Name != FileName(300) || skipped[1].Name != FileName(200) {
+		t.Fatalf("skipped = %+v, want the torn 300 then the corrupt 200", skipped)
+	}
+	for _, s := range skipped {
+		if s.Err == nil {
+			t.Fatalf("skip %s carries no error", s.Name)
+		}
+	}
+	// The skips are recorded as comments in the manifest sidecar...
+	man, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{FileName(300), FileName(200)} {
+		if !bytes.Contains(man, []byte("# skipped "+name)) {
+			t.Errorf("manifest lacks skip note for %s:\n%s", name, man)
+		}
+	}
+	// ...which the manifest reader ignores, so a second load still finds
+	// the valid checkpoint and the notes are rewritten, not accumulated.
+	if _, _, _, err := LoadLatestReport(dir); err != nil {
+		t.Fatalf("manifest with skip notes broke loading: %v", err)
+	}
+	man2, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := bytes.Count(man2, []byte("# skipped")), 2; got != want {
+		t.Errorf("after reload, %d skip notes, want %d (rewritten, not appended):\n%s", got, want, man2)
+	}
+}
+
 func TestLoadLatestWithoutManifest(t *testing.T) {
 	dir := t.TempDir()
 	b := NewBuilder(1, 42)

@@ -3,6 +3,7 @@ package checkpoint
 import (
 	"errors"
 	"fmt"
+	"log"
 	"os"
 	"path/filepath"
 	"sort"
@@ -141,29 +142,71 @@ func candidates(dir string) []string {
 	return append(names, extra...)
 }
 
-// LoadLatest finds the newest fully-valid checkpoint in dir, skipping any
-// torn or corrupt files (each candidate is completely parsed, so every
-// section CRC must hold). It returns the parsed checkpoint and its path.
-func LoadLatest(dir string) (*File, string, error) {
+// Skipped records one checkpoint candidate the loader rejected — torn by
+// a crash mid-write, corrupted on disk (a failed section CRC), or simply
+// unreadable — before it found a valid one.
+type Skipped struct {
+	Name string
+	Err  error
+}
+
+// LoadLatestReport finds the newest fully-valid checkpoint in dir,
+// skipping any torn or corrupt files (each candidate is completely
+// parsed, so every section CRC must hold). Unlike a silent fallback, the
+// rejected candidates are returned to the caller and recorded as
+// `# skipped` comment lines in the MANIFEST sidecar (the manifest reader
+// ignores comments), so an operator inspecting a resumed run's directory
+// can see that — and why — the newest snapshot was not the one restored.
+func LoadLatestReport(dir string) (*File, string, []Skipped, error) {
 	cands := candidates(dir)
 	if len(cands) == 0 {
-		return nil, "", fmt.Errorf("checkpoint: %w in %s", ErrNoCheckpoints, dir)
+		return nil, "", nil, fmt.Errorf("checkpoint: %w in %s", ErrNoCheckpoints, dir)
 	}
-	var firstErr error
+	var skipped []Skipped
 	for _, name := range cands {
 		path := filepath.Join(dir, name)
 		data, err := os.ReadFile(path)
 		if err == nil {
 			var f *File
 			if f, err = Parse(data); err == nil {
-				return f, path, nil
+				noteSkipped(dir, skipped)
+				return f, path, skipped, nil
 			}
 		}
-		if firstErr == nil {
-			firstErr = fmt.Errorf("%s: %w", name, err)
-		}
+		skipped = append(skipped, Skipped{Name: name, Err: err})
 	}
-	return nil, "", fmt.Errorf("checkpoint: no valid checkpoint in %s (newest: %v)", dir, firstErr)
+	noteSkipped(dir, skipped)
+	return nil, "", skipped, fmt.Errorf("checkpoint: no valid checkpoint in %s (newest: %s: %v)", dir, skipped[0].Name, skipped[0].Err)
+}
+
+// noteSkipped rewrites the manifest with the valid file list followed by
+// one `# skipped` comment per rejected candidate. Comments from earlier
+// loads are replaced, so the sidecar reflects the most recent load and
+// never grows without bound. Best-effort: a read-only directory leaves
+// the manifest as it was.
+func noteSkipped(dir string, skipped []Skipped) {
+	if len(skipped) == 0 {
+		return
+	}
+	var sb strings.Builder
+	for _, n := range readManifest(dir) {
+		sb.WriteString(n)
+		sb.WriteByte('\n')
+	}
+	for _, s := range skipped {
+		fmt.Fprintf(&sb, "# skipped %s: %v\n", s.Name, s.Err)
+	}
+	writeAtomic(filepath.Join(dir, manifestName), []byte(sb.String())) //nolint:errcheck // advisory sidecar
+}
+
+// LoadLatest is LoadLatestReport with the skips logged instead of
+// returned, for callers without their own reporting channel.
+func LoadLatest(dir string) (*File, string, error) {
+	f, path, skipped, err := LoadLatestReport(dir)
+	for _, s := range skipped {
+		log.Printf("checkpoint: skipped %s in %s: %v", s.Name, dir, s.Err)
+	}
+	return f, path, err
 }
 
 // Prune removes all but the newest keep valid-looking checkpoint files

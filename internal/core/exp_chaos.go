@@ -241,7 +241,7 @@ func RunCampaign(p CampaignParams) (CampaignResult, error) {
 	}
 	tiles := n.Topology().NumTiles()
 	hash := configHash("campaign", p.Run, fmt.Sprintf("%s|%v|%d", p.Spec, p.MTBF, p.Cycles))
-	n, err = runToHorizon(n, p.Run, p.Cycles, hash, build)
+	n, err = runToHorizon(n, p.Run, p.Cycles, hash, build, nil)
 	if err != nil {
 		return CampaignResult{}, err
 	}

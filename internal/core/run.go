@@ -11,10 +11,12 @@ import (
 	"path/filepath"
 	"sync/atomic"
 
+	"repro/internal/artifact"
 	"repro/internal/circuits"
 	"repro/internal/flit"
 	"repro/internal/network"
 	"repro/internal/power"
+	"repro/internal/route"
 	"repro/internal/router"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
@@ -221,10 +223,63 @@ func PaperPowerModel() power.Model {
 	return power.DefaultModel(circuits.LowSwing(circuits.Process100nm()).EnergyPerBitMM)
 }
 
+// routeTableMaxTiles bounds the precomputed all-pairs route table shared
+// through the artifact cache: the table is tiles² route words (~16 MB at
+// 1024 tiles) and grows quadratically, so larger networks keep the lazily
+// filled per-network memo cache instead.
+const routeTableMaxTiles = 1024
+
+// sharedTopology returns the immutable topology for (name, k) from the
+// artifact cache. Topologies are pure geometry — every method is
+// read-only — so one instance serves every network of the shape
+// concurrently.
+func sharedTopology(name string, k int) (topology.Topology, error) {
+	v, err := artifact.Get(fmt.Sprintf("topology|%s|%d", name, k), func() (any, error) {
+		return BuildTopology(name, k)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(topology.Topology), nil
+}
+
+// sharedAdjacency returns the cached link adjacency list for a topology.
+// The slice is shared read-only: network.New only iterates it.
+func sharedAdjacency(name string, k int, topo topology.Topology) ([]topology.Link, error) {
+	v, err := artifact.Get(fmt.Sprintf("adjacency|%s|%d", name, k), func() (any, error) {
+		return topology.Links(topo), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.([]topology.Link), nil
+}
+
+// sharedRouteTable returns the cached all-pairs route table for a
+// topology, or nil above routeTableMaxTiles (the per-network memo cache
+// takes over there).
+func sharedRouteTable(name string, k int, topo topology.Topology) *route.Table {
+	tiles := topo.NumTiles()
+	if tiles > routeTableMaxTiles {
+		return nil
+	}
+	v, err := artifact.Get(fmt.Sprintf("routetable|%s|%d", name, k), func() (any, error) {
+		return route.BuildTable(topo, tiles), nil
+	})
+	if err != nil {
+		return nil
+	}
+	return v.(*route.Table)
+}
+
 // BuildNetwork assembles the network for the given parameters, without
 // clients attached.
 func BuildNetwork(p RunParams) (*network.Network, *power.Meter, error) {
-	topo, err := BuildTopology(p.Topology, p.K)
+	topo, err := sharedTopology(p.Topology, p.K)
+	if err != nil {
+		return nil, nil, err
+	}
+	adj, err := sharedAdjacency(p.Topology, p.K, topo)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -255,6 +310,8 @@ func BuildNetwork(p RunParams) (*network.Network, *power.Meter, error) {
 	}
 	cfg := network.Config{
 		Topo:         topo,
+		Adjacency:    adj,
+		RouteTable:   sharedRouteTable(p.Topology, p.K, topo),
 		Router:       rc,
 		Shards:       sh,
 		BatchEpochs:  be,
@@ -277,58 +334,37 @@ func BuildNetwork(p RunParams) (*network.Network, *power.Meter, error) {
 	return n, meter, nil
 }
 
-// Run executes one measurement: Bernoulli generators on every tile at the
-// offered rate, a warmup, a measurement window, and a drain tail so
-// measured packets complete.
-func Run(p RunParams) (RunResult, error) {
-	stopAt := p.WarmupCycles + p.MeasureCycles
-	build := func() (*network.Network, *power.Meter, error) {
-		n, meter, err := BuildNetwork(p)
-		if err != nil {
-			return nil, nil, err
-		}
-		pattern, err := traffic.ByName(p.Pattern, p.K, p.K)
-		if err != nil {
-			return nil, nil, err
-		}
-		n.Recorder().MeasureUntil = stopAt
-		mask := flit.VCMask(0xFF)
-		if p.NumVCs > 0 && p.NumVCs < 8 {
-			mask = flit.VCMask((1 << p.NumVCs) - 1)
-		}
-		for tile := 0; tile < n.Topology().NumTiles(); tile++ {
-			g := traffic.NewGenerator(tile, pattern, p.Rate, p.FlitsPerPacket, mask, p.Seed)
-			g.StopAt = stopAt
-			n.AttachClient(tile, g)
-		}
-		if p.OnNetwork != nil {
-			if err := p.OnNetwork(n); err != nil {
-				return nil, nil, err
-			}
-		}
-		return n, meter, nil
-	}
-	n, meter, err := build()
+// attachRunClients attaches the Bernoulli generators for one measurement
+// run to an already-built (or arena-reset) network, sets the measurement
+// window, and runs the OnNetwork hook. The generators are returned in
+// tile order so warm-fork replication can reseed them in place.
+func attachRunClients(n *network.Network, p RunParams, stopAt int64) ([]*traffic.Generator, error) {
+	pattern, err := traffic.ByName(p.Pattern, p.K, p.K)
 	if err != nil {
-		return RunResult{}, err
+		return nil, err
 	}
-	topo := n.Topology()
-	n, err = runToHorizon(n, p, stopAt, configHash("run", p, ""), func() (*network.Network, error) {
-		n2, _, err := build()
-		return n2, err
-	})
-	if err != nil {
-		return RunResult{}, err
+	n.Recorder().MeasureUntil = stopAt
+	mask := flit.VCMask(0xFF)
+	if p.NumVCs > 0 && p.NumVCs < 8 {
+		mask = flit.VCMask((1 << p.NumVCs) - 1)
 	}
-	// Drain so that in-flight measured packets finish. At saturation the
-	// sources have stopped, so the network always empties.
-	drain := p.DrainBudget
-	if drain <= 0 {
-		drain = 50000
+	gens := make([]*traffic.Generator, n.Topology().NumTiles())
+	for tile := range gens {
+		g := traffic.NewGenerator(tile, pattern, p.Rate, p.FlitsPerPacket, mask, p.Seed)
+		g.StopAt = stopAt
+		n.AttachClient(tile, g)
+		gens[tile] = g
 	}
-	n.Drain(drain)
-	countCycles(n.Kernel().Now())
+	if p.OnNetwork != nil {
+		if err := p.OnNetwork(n); err != nil {
+			return nil, err
+		}
+	}
+	return gens, nil
+}
 
+// collectResult reads the measurement window out of a drained network.
+func collectResult(n *network.Network, meter *power.Meter, p RunParams, topo topology.Topology) RunResult {
 	rec := n.Recorder()
 	res := RunResult{
 		Params:           p,
@@ -355,7 +391,54 @@ func Run(p RunParams) (RunResult, error) {
 			res.EnergyPerFlit = meter.TotalJ() / float64(rec.DeliveredFlits)
 		}
 	}
-	return res, nil
+	return res
+}
+
+// Run executes one measurement: Bernoulli generators on every tile at the
+// offered rate, a warmup, a measurement window, and a drain tail so
+// measured packets complete.
+func Run(p RunParams) (RunResult, error) {
+	stopAt := p.WarmupCycles + p.MeasureCycles
+	build := func() (*network.Network, *power.Meter, error) {
+		n, meter, err := BuildNetwork(p)
+		if err != nil {
+			return nil, nil, err
+		}
+		if _, err := attachRunClients(n, p, stopAt); err != nil {
+			return nil, nil, err
+		}
+		return n, meter, nil
+	}
+	n, meter, release, err := acquireNetwork(p)
+	if err != nil {
+		return RunResult{}, err
+	}
+	defer release()
+	if _, err := attachRunClients(n, p, stopAt); err != nil {
+		return RunResult{}, err
+	}
+	topo := n.Topology()
+	n, err = runToHorizon(n, p, stopAt, configHash("run", p, ""),
+		func() (*network.Network, error) {
+			n2, _, err := build()
+			return n2, err
+		},
+		func(n2 *network.Network) error {
+			_, err := attachRunClients(n2, p, stopAt)
+			return err
+		})
+	if err != nil {
+		return RunResult{}, err
+	}
+	// Drain so that in-flight measured packets finish. At saturation the
+	// sources have stopped, so the network always empties.
+	drain := p.DrainBudget
+	if drain <= 0 {
+		drain = 50000
+	}
+	n.Drain(drain)
+	countCycles(n.Kernel().Now())
+	return collectResult(n, meter, p, topo), nil
 }
 
 func linkUtilMean(n *network.Network) float64 {

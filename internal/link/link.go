@@ -317,6 +317,36 @@ func (l *Link) DeliverElastic(accept func(f *flit.Flit) bool) *flit.Flit {
 	return out
 }
 
+// Reset empties the link for a fresh run in place: in-flight flits are
+// recycled into the pool, the credit channel and pending-credit queue are
+// cleared, the utilization counter rewinds, and fault state (down flag,
+// loss counters) is erased. Configuration — latency, serdes, elasticity,
+// probe, pool — is kept.
+func (l *Link) Reset() {
+	for i := range l.pipe.slots {
+		if s := &l.pipe.slots[i]; s.full && l.pool != nil {
+			l.pool.Put(s.v)
+		}
+	}
+	l.pipe.Reset()
+	l.credits.Reset()
+	l.busy = 0
+	l.Util.Reset()
+	l.pendingCredits = l.pendingCredits[:0]
+	l.creditHead = 0
+	for i := range l.stages {
+		if l.stages[i] != nil {
+			if l.pool != nil {
+				l.pool.Put(l.stages[i])
+			}
+			l.stages[i] = nil
+		}
+	}
+	l.down = false
+	l.FaultLostFlits = 0
+	l.FaultLostCredits = 0
+}
+
 // InFlight reports the number of flits inside the link.
 func (l *Link) InFlight() int {
 	if l.elastic {

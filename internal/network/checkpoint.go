@@ -101,8 +101,10 @@ func (n *Network) SaveCheckpoint(configHash uint64, cycle int64) ([]byte, error)
 	}
 	// Gated links freeze their utilization windows while off the
 	// worklists; catch every counter up so the serialised Util state is
-	// byte-identical to an ungated (or differently sharded) run's.
+	// byte-identical to an ungated (or differently sharded) run's. The
+	// probe mirror keeps the serialised route-table counters current.
 	n.finalizeUtil()
+	n.observeProbe()
 	b := checkpoint.NewBuilder(configHash, cycle)
 
 	e := b.Section("clock")
@@ -158,6 +160,32 @@ func (n *Network) SaveCheckpoint(configHash uint64, cycle int64) ([]byte, error)
 		ex.x.SaveState(b.Section("x:" + ex.name))
 	}
 	return b.Bytes(), nil
+}
+
+// Snapshot serialises the complete simulation state at the current cycle
+// into an in-memory image: the checkpoint container (section CRCs ride
+// along in the format) without the file write, fsync, or manifest.
+// Campaigns sharing a deterministic warmup prefix take one Snapshot at
+// the branch point and Fork it per branch.
+func (n *Network) Snapshot(configHash uint64) ([]byte, error) {
+	return n.SaveCheckpoint(configHash, int64(n.kernel.Now()))
+}
+
+// Fork restores a Snapshot image into this network, which must be
+// freshly built — or Reset — from the same configuration with the same
+// clients attached and the same extras registered. Execution continues
+// from the image's cycle with the identical RNG stream position, so a
+// forked run is byte-identical to one that never snapshotted until the
+// caller diverges it (e.g. by reseeding its traffic generators).
+func (n *Network) Fork(img []byte, configHash uint64) error {
+	f, err := checkpoint.Parse(img)
+	if err != nil {
+		return err
+	}
+	if f.ConfigHash != configHash {
+		return fmt.Errorf("network: fork config hash mismatch: image %016x, network %016x", f.ConfigHash, configHash)
+	}
+	return n.RestoreCheckpoint(f)
 }
 
 // section fetches and fully consumes one named section through fn.

@@ -79,13 +79,23 @@ func (n *Network) declareDead(i int, now int64) {
 func (n *Network) routeFor(src, dst int) (w route.Word, rerouted bool, err error) {
 	if n.faultMap.Empty() {
 		// Fault-free routes are a pure function of the topology, so they
-		// are memoized per (src,dst). The cache is simply bypassed once
-		// the (grow-only) fault map is nonempty.
+		// are served from the shared precomputed table (Config.RouteTable)
+		// or memoized per (src,dst). Both are bypassed once the (grow-only)
+		// fault map is nonempty. routeHits counts lookups that avoided
+		// route.Compute; routeMisses counts recomputations.
+		if n.routeTable != nil {
+			if w, ok := n.routeTable.Lookup(src, dst); ok {
+				n.routeHits++
+				return w, false, nil
+			}
+		}
 		if n.routeOK != nil {
 			if row := n.routeOK[src]; row != nil && row[dst] {
+				n.routeHits++
 				return n.routeCache[src][dst], false, nil
 			}
 		}
+		n.routeMisses++
 		w, err = route.Compute(n.topo, src, dst)
 		if err == nil && n.routeOK != nil {
 			if n.routeOK[src] == nil {
@@ -98,6 +108,7 @@ func (n *Network) routeFor(src, dst int) (w route.Word, rerouted bool, err error
 		}
 		return w, false, err
 	}
+	n.routeMisses++
 	w, err = route.Compute(n.topo, src, dst)
 	if err == nil && n.pathClear(src, w) {
 		return w, false, nil
@@ -165,6 +176,15 @@ func (n *Network) reroutePending() {
 		}
 		p.pending = keep
 	}
+}
+
+// RouteTableStats reports route lookups served without running
+// route.Compute (from the shared table or the per-network memo cache)
+// versus recomputations. Operational metrics only: the caches refill
+// cold across a checkpoint restore, so these counters are excluded from
+// snapshots and must never feed deterministic outputs.
+func (n *Network) RouteTableStats() (hits, misses int64) {
+	return n.routeHits, n.routeMisses
 }
 
 // FaultMap exposes the live fault map published by the watchdogs.

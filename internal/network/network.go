@@ -72,6 +72,21 @@ type Config struct {
 	// registers no extra phase.
 	Probe *telemetry.Probe
 
+	// RouteTable, when non-nil, is a precomputed all-pairs source-route
+	// table for this topology (route.BuildTable), shared read-only across
+	// every network built over the same geometry — sweep points, parallel
+	// ForEach workers, pooled arenas. The fault-free routeFor path serves
+	// from it without touching the per-network route cache (which is then
+	// not allocated). The table must have been built for exactly Topo's
+	// geometry; a mismatched table mis-routes silently.
+	RouteTable *route.Table
+
+	// Adjacency, when non-nil, is topology.Links(Topo) precomputed and
+	// shared read-only across networks, so repeated construction over one
+	// topology walks the neighbor relation once. It must be exactly that
+	// call's result for Topo; construction trusts it.
+	Adjacency []topology.Link
+
 	// Shards is the intra-cycle parallelism: tiles and links are
 	// partitioned into this many contiguous shards and each kernel phase
 	// runs concurrently across them, with byte-identical results to the
@@ -181,8 +196,18 @@ type Network struct {
 	// routeCache memoizes source routes per (src,dst) while the fault map
 	// is empty (routes are then a pure function of the topology). Rows
 	// allocate lazily; nil outer slices disable caching on huge networks.
-	routeCache [][]route.Word
-	routeOK    [][]bool
+	// routeTable, when non-nil (Config.RouteTable), replaces the cache
+	// with a shared precomputed table. routeHits / routeMisses count
+	// lookups served without route.Compute versus recomputations. They are
+	// operational metrics, not simulation state: the caches they observe
+	// are semantically invisible and refill cold across a restore, so the
+	// counters are excluded from checkpoints and never feed deterministic
+	// outputs.
+	routeCache  [][]route.Word
+	routeOK     [][]bool
+	routeTable  *route.Table
+	routeHits   int64
+	routeMisses int64
 
 	// Online fault detection and fault-aware rerouting state (faults.go).
 	faultMap   *fault.Map
@@ -257,7 +282,8 @@ func New(cfg Config) (*Network, error) {
 	}
 	tiles := cfg.Topo.NumTiles()
 	n.clients = make([]Client, tiles)
-	if tiles <= routeCacheMaxTiles {
+	n.routeTable = cfg.RouteTable
+	if tiles <= routeCacheMaxTiles && n.routeTable == nil {
 		n.routeCache = make([][]route.Word, tiles)
 		n.routeOK = make([][]bool, tiles)
 	}
@@ -285,7 +311,11 @@ func New(cfg Config) (*Network, error) {
 			n.routers = append(n.routers, r)
 		}
 	}
-	for _, tl := range topology.Links(cfg.Topo) {
+	adjacency := cfg.Adjacency
+	if adjacency == nil {
+		adjacency = topology.Links(cfg.Topo)
+	}
+	for _, tl := range adjacency {
 		var phys *link.Phys
 		if cfg.PhysWires {
 			phys = link.NewPhys(flit.DataBits, cfg.SpareWires, n.kernel.RNG())
@@ -507,6 +537,10 @@ func (n *Network) registerPhases() {
 			n.probe.AddSample(int64(now), bufOcc, inFlight)
 		})
 	}
+	// The schedule above is the network's own; phases other layers append
+	// afterwards (checkpointing, serve collectors, flight recorders, fault
+	// injectors) are per-run attachments that Reset truncates away.
+	k.MarkPhases()
 }
 
 // batchEligible is the quiescence probe for epoch batching: it approves
@@ -576,9 +610,18 @@ func (n *Network) Topology() topology.Topology { return n.topo }
 // Run advances the simulation by the given number of cycles.
 func (n *Network) Run(cycles int64) {
 	n.kernel.Run(cycles)
-	if n.probe != nil {
-		n.probe.Observe(int64(n.kernel.Now()))
+	n.observeProbe()
+}
+
+// observeProbe extends the probe's horizon and mirrors the network's
+// deterministic route-table counters into it.
+func (n *Network) observeProbe() {
+	if n.probe == nil {
+		return
 	}
+	n.probe.Observe(int64(n.kernel.Now()))
+	n.probe.RouteTableHits = n.routeHits
+	n.probe.RouteTableMisses = n.routeMisses
 }
 
 // Occupancy reports flits buffered anywhere in the network (routers and
@@ -652,9 +695,7 @@ func (n *Network) Drain(budget int64) bool {
 		}
 		return true
 	}, budget)
-	if n.probe != nil {
-		n.probe.Observe(int64(n.kernel.Now()))
-	}
+	n.observeProbe()
 	return drained
 }
 

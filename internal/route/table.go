@@ -1,0 +1,53 @@
+package route
+
+// Table is an immutable all-pairs source-route table over a geometry:
+// every fault-free (src, dst) route, precomputed once. Routes are a pure
+// function of the geometry (Radix, Wrap), so one table can be shared
+// read-only across every network of the same shape — concurrent sweep
+// points, forked campaign replicas, and daemon sessions — replacing the
+// per-network lazily filled route cache with a single build.
+type Table struct {
+	tiles int
+	words []Word // tiles×tiles, row = src
+	ok    []bool // pair has a valid route (src == dst does not)
+}
+
+// BuildTable computes the full route table for a geometry with the given
+// tile count. Unroutable pairs (src == dst, or geometry errors) are
+// recorded as misses; Lookup reports them absent and the caller falls
+// back to its per-pair path.
+func BuildTable(g Geometry, tiles int) *Table {
+	t := &Table{
+		tiles: tiles,
+		words: make([]Word, tiles*tiles),
+		ok:    make([]bool, tiles*tiles),
+	}
+	for src := 0; src < tiles; src++ {
+		row := src * tiles
+		for dst := 0; dst < tiles; dst++ {
+			if src == dst {
+				continue
+			}
+			w, err := Compute(g, src, dst)
+			if err != nil {
+				continue
+			}
+			t.words[row+dst] = w
+			t.ok[row+dst] = true
+		}
+	}
+	return t
+}
+
+// Tiles reports the tile count the table was built for.
+func (t *Table) Tiles() int { return t.tiles }
+
+// Lookup returns the precomputed route from src to dst. ok is false for
+// pairs outside the table or without a fault-free route.
+func (t *Table) Lookup(src, dst int) (Word, bool) {
+	if src < 0 || dst < 0 || src >= t.tiles || dst >= t.tiles {
+		return Word{}, false
+	}
+	i := src*t.tiles + dst
+	return t.words[i], t.ok[i]
+}

@@ -1,0 +1,52 @@
+package route
+
+import "testing"
+
+// tableGeom is a minimal Geometry for table tests.
+type tableGeom struct {
+	kx, ky int
+	wrap   bool
+}
+
+func (g tableGeom) Radix() (int, int) { return g.kx, g.ky }
+func (g tableGeom) Wrap() bool        { return g.wrap }
+
+func TestTableMatchesCompute(t *testing.T) {
+	for _, g := range []tableGeom{{4, 4, true}, {4, 4, false}, {3, 5, false}, {6, 6, true}} {
+		tiles := g.kx * g.ky
+		tab := BuildTable(g, tiles)
+		if tab.Tiles() != tiles {
+			t.Fatalf("%v: Tiles = %d, want %d", g, tab.Tiles(), tiles)
+		}
+		for src := 0; src < tiles; src++ {
+			for dst := 0; dst < tiles; dst++ {
+				w, ok := tab.Lookup(src, dst)
+				if src == dst {
+					if ok {
+						t.Fatalf("%v: Lookup(%d,%d) ok for loopback", g, src, dst)
+					}
+					continue
+				}
+				want, err := Compute(g, src, dst)
+				if err != nil {
+					if ok {
+						t.Fatalf("%v: table has route for uncomputable pair (%d,%d)", g, src, dst)
+					}
+					continue
+				}
+				if !ok || w != want {
+					t.Fatalf("%v: Lookup(%d,%d) = %v,%v; Compute = %v", g, src, dst, w, ok, want)
+				}
+			}
+		}
+	}
+}
+
+func TestTableLookupOutOfRange(t *testing.T) {
+	tab := BuildTable(tableGeom{2, 2, false}, 4)
+	for _, pair := range [][2]int{{-1, 0}, {0, -1}, {4, 0}, {0, 4}} {
+		if _, ok := tab.Lookup(pair[0], pair[1]); ok {
+			t.Fatalf("Lookup%v ok, want miss", pair)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package router
+
+import "repro/internal/flit"
+
+// Reset erases the router's dynamic state in place so a pooled router
+// stands in for a freshly built one: buffered, staged, bypassed, and
+// eject-queued flits are recycled into the pool, allocation state
+// machines and arbiter rotors rewind, reservation tables clear, runtime
+// fault flags lift, and statistics zero. Configuration — ports, VC
+// count, attached links, dateline marks, adaptive routing, probe, pool —
+// is kept; output credit counters are left at zero and must be
+// re-initialized by the owning network's wiring pass (SetOutLink), which
+// is exactly how a new router receives them.
+func (r *Router) Reset() {
+	put := func(f *flit.Flit) {
+		if r.pool != nil {
+			r.pool.Put(f)
+		}
+	}
+	for pi := range r.inputs {
+		ic := &r.inputs[pi]
+		ic.arb.next = 0
+		for v := range ic.vcs {
+			st := &ic.vcs[v]
+			for _, f := range st.buf[st.head:] {
+				put(f)
+			}
+			for i := range st.buf {
+				st.buf[i] = nil
+			}
+			st.buf = st.buf[:0]
+			st.head = 0
+			st.frontHead = false
+			st.outPort = 0
+			st.outVC = -1
+			st.routed = false
+			st.routedAt = 0
+			st.lastDeq = 0
+			st.pktID = 0
+			st.pktSrc = 0
+			st.pktDst = 0
+		}
+	}
+	for oi := range r.outputs {
+		oc := &r.outputs[oi]
+		oc.arb.next = 0
+		for i := range oc.staging {
+			if oc.staging[i] != nil {
+				put(oc.staging[i])
+				oc.staging[i] = nil
+			}
+		}
+		for _, f := range oc.bypass {
+			put(f)
+		}
+		for i := range oc.bypass {
+			oc.bypass[i] = nil
+		}
+		oc.bypass = oc.bypass[:0]
+		for v := range oc.credits {
+			oc.credits[v] = 0
+		}
+		for v := range oc.vcOwner {
+			oc.vcOwner[v] = 0
+		}
+		oc.table.Reset()
+	}
+	r.stalledIn = [NumPorts]bool{}
+	for i := range r.stuckVC {
+		r.stuckVC[i] = nil
+	}
+	r.deadOut = [NumPorts]bool{}
+	r.anyDead = false
+	for _, f := range r.ejectQ {
+		put(f)
+	}
+	for i := range r.ejectQ {
+		r.ejectQ[i] = nil
+	}
+	r.ejectQ = r.ejectQ[:0]
+	r.sentMask = 0
+	r.creditedMask = 0
+	r.Stats = Stats{}
+	r.occ = 0
+	r.rebuildMasks()
+}

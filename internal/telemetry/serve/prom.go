@@ -56,6 +56,11 @@ func WriteProm(w io.Writer, s *Snapshot) error {
 	gauge("noc_link_in_flight_flits", "Flits on the wires at the snapshot instant.")
 	fmt.Fprintf(bw, "noc_link_in_flight_flits %d\n", s.LinkInFlight)
 
+	counter("noc_route_table_hits_total", "Route lookups served from the shared route table or memo cache.")
+	fmt.Fprintf(bw, "noc_route_table_hits_total %d\n", s.RouteTableHits)
+	counter("noc_route_table_misses_total", "Route lookups that ran the full route computation.")
+	fmt.Fprintf(bw, "noc_route_table_misses_total %d\n", s.RouteTableMisses)
+
 	gauge("noc_dead_links", "Channels declared dead by the watchdogs.")
 	fmt.Fprintf(bw, "noc_dead_links %d\n", s.DeadLinks)
 	counter("noc_faults_applied_total", "Fault-injector events that took effect.")

@@ -7,6 +7,8 @@ import (
 	"runtime/debug"
 	"runtime/metrics"
 	"strconv"
+
+	"repro/internal/artifact"
 )
 
 // Runtime self-monitoring: /metrics appends Go process rows after the
@@ -102,6 +104,23 @@ func WriteRuntimeProm(w io.Writer) error {
 	gauge("noc_build_info", "Build identity of the serving binary (constant 1; labels carry the info).")
 	fmt.Fprintf(bw, "noc_build_info{go_version=%q,module=%q,revision=%q} 1\n",
 		buildGoVersion, buildModule, buildRevision)
+	return bw.Flush()
+}
+
+// WriteArtifactProm renders the process-global artifact cache's hit,
+// miss, and entry counts. Like the runtime rows these are read at
+// request time and never enter a Snapshot: the cache is shared by every
+// run in the process, so its counters are operational, not per-run
+// simulation state.
+func WriteArtifactProm(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	hits, misses := artifact.Stats()
+	fmt.Fprint(bw, "# HELP noc_artifact_cache_hits_total Artifact-cache lookups that found an existing entry.\n# TYPE noc_artifact_cache_hits_total counter\n")
+	fmt.Fprintf(bw, "noc_artifact_cache_hits_total %d\n", hits)
+	fmt.Fprint(bw, "# HELP noc_artifact_cache_misses_total Artifact-cache lookups that built a new entry.\n# TYPE noc_artifact_cache_misses_total counter\n")
+	fmt.Fprintf(bw, "noc_artifact_cache_misses_total %d\n", misses)
+	fmt.Fprint(bw, "# HELP noc_artifact_cache_entries Immutable artifacts resident in the cache.\n# TYPE noc_artifact_cache_entries gauge\n")
+	fmt.Fprintf(bw, "noc_artifact_cache_entries %d\n", artifact.Default.Len())
 	return bw.Flush()
 }
 

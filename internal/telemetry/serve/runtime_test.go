@@ -4,7 +4,15 @@ import (
 	"net/http"
 	"strings"
 	"testing"
+
+	"repro/internal/artifact"
 )
+
+// artifactGet exercises the process-global artifact cache with a
+// throwaway key.
+func artifactGet(key string) (any, error) {
+	return artifact.Get(key, func() (any, error) { return struct{}{}, nil })
+}
 
 // TestWriteRuntimePromParsesStrict feeds the Go-runtime self-monitoring
 // rows through the same strict scraper that gates the simulation rows: a
@@ -67,6 +75,39 @@ func TestWriteRuntimePromParsesStrict(t *testing.T) {
 	}
 }
 
+// TestWriteArtifactPromParsesStrict renders the artifact-cache rows
+// through the strict scraper and checks the counters track the cache:
+// a Get that builds is a miss, a repeat is a hit, and the entry gauge
+// counts residents.
+func TestWriteArtifactPromParsesStrict(t *testing.T) {
+	for i := 0; i < 2; i++ { // first Get misses, second hits
+		if _, err := artifactGet("serve-test-key"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var sb strings.Builder
+	if err := WriteArtifactProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	ms, err := ParseText(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("artifact rows do not parse strictly: %v\n%s", err, sb.String())
+	}
+	byName := map[string]float64{}
+	for _, m := range ms {
+		byName[m.Name] = m.Value
+	}
+	if byName["noc_artifact_cache_misses_total"] < 1 {
+		t.Errorf("misses = %v after a building Get", byName["noc_artifact_cache_misses_total"])
+	}
+	if byName["noc_artifact_cache_hits_total"] < 1 {
+		t.Errorf("hits = %v after a repeat Get", byName["noc_artifact_cache_hits_total"])
+	}
+	if byName["noc_artifact_cache_entries"] < 1 {
+		t.Errorf("entries = %v with a resident artifact", byName["noc_artifact_cache_entries"])
+	}
+}
+
 // TestMetricsEndpointIncludesRuntimeRows scrapes a live /metrics and
 // checks the process rows ride along with the simulation rows on the same
 // strict parse — the whole response is one valid exposition.
@@ -88,7 +129,7 @@ func TestMetricsEndpointIncludesRuntimeRows(t *testing.T) {
 	if err != nil {
 		t.Fatalf("/metrics with runtime rows does not parse: %v", err)
 	}
-	sawSim, sawRuntime, sawBuild := false, false, false
+	sawSim, sawRuntime, sawBuild, sawArtifact := false, false, false, false
 	for _, m := range ms {
 		switch m.Name {
 		case "noc_cycle":
@@ -97,9 +138,11 @@ func TestMetricsEndpointIncludesRuntimeRows(t *testing.T) {
 			sawRuntime = true
 		case "noc_build_info":
 			sawBuild = true
+		case "noc_artifact_cache_entries":
+			sawArtifact = true
 		}
 	}
-	if !sawSim || !sawRuntime || !sawBuild {
-		t.Fatalf("scrape incomplete: sim=%v runtime=%v build=%v", sawSim, sawRuntime, sawBuild)
+	if !sawSim || !sawRuntime || !sawBuild || !sawArtifact {
+		t.Fatalf("scrape incomplete: sim=%v runtime=%v build=%v artifact=%v", sawSim, sawRuntime, sawBuild, sawArtifact)
 	}
 }

@@ -127,6 +127,14 @@ type Snapshot struct {
 	FaultsApplied  int64 `json:"faults_applied"`
 	OverUnityLinks int   `json:"over_unity_links"`
 
+	// Route lookups served without recomputation (shared route table or
+	// per-network memo cache) versus recomputed. Deterministic within an
+	// uninterrupted run — the lookup totals are a pure function of the
+	// traffic — but the caches refill cold across a checkpoint restore,
+	// so these are operational figures, never checkpointed.
+	RouteTableHits   int64 `json:"route_table_hits"`
+	RouteTableMisses int64 `json:"route_table_misses"`
+
 	// Checkpointing: the cycle of the newest durable snapshot (-1 when
 	// none has been taken), cycles elapsed since it (measured from cycle
 	// 0 when none), the configured interval (0 = checkpointing off), and
@@ -382,6 +390,7 @@ func (c *Collector) sample(now int64) {
 	snap.DeadLinks = p.DeadLinks
 	snap.FaultsApplied = p.FaultsApplied
 	snap.OverUnityLinks = p.OverUnityLinks(now)
+	snap.RouteTableHits, snap.RouteTableMisses = c.n.RouteTableStats()
 	snap.Routers = p.SnapshotRouters(snap.Routers)
 	snap.Links = p.SnapshotLinks(snap.Links, now)
 	snap.HotLinks = append(snap.HotLinks[:0], hot...)

@@ -189,6 +189,27 @@ func TestEndpoints(t *testing.T) {
 		if _, ok := byKey[`noc_router_ejected_flits_total{router="0"}`]; !ok {
 			t.Fatal("per-router counters missing")
 		}
+		// Route-table counters: this network has no shared table, so the
+		// memo cache serves repeats — a 512-cycle run at rate 0.3 must
+		// both miss (first lookups) and hit (repeats).
+		if byKey["noc_route_table_misses_total"] <= 0 {
+			t.Fatal("noc_route_table_misses_total not positive")
+		}
+		if byKey["noc_route_table_hits_total"] <= 0 {
+			t.Fatal("noc_route_table_hits_total not positive")
+		}
+		hits, misses := n.RouteTableStats()
+		if byKey["noc_route_table_hits_total"] > float64(hits) || byKey["noc_route_table_misses_total"] > float64(misses) {
+			t.Fatalf("route-table rows (%v hits, %v misses) exceed the network's live counters (%d, %d)",
+				byKey["noc_route_table_hits_total"], byKey["noc_route_table_misses_total"], hits, misses)
+		}
+		// Artifact-cache rows are scrape-time process metrics; they must
+		// be present (and parse strictly) even when the cache is idle.
+		for _, name := range []string{"noc_artifact_cache_hits_total", "noc_artifact_cache_misses_total", "noc_artifact_cache_entries"} {
+			if _, ok := byKey[name]; !ok {
+				t.Fatalf("%s missing from /metrics", name)
+			}
+		}
 		utils := 0
 		for _, m := range ms {
 			if m.Name == "noc_link_util" {

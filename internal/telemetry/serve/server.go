@@ -133,6 +133,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	// suite compares their byte streams), and goroutine counts or heap
 	// sizes are anything but.
 	WriteRuntimeProm(w) //nolint:errcheck // client went away
+	// The shared artifact cache is process state too — scrape-time only.
+	WriteArtifactProm(w) //nolint:errcheck // client went away
 }
 
 // handleFlightrec asks the attached flight recorder (SetDumper) to dump

@@ -166,6 +166,15 @@ type Probe struct {
 	// FaultsApplied counts fault-injector events that took effect.
 	FaultsApplied int64
 
+	// Route-table accounting, mirrored from the network after each Run:
+	// lookups served without recomputation (shared precomputed table or
+	// per-network memo cache) versus route.Compute invocations. These are
+	// operational metrics — the caches they observe refill cold across a
+	// checkpoint restore — so they are excluded from SaveState and must
+	// never feed deterministic outputs.
+	RouteTableHits   int64
+	RouteTableMisses int64
+
 	// Protocol-level robustness counters, published by the end-to-end
 	// retry layer (internal/protocol) after a run: retransmissions,
 	// retransmit-timeout expiries, and corrupted messages/acks discarded

@@ -188,6 +188,16 @@ func NewGenerator(tile int, p Pattern, rate float64, flitsPerPacket int, mask fl
 	}
 }
 
+// Reseed rewinds the generator onto a fresh deterministic stream derived
+// from seed and the tile — the same derivation NewGenerator uses — and
+// zeroes the packet count. Warm-forked replicas call it after restoring
+// a shared warmup snapshot, so each replica's measurement traffic is an
+// independent drawing while the network state at the fork is identical.
+func (g *Generator) Reseed(seed int64) {
+	g.src.Seed(seed ^ int64(g.Tile)*0x9E3779B9)
+	g.GeneratedPackets = 0
+}
+
 // Tick implements network.Client.
 func (g *Generator) Tick(now int64, p *network.Port) {
 	p.Deliveries()
