@@ -35,12 +35,22 @@ race:
 # path: a real nocsim wedges itself under the deliberate-deadlock fault
 # campaign with -flightrec on, the detector fire dumps the ring with no
 # operator involvement, and a real nocpost binary's verdict must recompute
-# the same root cause and attribution the live detectors recorded.
+# the same root cause and attribution the live detectors recorded. The
+# SLO burn smoke drives the same path for the per-flow observatory: a
+# real nocsim saturates a hotspot under -flows/-slo, /healthz must burn
+# with the offending flow, dominant stall cause, and path links named,
+# the burn must leave a flight-recorder dump, and nocpost's verdict on
+# that dump must replay the transition; the reconciliation and
+# checkpoint suites hold the per-flow decomposition exact and
+# byte-stable across shard counts, epoch batching, and resume.
 # The benchjson gate covers the ServeOff/On pair so the serve-off loop
 # keeps its zero-allocation fast path (bytes/op gates too on Serve rows),
 # the FlightRecOff/On pair so a build without -flightrec keeps the
 # 0 allocs/op hot path and the recorder itself stays ring-append cheap
-# (FlightRec rows gate bytes/op too), and the 4096-tile pair
+# (FlightRec rows gate bytes/op too), the LatencyObsOff/On pair so a
+# run without -flows keeps the 0 allocs/op hot path and the per-flow
+# observatory's classify-and-histogram step stays allocation-free
+# (LatencyObs rows gate bytes/op too), and the 4096-tile pair
 # (NetworkCycle4096/NetworkCycleIdle4096) so the
 # quiescence-gated big-die cycle loop keeps its speed and 0 allocs/op —
 # each 4096 benchmark spends a few seconds building and warming the
@@ -61,15 +71,16 @@ race:
 ci:
 	$(GO) build ./...
 	$(GO) vet ./...
-	$(GO) vet ./internal/telemetry ./internal/telemetry/health ./internal/telemetry/serve ./cmd/internal/obs
-	$(GO) test -race ./internal/telemetry ./internal/telemetry/health ./internal/telemetry/serve ./cmd/internal/obs
+	$(GO) vet ./internal/telemetry ./internal/telemetry/health ./internal/telemetry/serve ./internal/telemetry/latency ./cmd/internal/obs
+	$(GO) test -race ./internal/telemetry ./internal/telemetry/health ./internal/telemetry/serve ./internal/telemetry/latency ./cmd/internal/obs
 	$(GO) test -race ./internal/checkpoint ./internal/network ./internal/core
 	$(GO) test -race -timeout 30m ./...
 	$(GO) test -race -run 'TestServeSmoke' .
+	$(GO) test -race -run 'TestSLOBurnSmoke|TestSLOFlagValidation|TestFlowLatencyReconciliation|TestFlowLatencyCheckpointRoundTrip' .
 	$(GO) test -race -run 'TestResumedGolden|TestCrashResume' .
 	$(GO) test -race -run 'TestFlightRecSmoke|TestFlightRecReconstructionExact' .
 	$(GO) test -race -run 'TestForkedGoldenSweep|TestReplicatedRunDeterminism|TestReplicatedSweepMatchesRuns|TestArenaReuseDeterminism' .
-	{ $(GO) test -run '^$$' -bench 'NetworkCycle$$|NetworkCycleServeOff$$|NetworkCycleServeOn$$|NetworkCycleFlightRecOff$$|NetworkCycleFlightRecOn$$|NetworkCycle64$$|NetworkCycle4096$$|NetworkCycleIdle4096$$|RouteCompute' -benchtime 200ms -benchmem . ; \
+	{ $(GO) test -run '^$$' -bench 'NetworkCycle$$|NetworkCycleServeOff$$|NetworkCycleServeOn$$|NetworkCycleFlightRecOff$$|NetworkCycleFlightRecOn$$|NetworkCycleLatencyObsOff$$|NetworkCycleLatencyObsOn$$|NetworkCycle64$$|NetworkCycle4096$$|NetworkCycleIdle4096$$|RouteCompute' -benchtime 200ms -benchmem . ; \
 	  $(GO) test -run '^$$' -bench 'NetworkBuild4096$$|SweepPointReuse$$' -benchtime 20x -benchmem . ; \
 	  $(GO) test -run '^$$' -bench 'SweepThroughput' -benchtime 1x . ; } \
 		| $(GO) run ./cmd/benchjson -against BENCH_cycles.json -max-regress 50

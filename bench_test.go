@@ -12,6 +12,7 @@ import (
 	"repro/internal/router"
 	"repro/internal/telemetry"
 	"repro/internal/telemetry/flightrec"
+	"repro/internal/telemetry/latency"
 	"repro/internal/telemetry/serve"
 	"repro/internal/topology"
 	"repro/internal/traffic"
@@ -180,6 +181,42 @@ func benchCycleFlightRec(b *testing.B, recOn bool) {
 	}
 	if recOn {
 		if _, err := flightrec.Attach(n, flightrec.Config{Dir: b.TempDir()}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	n.Run(2000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	n.Run(int64(b.N))
+}
+
+// BenchmarkNetworkCycleLatencyObsOff and BenchmarkNetworkCycleLatencyObsOn
+// bound the per-flow latency observatory's overhead: the identical baseline
+// loop with and without the observatory (pair flows, one SLO) attached. Off
+// must stay on the 0 allocs/cycle fast path — the delivery hook is a nil
+// check when no observer is set. On classifies every delivered packet into
+// its per-flow log2 histogram and runs the SLO burn tick every 256 cycles,
+// all against preallocated state, so its steady state is allocation-free
+// too. Both fold into BENCH_cycles.json via `make bench`.
+func BenchmarkNetworkCycleLatencyObsOff(b *testing.B) { benchCycleLatencyObs(b, false) }
+
+func BenchmarkNetworkCycleLatencyObsOn(b *testing.B) { benchCycleLatencyObs(b, true) }
+
+func benchCycleLatencyObs(b *testing.B, obsOn bool) {
+	b.Helper()
+	topo, err := topology.NewFoldedTorus(4, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n, err := network.New(network.Config{Topo: topo, Router: router.DefaultConfig(0), Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for tile := 0; tile < topo.NumTiles(); tile++ {
+		n.AttachClient(tile, traffic.NewGenerator(tile, traffic.Uniform{Tiles: 16}, 0.3, 2, flit.VCMask(0xFF), 1))
+	}
+	if obsOn {
+		if _, err := latency.Attach(n, latency.Config{Flows: latency.FlowPair, SLO: "p99<=200"}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -121,8 +121,8 @@ func main() {
 // multi-procs runs (or at another machine's width) still gate. New ns/op
 // may exceed old by at most maxPct percent; allocs/op likewise, except
 // that any allocation appearing in a previously allocation-free benchmark
-// is a regression outright (0 * 1.10 is still 0). Serve and FlightRec
-// benchmarks gate bytes/op too: their contract is a constant-byte
+// is a regression outright (0 * 1.10 is still 0). Serve, FlightRec, and
+// LatencyObs benchmarks gate bytes/op too: their contract is a constant-byte
 // (near-zero) steady state, and a byte-count regression there means the
 // lazy-snapshot path (or the recorder's ring append) started copying per
 // cycle — which allocs/op alone would miss when the copies amortize below
@@ -175,7 +175,7 @@ func compare(path string, results []Result, maxPct float64) (regressions int, er
 			regressions++
 		}
 		if strings.Contains(r.Name, "Serve") || strings.Contains(r.Name, "FlightRec") ||
-			strings.Contains(r.Name, "SweepPointReuse") {
+			strings.Contains(r.Name, "LatencyObs") || strings.Contains(r.Name, "SweepPointReuse") {
 			byteLimit := int64(float64(old.BytesPerOp) * (1 + maxPct/100))
 			if r.BytesPerOp > byteLimit {
 				fmt.Fprintf(os.Stderr, "benchjson: REGRESSION %s-%d: %d B/op vs baseline %d\n",

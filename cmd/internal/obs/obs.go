@@ -19,6 +19,7 @@ import (
 	"repro/internal/network"
 	"repro/internal/telemetry"
 	"repro/internal/telemetry/flightrec"
+	"repro/internal/telemetry/latency"
 	"repro/internal/telemetry/serve"
 )
 
@@ -34,6 +35,14 @@ type Flags struct {
 	FlightRec       bool
 	FlightRecCycles int
 	FlightRecDir    string
+
+	Flows    string
+	SLO      string
+	FlowsOut string
+
+	// flowObs is the observatory AttachFlows built, threaded into the
+	// serve collector and the flight recorder by the later attach calls.
+	flowObs *latency.Observatory
 }
 
 // Register installs the observability flags on the default flag set.
@@ -48,12 +57,15 @@ func Register() *Flags {
 	flag.BoolVar(&f.FlightRec, "flightrec", false, "attach the flight recorder: a ring of per-cycle event deltas plus periodic keyframes, dumped for nocpost when a health detector fires, on SIGQUIT, on panic, or via /debug/flightrec")
 	flag.IntVar(&f.FlightRecCycles, "flightrec-cycles", 0, fmt.Sprintf("flight-recorder ring capacity in cycles (default %d; requires -flightrec)", flightrec.DefaultWindow))
 	flag.StringVar(&f.FlightRecDir, "flightrec-dir", "", "directory flight-recorder dumps are written to (default .; requires -flightrec)")
+	flag.StringVar(&f.Flows, "flows", "", "attach the per-flow latency observatory with this flow classification: pair, srcrow, srccol, or class")
+	flag.StringVar(&f.SLO, "slo", "", "';'-separated per-flow latency objectives with multi-window burn-rate alerting, e.g. \"p99<=40@flows\" (requires -flows)")
+	flag.StringVar(&f.FlowsOut, "flows-out", "", "write the per-flow latency decomposition CSV to this file after the run (requires -flows)")
 	return f
 }
 
 // Enabled reports whether any flag requires a telemetry probe.
 func (f *Flags) Enabled() bool {
-	return f.Metrics || f.MetricsEvery > 0 || f.MetricsOut != "" || f.TraceOut != "" || f.Serve != "" || f.FlightRec
+	return f.Metrics || f.MetricsEvery > 0 || f.MetricsOut != "" || f.TraceOut != "" || f.Serve != "" || f.FlightRec || f.Flows != ""
 }
 
 // Validate rejects inconsistent observability flags, mirroring the strict
@@ -79,7 +91,39 @@ func (f *Flags) Validate() error {
 	if f.FlightRecDir != "" && !f.FlightRec {
 		return fmt.Errorf("-flightrec-dir requires -flightrec")
 	}
+	if f.SLO != "" && f.Flows == "" {
+		return fmt.Errorf("-slo requires -flows")
+	}
+	if f.FlowsOut != "" && f.Flows == "" {
+		return fmt.Errorf("-flows-out requires -flows")
+	}
+	switch f.Flows {
+	case "", latency.FlowPair, latency.FlowSrcRow, latency.FlowSrcCol, latency.FlowClass:
+	default:
+		return fmt.Errorf("-flows must be one of %s, %s, %s, %s (got %q)",
+			latency.FlowPair, latency.FlowSrcRow, latency.FlowSrcCol, latency.FlowClass, f.Flows)
+	}
+	if _, err := latency.ParseSLO(f.SLO); err != nil {
+		return fmt.Errorf("-slo: %v", err)
+	}
 	return nil
+}
+
+// AttachFlows attaches the per-flow latency observatory the -flows/-slo
+// flags ask for (no-op without -flows). Call it before AttachServe (so
+// /snapshot and /healthz carry the observatory's flows and SLO
+// verdicts) and before AttachFlightRec (so an SLO burn can trigger a
+// dump); both pick the observatory up from the flags.
+func (f *Flags) AttachFlows(n *network.Network) (*latency.Observatory, error) {
+	if f.Flows == "" {
+		return nil, nil
+	}
+	o, err := latency.Attach(n, latency.Config{Flows: f.Flows, SLO: f.SLO})
+	if err != nil {
+		return nil, err
+	}
+	f.flowObs = o
+	return o, nil
 }
 
 // AttachServe starts the live observability service on the -serve address
@@ -90,7 +134,7 @@ func (f *Flags) AttachServe(n *network.Network) (*serve.Server, error) {
 	if f.Serve == "" {
 		return nil, nil
 	}
-	cfg := serve.Config{}
+	cfg := serve.Config{Flows: f.flowObs}
 	if f.MetricsEvery > 0 {
 		cfg.Every = f.MetricsEvery
 	}
@@ -126,6 +170,11 @@ func (f *Flags) AttachFlightRec(n *network.Network, srv *serve.Server, kind stri
 	}
 	if srv != nil {
 		srv.SetDumper(rec)
+	}
+	if f.flowObs != nil {
+		// SLO burns land in the recorder's health log and trigger dumps
+		// whose window includes the burn cycle.
+		f.flowObs.SetBurnSink(rec)
 	}
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, syscall.SIGQUIT)
@@ -220,6 +269,20 @@ func (f *Flags) StartPprof() (stop func(), err error) {
 // trace to their files. A nil probe is a no-op. Commands whose stdout is
 // machine-readable (nocsweep's CSV) pass stderr as w.
 func (f *Flags) Emit(w io.Writer, p *telemetry.Probe, heatmap bool) error {
+	if f.FlowsOut != "" && f.flowObs != nil {
+		out, err := os.Create(f.FlowsOut)
+		if err != nil {
+			return err
+		}
+		if err := f.flowObs.WriteCSV(out); err != nil {
+			out.Close()
+			return err
+		}
+		if err := out.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "per-flow latency written to %s\n", f.FlowsOut)
+	}
 	if p == nil {
 		return nil
 	}
@@ -237,6 +300,12 @@ func (f *Flags) Emit(w io.Writer, p *telemetry.Probe, heatmap bool) error {
 		if err := p.WriteMetricsCSV(out); err != nil {
 			out.Close()
 			return err
+		}
+		if f.flowObs != nil {
+			if err := f.flowObs.WriteCSV(out); err != nil {
+				out.Close()
+				return err
+			}
 		}
 		if err := out.Close(); err != nil {
 			return err

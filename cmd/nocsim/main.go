@@ -233,6 +233,9 @@ func main() {
 		frStop = func() {}
 	)
 	p.OnNetwork = func(n *network.Network) error {
+		if _, err := obsFlags.AttachFlows(n); err != nil {
+			return err
+		}
 		s, err := obsFlags.AttachServe(n)
 		if err != nil {
 			return err

@@ -171,6 +171,9 @@ func main() {
 		var frRec *flightrec.Recorder
 		frStop := func() {}
 		inst.OnNetwork = func(n *network.Network) error {
+			if _, err := obsFlags.AttachFlows(n); err != nil {
+				return err
+			}
 			s, err := obsFlags.AttachServe(n)
 			if err != nil {
 				return err

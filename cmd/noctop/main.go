@@ -108,6 +108,10 @@ type dash struct {
 
 const sparkWidth = 48
 
+// flowRows caps the per-flow latency panel; the full set is always in
+// /snapshot.
+const flowRows = 8
+
 func (d *dash) observe(s *serve.Snapshot) {
 	if d.lastCycle > 0 && s.Cycle > d.lastCycle {
 		d.tput = push(d.tput, float64(s.DeliveredFlits-d.lastFlits)/float64(s.Cycle-d.lastCycle))
@@ -207,6 +211,34 @@ func (d *dash) render(s *serve.Snapshot, addr string) string {
 			detail = detail[:97] + "..."
 		}
 		line("  %-11s %s %s", v.Detector, mark, detail)
+	}
+	if len(s.Flows) > 0 {
+		line("")
+		line("per-flow latency (T/T0 = network latency over the paper's zero-load bound):")
+		for i, f := range s.Flows {
+			if i >= flowRows {
+				line("  ... %d more flows in /snapshot", len(s.Flows)-flowRows)
+				break
+			}
+			mark := ""
+			if f.Saturated {
+				mark = "  \x1b[31mSAT\x1b[0m"
+			}
+			line("  %-11s %6d pkts  p99 %6d  max %6d  T/T0 %6.2f%s",
+				f.Flow, f.Count, f.P99, f.MaxCycles, f.ContentionFactor, mark)
+		}
+	}
+	if len(s.SLO) > 0 {
+		line("")
+		line("slo burns:")
+		for _, b := range s.SLO {
+			detail := b.Detail
+			if len(detail) > 100 {
+				detail = detail[:97] + "..."
+			}
+			line("  %-11s %-9s \x1b[31mburn %.1fx short / %.1fx long\x1b[0m  %d/%d bad since cycle %d",
+				b.Flow, b.Objective, b.BurnShort, b.BurnLong, b.Bad, b.Count, b.Since)
+		}
 	}
 	if d.links > 0 && len(s.HotLinks) > 0 {
 		line("")

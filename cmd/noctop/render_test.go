@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"repro/internal/telemetry/health"
+	"repro/internal/telemetry/latency"
 	"repro/internal/telemetry/serve"
 )
 
@@ -16,7 +17,8 @@ var update = flag.Bool("update", false, "rewrite the golden frame")
 // frameSnapshots is a fixed polling history that exercises every render
 // branch: the UNHEALTHY banner, both sparklines, the faults line, a stale
 // checkpoint, an ok and a FIRING detector (with a detail long enough to
-// truncate), the hot-link table capped at -links, and the heatmap.
+// truncate), the per-flow latency panel with a saturated flow, a burning
+// SLO row, the hot-link table capped at -links, and the heatmap.
 func frameSnapshots() []*serve.Snapshot {
 	packetLat := func(p99 int64) []serve.LatencySnap {
 		return []serve.LatencySnap{{
@@ -56,6 +58,19 @@ func frameSnapshots() []*serve.Snapshot {
 		{Index: 3, From: 1, To: 5, Dir: "N", Flits: 640},
 		{Index: 44, From: 10, To: 9, Dir: "W", Flits: 512},
 	}
+	last.Flows = []latency.FlowSnap{
+		{Flow: "0->10", Count: 1042, MeanCycles: 812.4, P50: 511, P99: 2940, MaxCycles: 3120,
+			QueueCycles: 700000, PipelineCycles: 10420, SerializationCycles: 0, ContentionCycles: 136100,
+			MeanHops: 4, ZeroLoadCycles: 10, ContentionFactor: 64.25, Saturated: true},
+		{Flow: "3->10", Count: 731, MeanCycles: 96.2, P50: 63, P99: 255, MaxCycles: 401,
+			QueueCycles: 41000, PipelineCycles: 5848, SerializationCycles: 0, ContentionCycles: 23474,
+			MeanHops: 3, ZeroLoadCycles: 8, ContentionFactor: 5.01},
+	}
+	last.SLO = []latency.SLOSnap{{
+		Objective: "p99<=20", Flow: "0->10", Since: 3584, BurnShort: 100, BurnLong: 100,
+		Bad: 102, Count: 102, Exemplars: []uint64{4108, 4562},
+		Detail: "flow 0->10 p99<=20: burn 100.0x short / 100.0x long; dominant stall: credit/VC-blocked",
+	}}
 	last.Heatmap = [][]float64{
 		{0.91, 0.12, 0.33, 0.04},
 		{0.25, 1.00, 0.50, 0.08},
@@ -107,8 +122,12 @@ func TestRenderGoldenFrame(t *testing.T) {
 		"\x1b[31mFIRING\x1b[0m",
 		"\x1b[32mok\x1b[0m",
 		"\x1b[31mSTALE\x1b[0m",
-		"...",      // long starvation detail truncated at 100 chars
-		"L12",      // hottest link listed first
+		"...",                // long starvation detail truncated at 100 chars
+		"L12",                // hottest link listed first
+		"0->10",              // per-flow panel
+		"\x1b[31mSAT\x1b[0m", // saturated flow marker
+		"T/T0",
+		"p99<=20",  // burning SLO row
 		"100%",     // saturated heatmap cell
 		"\x1b[K\n", // per-line tail clear for in-place repaint
 		"dead links 1",
@@ -138,7 +157,7 @@ func TestRenderFirstPoll(t *testing.T) {
 	if !strings.Contains(got, "\x1b[42;30m HEALTHY \x1b[0m") {
 		t.Error("first frame lacks the healthy banner")
 	}
-	for _, absent := range []string{"faults", "checkpoint", "hot links", "duty factor"} {
+	for _, absent := range []string{"faults", "checkpoint", "hot links", "duty factor", "per-flow", "slo burns"} {
 		if strings.Contains(got, absent) {
 			t.Errorf("first frame has the optional %q section", absent)
 		}

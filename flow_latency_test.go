@@ -1,0 +1,188 @@
+package noc
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/checkpoint"
+	"repro/internal/flit"
+	"repro/internal/network"
+	"repro/internal/router"
+	"repro/internal/telemetry/latency"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// buildFlowNet is the reconciliation workload: the 16-tile baseline under
+// 25% uniform load with a 100-cycle warmup, shards and epoch batching as
+// requested, and the per-flow observatory attached.
+func buildFlowNet(t *testing.T, shards, batch int, mode, slo string) (*network.Network, *latency.Observatory) {
+	t.Helper()
+	topo, err := topology.NewFoldedTorus(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := network.New(network.Config{
+		Topo: topo, Router: router.DefaultConfig(0), Seed: 11, Warmup: 100,
+		Shards: shards, BatchEpochs: batch,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tile := 0; tile < topo.NumTiles(); tile++ {
+		g := traffic.NewGenerator(tile, traffic.Uniform{Tiles: 16}, 0.25, 2, flit.VCMask(0xFF), 1)
+		g.StopAt = 800
+		n.AttachClient(tile, g)
+	}
+	o, err := latency.Attach(n, latency.Config{Flows: mode, SLO: slo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n, o
+}
+
+// flowMatrix is the shard × batching cross product the per-flow suite
+// runs: sequential, two shards, and the machine's width, each with epoch
+// batching on (default) and off.
+func flowMatrix() []struct{ shards, batch int } {
+	counts := append([]int{1, 2}, shardCounts()...)
+	seen := map[int]bool{}
+	var m []struct{ shards, batch int }
+	for _, s := range counts {
+		if seen[s] {
+			continue
+		}
+		seen[s] = true
+		m = append(m, struct{ shards, batch int }{s, 0})  // batching default (on when sharded)
+		m = append(m, struct{ shards, batch int }{s, -1}) // batching off
+	}
+	return m
+}
+
+// TestFlowLatencyReconciliation pins the observatory's accounting
+// contract at every shard count and batching setting: the per-flow sums
+// reconcile exactly with the run recorder's packet-latency histogram
+// (same warmup gate, same loopback exclusion), and the full per-flow CSV
+// is byte-identical to the sequential run's — the decomposition is not
+// merely consistent, it is deterministic.
+func TestFlowLatencyReconciliation(t *testing.T) {
+	var want string
+	for _, cfg := range flowMatrix() {
+		cfg := cfg
+		t.Run(fmt.Sprintf("shards%d_batch%d", cfg.shards, cfg.batch), func(t *testing.T) {
+			n, o := buildFlowNet(t, cfg.shards, cfg.batch, latency.FlowPair, "p99<=40")
+			n.Run(800)
+			if !n.Drain(100000) {
+				t.Fatalf("network did not drain (occupancy %d)", n.Occupancy())
+			}
+			rec := n.Recorder()
+			count, sum := o.Totals()
+			if count == 0 {
+				t.Fatal("no packets observed; reconciliation is vacuous")
+			}
+			if count != rec.PacketLatency.Count() {
+				t.Errorf("observatory count %d != recorder count %d", count, rec.PacketLatency.Count())
+			}
+			if sum != rec.PacketLatency.Sum() {
+				t.Errorf("observatory latency sum %d != recorder sum %d", sum, rec.PacketLatency.Sum())
+			}
+			var csv strings.Builder
+			if err := o.WriteCSV(&csv); err != nil {
+				t.Fatal(err)
+			}
+			if want == "" {
+				want = csv.String()
+				if !strings.HasPrefix(want, "# flows\n") {
+					t.Fatalf("CSV lacks the section header:\n%s", want[:80])
+				}
+			} else if got := csv.String(); got != want {
+				t.Errorf("per-flow CSV diverged from the sequential run at shards=%d batch=%d",
+					cfg.shards, cfg.batch)
+			}
+		})
+	}
+}
+
+// TestFlowLatencyCheckpointRoundTrip interrupts the workload mid-run,
+// restores the snapshot into a freshly built network with the
+// observatory re-attached, and requires the resumed run's per-flow CSV —
+// and a second full checkpoint — to byte-match the straight-through
+// run's, across the same shard × batching matrix.
+func TestFlowLatencyCheckpointRoundTrip(t *testing.T) {
+	const hash = 77
+	for _, cfg := range flowMatrix() {
+		cfg := cfg
+		t.Run(fmt.Sprintf("shards%d_batch%d", cfg.shards, cfg.batch), func(t *testing.T) {
+			ref, refObs := buildFlowNet(t, cfg.shards, cfg.batch, latency.FlowPair, "p99<=40")
+			ref.Run(400)
+			snap, err := ref.SaveCheckpoint(hash, 400)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref.Run(400)
+			wantSnap, err := ref.SaveCheckpoint(hash, 800)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var wantCSV strings.Builder
+			if err := refObs.WriteCSV(&wantCSV); err != nil {
+				t.Fatal(err)
+			}
+
+			f, err := checkpoint.Parse(snap)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, resObs := buildFlowNet(t, cfg.shards, cfg.batch, latency.FlowPair, "p99<=40")
+			if err := res.RestoreCheckpoint(f); err != nil {
+				t.Fatal(err)
+			}
+			res.Run(400)
+			gotSnap, err := res.SaveCheckpoint(hash, 800)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(gotSnap) != string(wantSnap) {
+				t.Errorf("resumed checkpoint bytes diverge from straight-through (%d vs %d bytes)",
+					len(gotSnap), len(wantSnap))
+			}
+			var gotCSV strings.Builder
+			if err := resObs.WriteCSV(&gotCSV); err != nil {
+				t.Fatal(err)
+			}
+			if gotCSV.String() != wantCSV.String() {
+				t.Errorf("resumed per-flow CSV diverged from straight-through:\n--- want ---\n%s--- got ---\n%s",
+					wantCSV.String(), gotCSV.String())
+			}
+		})
+	}
+}
+
+// TestFlowLatencyCheckpointConfigGuard requires a restore under a
+// different observatory configuration to fail loudly instead of
+// silently misaccounting.
+func TestFlowLatencyCheckpointConfigGuard(t *testing.T) {
+	n, _ := buildFlowNet(t, 1, 0, latency.FlowPair, "p99<=40")
+	n.Run(300)
+	snap, err := n.SaveCheckpoint(1, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := checkpoint.Parse(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, _ := buildFlowNet(t, 1, 0, latency.FlowSrcRow, "p99<=40")
+	if err := other.RestoreCheckpoint(f); err == nil {
+		t.Error("restore into a different flow mode succeeded")
+	}
+	f2, err := checkpoint.Parse(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffSLO, _ := buildFlowNet(t, 1, 0, latency.FlowPair, "p50<=40")
+	if err := diffSLO.RestoreCheckpoint(f2); err == nil {
+		t.Error("restore under different objectives succeeded")
+	}
+}

@@ -36,8 +36,9 @@ import (
 
 // Version is the current container format version. Readers reject files
 // with a different version outright; state layouts inside sections are
-// versioned with the container.
-const Version = 1
+// versioned with the container. Version 2 added the per-flit hop count
+// (flow observatory) to the flit wire layout.
+const Version = 2
 
 // magic identifies a checkpoint file. The trailing byte doubles as a
 // format epoch so even the magic check catches a layout change.

@@ -27,6 +27,7 @@ func (f *Flit) SaveState(e *checkpoint.Encoder) {
 	e.I64(f.Birth)
 	e.Int(f.Class)
 	e.Int(f.Flow)
+	e.Int(f.Hops)
 	e.Bool(f.Wrapped)
 }
 
@@ -55,6 +56,7 @@ func RestoreFlit(d *checkpoint.Decoder, pool *Pool) *Flit {
 	f.Birth = d.I64()
 	f.Class = d.Int()
 	f.Flow = d.Int()
+	f.Hops = d.Int()
 	f.Wrapped = d.Bool()
 	if d.Err() != nil && pool != nil {
 		pool.Put(f)

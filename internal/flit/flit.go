@@ -162,6 +162,7 @@ type Flit struct {
 	Birth      int64 // cycle the packet was created by its client (queue time)
 	Class      int   // service class, for reporting
 	Flow       int   // pre-scheduled flow id (0 = dynamic traffic), §2.6
+	Hops       int   // link traversals on the packet's source route (H in the §3 latency model)
 
 	// Wrapped is the dateline bit used for torus deadlock avoidance: set
 	// when the packet crosses a ring's wraparound dateline, cleared when
@@ -199,6 +200,7 @@ type Packet struct {
 	Payload  []byte
 	Birth    int64
 	Class    int
+	Hops     int
 }
 
 // Flits segments the packet into flits carrying at most DataBytes each.
@@ -254,6 +256,7 @@ func (p *Packet) AppendFlits(dst []*Flit, pool *Pool) []*Flit {
 		f.Dst = p.Dst
 		f.Birth = p.Birth
 		f.Class = p.Class
+		f.Hops = p.Hops
 		dst = append(dst, f)
 	}
 	return dst

@@ -223,7 +223,43 @@ type Network struct {
 	extras        []checkpointExtra
 	lastCkptCycle int64
 	ckptEvery     int64
+
+	// pktObs, when non-nil, receives every delivered non-loopback packet
+	// at the eject barrier, in tile (= sequential-schedule) order. It is a
+	// per-run attachment like the checkpoint extras; Reset detaches it.
+	// obsScratch is the reused observation record so the hook stays
+	// allocation-free.
+	pktObs     PacketObserver
+	obsScratch PacketObservation
 }
+
+// PacketObservation describes one delivered packet for an attached
+// PacketObserver: identity, endpoints, the source route's hop count
+// (stamped at send time — H in the §3 latency model), and the lifecycle
+// timestamps measurement needs. Loopback (src == dst) packets never reach
+// the network and are not observed, matching the recorder's latency
+// histograms.
+type PacketObservation struct {
+	ID          uint64
+	Src, Dst    int
+	Class, Flow int
+	Hops        int
+	Flits       int
+	Birth       int64 // cycle the client created the packet
+	Inject      int64 // cycle the head entered the network
+	Arrived     int64 // cycle the tail was ejected
+}
+
+// PacketObserver receives delivered packets behind the eject barrier, on
+// the serial merge goroutine, in deterministic order for any shard count.
+type PacketObserver interface {
+	PacketDelivered(ob *PacketObservation)
+}
+
+// SetPacketObserver installs (or, with nil, removes) the delivered-packet
+// observer. The observation record passed to the observer is reused
+// across calls; observers must copy what they keep.
+func (n *Network) SetPacketObserver(o PacketObserver) { n.pktObs = o }
 
 // New builds the network described by cfg.
 func New(cfg Config) (*Network, error) {
@@ -606,6 +642,12 @@ func (n *Network) Probe() *telemetry.Probe { return n.probe }
 
 // Topology reports the network's topology.
 func (n *Network) Topology() topology.Topology { return n.topo }
+
+// LinkLatency reports the configured wire traversal time in cycles.
+func (n *Network) LinkLatency() int { return n.cfg.LinkLatency }
+
+// SerdesCycles reports the configured link cycles per flit.
+func (n *Network) SerdesCycles() int { return n.cfg.SerdesCycles }
 
 // Run advances the simulation by the given number of cycles.
 func (n *Network) Run(cycles int64) {

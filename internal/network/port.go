@@ -275,6 +275,10 @@ func (p *Port) Send(dst int, payload []byte, mask flit.VCMask, class int) (uint6
 	p.pkt = flit.Packet{
 		ID: id, Src: p.tile, Dst: dst,
 		Mask: mask, Route: w, Payload: payload, Birth: now, Class: class,
+		// The hop count is stamped at send time because head flits consume
+		// Route step by step in flight; the final Extract step is not a
+		// link traversal.
+		Hops: w.Len() - 1,
 	}
 	nf := p.pkt.NumFlits()
 	if p.net.cfg.Deflect || p.net.cfg.Router.Mode != 0 {
@@ -318,6 +322,7 @@ func (p *Port) SendReserved(dst int, payload []byte, flow int) (uint64, error) {
 	p.pkt = flit.Packet{
 		ID: id, Src: p.tile, Dst: dst,
 		Mask: flit.MaskFor(rvc), Route: w, Payload: payload, Birth: now, Class: 0,
+		Hops: w.Len() - 1,
 	}
 	p.net.recorder.Generated++
 	in := p.getInjection()
@@ -443,7 +448,8 @@ func (p *Port) receive(flits []*flit.Flit, now int64) {
 		// the fields packetDone needs; ejectMerge applies them in tile
 		// order behind the phase barrier.
 		p.shard.dones = append(p.shard.dones, doneRec{
-			birth: f.Birth, inject: f.Inject,
+			id: f.PacketID, birth: f.Birth, inject: f.Inject,
+			src: f.Src, dst: f.Dst, hops: f.Hops,
 			class: f.Class, flow: f.Flow, flits: len(parts),
 		})
 		if p.net.tracing {

@@ -103,6 +103,7 @@ func (n *Network) Reset(seed, warmup int64) error {
 		s.delivered, s.deliveredFlits, s.injected, s.aborted = 0, 0, 0, 0
 	}
 	n.extras = n.extras[:0]
+	n.pktObs = nil
 	n.lastCkptCycle = -1
 	n.ckptEvery = 0
 	return nil

@@ -55,10 +55,14 @@ type creditRet struct {
 }
 
 // doneRec is one deferred packet delivery, applied to the recorder at the
-// eject barrier. It captures the tail-flit fields packetDone reads, since
-// the flit itself is recycled before the merge runs.
+// eject barrier. It captures the tail-flit fields packetDone (and the
+// attached packet observer) reads, since the flit itself is recycled
+// before the merge runs.
 type doneRec struct {
+	id            uint64
 	birth, inject int64
+	src, dst      int
+	hops          int
 	class, flow   int
 	flits         int
 }
@@ -482,6 +486,14 @@ func (n *Network) ejectMerge(now sim.Cycle) {
 		for i := range s.dones {
 			d := &s.dones[i]
 			n.recorder.packetDoneRec(d.birth, d.inject, d.class, d.flow, d.flits, now)
+			if n.pktObs != nil {
+				n.obsScratch = PacketObservation{
+					ID: d.id, Src: d.src, Dst: d.dst,
+					Class: d.class, Flow: d.flow, Hops: d.hops, Flits: d.flits,
+					Birth: d.birth, Inject: d.inject, Arrived: int64(now),
+				}
+				n.pktObs.PacketDelivered(&n.obsScratch)
+			}
 		}
 		s.dones = s.dones[:0]
 		n.recorder.DeliveredPackets += s.delivered

@@ -186,6 +186,13 @@ func (h *Hist) Max() int64 {
 	return 0
 }
 
+// Overflowed reports whether any sample landed at or beyond the exact
+// bucket bound. Quantiles stay exact either way — overflow values are
+// retained individually — but exporters surface the flag so a
+// distribution whose tail escaped the configured bound is never
+// mistaken for one that stayed inside it.
+func (h *Hist) Overflowed() bool { return len(h.overflow) > 0 }
+
 // Quantile reports the q-quantile (0 <= q <= 1) of the recorded samples.
 // It is exact: overflow samples are retained individually.
 func (h *Hist) Quantile(q float64) int64 {

@@ -299,3 +299,41 @@ func TestHistBoundaryValueLandsInOverflow(t *testing.T) {
 		t.Errorf("Max = %d, want 4", got)
 	}
 }
+
+// TestHistOverflowedFlag is the regression gate for the overflow
+// surface: the flag is off while every sample fits the exact buckets,
+// flips on the first boundary-value sample, quantiles at the boundary
+// stay exact (the documented contract: overflow values are retained
+// individually, never clamped), and Reset clears the flag.
+func TestHistOverflowedFlag(t *testing.T) {
+	h := NewHist(8)
+	for v := int64(0); v < 8; v++ {
+		h.Add(v)
+	}
+	if h.Overflowed() {
+		t.Fatal("Overflowed() true with every sample inside the bound")
+	}
+	h.Add(8) // exactly the bound: first overflow value
+	if !h.Overflowed() {
+		t.Fatal("Overflowed() false after a boundary-value sample")
+	}
+	if got := h.Quantile(1.0); got != 8 {
+		t.Errorf("Quantile(1.0) = %d, want exact 8", got)
+	}
+	h.Add(1 << 30)
+	if got := h.Quantile(1.0); got != 1<<30 {
+		t.Errorf("Quantile(1.0) = %d, want exact 2^30", got)
+	}
+	// The overflow rank walk still interpolates between retained values:
+	// rank 9 of 10 is the smaller overflow value, not the maximum.
+	if got := h.Quantile(0.9); got != 8 {
+		t.Errorf("Quantile(0.9) = %d, want 8 (first overflow rank)", got)
+	}
+	h.Reset()
+	if h.Overflowed() {
+		t.Error("Overflowed() survives Reset")
+	}
+	if h.Count() != 0 {
+		t.Errorf("Count() = %d after Reset", h.Count())
+	}
+}

@@ -216,13 +216,18 @@ type Recorder struct {
 
 	last TriggerSample // newest sample's attribution material (reused buffers)
 
-	faultLog   []FaultEvent
-	faultDrops int64
-	healthLog  []health.Event
+	faultLog    []FaultEvent
+	faultDrops  int64
+	healthLog   []health.Event
 	healthDrops int64
 
 	autoDumps int
 	dumpSeq   int
+
+	// SLO burn dumps requested by the latency observatory's phase (which
+	// runs earlier in the same cycle); written by this phase, where a
+	// fresh keyframe is safe.
+	sloPending []string
 
 	// Asynchronous dump requests (SIGQUIT handler, /debug/flightrec).
 	// hasPending keeps the per-cycle fast path to one atomic load.
@@ -295,6 +300,25 @@ func (r *Recorder) OnLinkDead(index int, now int64) {
 	r.logFault(FaultEvent{Cycle: now, Kind: 1, A: int32(index)})
 }
 
+// OnSLOBurn implements the latency observatory's BurnSink: an SLO
+// burn-rate transition lands in the health event log (so nocpost
+// verdicts show it alongside the detector transitions) and a burning
+// transition schedules a dump for this cycle's recorder phase. The
+// observatory's evaluation phase runs earlier in the same serial cycle,
+// so the dump's ring and fresh keyframe include the burn cycle itself.
+// Burn dumps share the detector dumps' per-run cap.
+func (r *Recorder) OnSLOBurn(now int64, flow string, ev health.Event) {
+	if len(r.healthLog) >= maxEventLog {
+		r.healthDrops++
+	} else {
+		r.healthLog = append(r.healthLog, ev)
+	}
+	if !ev.Healthy && r.autoDumps < maxAutoDumps {
+		r.autoDumps++
+		r.sloPending = append(r.sloPending, "slo-burn-"+flow)
+	}
+}
+
 func (r *Recorder) logFault(ev FaultEvent) {
 	if len(r.faultLog) >= maxEventLog {
 		r.faultDrops++
@@ -340,6 +364,12 @@ func (r *Recorder) phase(now sim.Cycle) {
 	}
 	if tnow%r.cfg.Every == 0 {
 		r.sample(tnow, cycle)
+	}
+	if len(r.sloPending) > 0 {
+		for _, reason := range r.sloPending {
+			r.dump(cycle, reason, true)
+		}
+		r.sloPending = r.sloPending[:0]
 	}
 	if r.hasPending.Load() {
 		r.drainRequests(cycle)

@@ -1,0 +1,166 @@
+// Checkpoint persistence: the observatory registers as a network
+// checkpoint extra (section "x:latency"), so a resumed run's per-flow
+// decomposition, SLO burn windows, firing state, and exemplar rings are
+// byte-identical to a straight-through run's. Replaying a checkpoint
+// without the observatory attached simply never reads the section — the
+// container tolerates unvisited sections — so nocpost keyframe restores
+// stay compatible.
+package latency
+
+import "repro/internal/checkpoint"
+
+// SaveState serialises the observatory into a checkpoint section.
+func (o *Observatory) SaveState(e *checkpoint.Encoder) {
+	e.String(o.mode)
+	e.Int(o.nFlows)
+	e.Int(len(o.objectives))
+	for _, ob := range o.objectives {
+		e.String(ob.String())
+	}
+	for i := range o.flows {
+		f := &o.flows[i]
+		e.I64(f.count)
+		for b := range f.hist {
+			e.I64(f.hist[b])
+		}
+		e.I64(f.sumTotal)
+		e.I64(f.sumQueue)
+		e.I64(f.sumPipe)
+		e.I64(f.sumSer)
+		e.I64(f.sumCont)
+		e.I64(f.sumNet)
+		e.I64(f.sumT0)
+		e.I64(f.sumHops)
+		e.I64(f.maxTotal)
+	}
+	if len(o.objectives) == 0 {
+		return
+	}
+	e.I64(o.ticks)
+	e.I64(o.lastArb)
+	e.I64(o.lastCr)
+	e.I64(o.lastStg)
+	e.I64s(o.bad)
+	e.I64s(o.lastCount)
+	e.I64s(o.lastBad)
+	e.I64s(o.cntRing)
+	e.I64s(o.badRing)
+	e.I64s(o.shortCnt)
+	e.I64s(o.longCnt)
+	e.I64s(o.shortBad)
+	e.I64s(o.longBad)
+	for k := range o.firing {
+		e.Bool(o.firing[k])
+		e.I64(o.since[k])
+		e.F64(o.burnShortV[k])
+		e.F64(o.burnLongV[k])
+		e.String(o.detail[k])
+	}
+	for _, id := range o.exIDs {
+		e.U64(id)
+	}
+	e.I64s(o.exLat)
+	for _, nx := range o.exNext {
+		e.Int(int(nx))
+	}
+}
+
+// restoreI64s copies a decoded slice into dst, failing on any length
+// mismatch (the flow space and windows are construction parameters, so
+// a mismatch means the checkpoint was taken under a different
+// configuration).
+func restoreI64s(d *checkpoint.Decoder, dst []int64, what string) {
+	vs := d.I64s()
+	if d.Err() != nil {
+		return
+	}
+	if len(vs) != len(dst) {
+		d.Fail("latency: %s length mismatch: checkpoint %d, observatory %d", what, len(vs), len(dst))
+		return
+	}
+	copy(dst, vs)
+}
+
+// RestoreState restores a section saved by SaveState into this
+// observatory, which must have been attached with the same flow mode
+// and objectives.
+func (o *Observatory) RestoreState(d *checkpoint.Decoder) {
+	mode := d.String()
+	if d.Err() == nil && mode != o.mode {
+		d.Fail("latency: flow mode mismatch: checkpoint %q, observatory %q", mode, o.mode)
+		return
+	}
+	if nf := d.Int(); d.Err() == nil && nf != o.nFlows {
+		d.Fail("latency: flow count mismatch: checkpoint %d, observatory %d", nf, o.nFlows)
+		return
+	}
+	if no := d.Int(); d.Err() == nil && no != len(o.objectives) {
+		d.Fail("latency: objective count mismatch: checkpoint %d, observatory %d", no, len(o.objectives))
+		return
+	}
+	for _, ob := range o.objectives {
+		if spec := d.String(); d.Err() == nil && spec != ob.String() {
+			d.Fail("latency: objective mismatch: checkpoint %q, observatory %q", spec, ob.String())
+			return
+		}
+	}
+	for i := range o.flows {
+		f := &o.flows[i]
+		f.count = d.I64()
+		for b := range f.hist {
+			f.hist[b] = d.I64()
+		}
+		f.sumTotal = d.I64()
+		f.sumQueue = d.I64()
+		f.sumPipe = d.I64()
+		f.sumSer = d.I64()
+		f.sumCont = d.I64()
+		f.sumNet = d.I64()
+		f.sumT0 = d.I64()
+		f.sumHops = d.I64()
+		f.maxTotal = d.I64()
+		if d.Err() != nil {
+			return
+		}
+	}
+	if len(o.objectives) == 0 {
+		return
+	}
+	o.ticks = d.I64()
+	o.lastArb = d.I64()
+	o.lastCr = d.I64()
+	o.lastStg = d.I64()
+	restoreI64s(d, o.bad, "bad counters")
+	restoreI64s(d, o.lastCount, "tick counts")
+	restoreI64s(d, o.lastBad, "tick bad counts")
+	restoreI64s(d, o.cntRing, "count ring")
+	restoreI64s(d, o.badRing, "bad ring")
+	restoreI64s(d, o.shortCnt, "short count window")
+	restoreI64s(d, o.longCnt, "long count window")
+	restoreI64s(d, o.shortBad, "short bad window")
+	restoreI64s(d, o.longBad, "long bad window")
+	if d.Err() != nil {
+		return
+	}
+	o.firingCount = 0
+	for k := range o.firing {
+		o.firing[k] = d.Bool()
+		if o.firing[k] {
+			o.firingCount++
+		}
+		o.since[k] = d.I64()
+		o.burnShortV[k] = d.F64()
+		o.burnLongV[k] = d.F64()
+		o.detail[k] = d.String()
+		if d.Err() != nil {
+			return
+		}
+	}
+	for i := range o.exIDs {
+		o.exIDs[i] = d.U64()
+	}
+	restoreI64s(d, o.exLat, "exemplar latencies")
+	for i := range o.exNext {
+		o.exNext[i] = int32(d.Int())
+	}
+}

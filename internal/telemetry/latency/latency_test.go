@@ -1,0 +1,333 @@
+package latency
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/flit"
+	"repro/internal/network"
+	"repro/internal/router"
+	"repro/internal/telemetry/health"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// buildNet returns the 16-tile baseline with a uniform Bernoulli load
+// attached and no warmup, so every delivered packet is observed.
+func buildNet(t *testing.T, rate float64, stopAt int64) *network.Network {
+	t.Helper()
+	topo, err := topology.NewFoldedTorus(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := network.New(network.Config{Topo: topo, Router: router.DefaultConfig(0), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tile := 0; tile < topo.NumTiles(); tile++ {
+		g := traffic.NewGenerator(tile, traffic.Uniform{Tiles: 16}, rate, 2, flit.VCMask(0xFF), 1)
+		g.StopAt = stopAt
+		n.AttachClient(tile, g)
+	}
+	return n
+}
+
+func TestParseSLO(t *testing.T) {
+	objs, err := ParseSLO("p99<=40@flows;p50<=8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(objs) != 2 {
+		t.Fatalf("got %d objectives, want 2", len(objs))
+	}
+	if objs[0].Name != "p99" || objs[0].Q != 0.99 || objs[0].Target != 40 {
+		t.Errorf("objs[0] = %+v", objs[0])
+	}
+	if got := objs[0].String(); got != "p99<=40" {
+		t.Errorf("String() = %q", got)
+	}
+	if got := objs[0].Slug(); got != "p99le40" {
+		t.Errorf("Slug() = %q", got)
+	}
+	if objs, err := ParseSLO(""); err != nil || len(objs) != 0 {
+		t.Errorf("empty spec: %v, %d objectives", err, len(objs))
+	}
+	for _, bad := range []string{
+		"p98<=40",        // unknown quantile
+		"p99<=0",         // non-positive target
+		"p99<=-3",        // negative target
+		"p99<=40@links",  // unknown scope
+		"p99<=40;p99<=8", // duplicate objective quantile
+		"p99=40",         // malformed comparator
+		"latency<=40",    // not a quantile at all
+	} {
+		if _, err := ParseSLO(bad); err == nil {
+			t.Errorf("ParseSLO(%q) accepted", bad)
+		}
+	}
+}
+
+func TestAttachRejectsBadConfig(t *testing.T) {
+	if _, err := Attach(buildNet(t, 0.1, 10), Config{Flows: "bogus"}); err == nil {
+		t.Error("unknown flow mode accepted")
+	}
+	if _, err := Attach(buildNet(t, 0.1, 10), Config{Flows: FlowPair, MaxFlowStates: 10}); err == nil {
+		t.Error("pair mode over the flow-state cap accepted")
+	}
+	if _, err := Attach(buildNet(t, 0.1, 10), Config{Flows: FlowPair, ShortWindows: 4, LongWindows: 4}); err == nil {
+		t.Error("short window >= long window accepted")
+	}
+	if _, err := Attach(buildNet(t, 0.1, 10), Config{Flows: FlowPair, SLO: "p98<=1"}); err == nil {
+		t.Error("bad SLO spec accepted")
+	}
+}
+
+// TestFlowClassifier pins the index arithmetic of each mode on the 4x4
+// die: pair is src*tiles+dst, srcrow is src/kx, srccol is src%kx, class
+// is the clamped traffic class.
+func TestFlowClassifier(t *testing.T) {
+	for _, tc := range []struct {
+		mode string
+		ob   network.PacketObservation
+		want int
+		name string
+	}{
+		{FlowPair, network.PacketObservation{Src: 3, Dst: 10}, 3*16 + 10, "3->10"},
+		{FlowPair, network.PacketObservation{Src: 0, Dst: 0}, 0, "0->0"},
+		{FlowSrcRow, network.PacketObservation{Src: 9}, 2, "row2"},
+		{FlowSrcCol, network.PacketObservation{Src: 9}, 1, "col1"},
+		{FlowClass, network.PacketObservation{Class: 3}, 3, "class3"},
+		{FlowClass, network.PacketObservation{Class: -1}, 0, "class0"},
+		{FlowClass, network.PacketObservation{Class: 99}, classFlows - 1, "class15"},
+	} {
+		o, err := Attach(buildNet(t, 0.1, 10), Config{Flows: tc.mode})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := o.flowIndex(&tc.ob); got != tc.want {
+			t.Errorf("%s: flowIndex(%+v) = %d, want %d", tc.mode, tc.ob, got, tc.want)
+		}
+		if got := o.FlowName(tc.want); got != tc.name {
+			t.Errorf("%s: FlowName(%d) = %q, want %q", tc.mode, tc.want, got, tc.name)
+		}
+	}
+}
+
+// TestDecompositionIdentity runs real traffic and requires the exact
+// accounting identity on every flow: total = queue + pipeline +
+// serialization + contention, with contention the signed residual
+// against the paper's zero-load pipeline model.
+func TestDecompositionIdentity(t *testing.T) {
+	n := buildNet(t, 0.25, 1500)
+	o, err := Attach(n, Config{Flows: FlowPair})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Run(1500)
+	if !n.Drain(100000) {
+		t.Fatal("network did not drain")
+	}
+	count, _ := o.Totals()
+	if count == 0 {
+		t.Fatal("no packets observed; identity is vacuous")
+	}
+	for fi := range o.flows {
+		f := &o.flows[fi]
+		if f.count == 0 {
+			continue
+		}
+		if got := f.sumQueue + f.sumPipe + f.sumSer + f.sumCont; got != f.sumTotal {
+			t.Errorf("flow %s: queue %d + pipe %d + ser %d + cont %d = %d, want total %d",
+				o.names[fi], f.sumQueue, f.sumPipe, f.sumSer, f.sumCont, got, f.sumTotal)
+		}
+		if f.sumNet != f.sumPipe+f.sumSer+f.sumCont {
+			t.Errorf("flow %s: network latency %d != pipe+ser+cont %d",
+				o.names[fi], f.sumNet, f.sumPipe+f.sumSer+f.sumCont)
+		}
+		var histN int64
+		for _, c := range f.hist {
+			histN += c
+		}
+		if histN != f.count {
+			t.Errorf("flow %s: histogram holds %d samples, count %d", o.names[fi], histN, f.count)
+		}
+	}
+	// Loopback never happens under Uniform, and every flow is src!=dst.
+	for fi := range o.flows {
+		if fi/o.tiles == fi%o.tiles && o.flows[fi].count != 0 {
+			t.Errorf("loopback flow %s observed %d packets", o.names[fi], o.flows[fi].count)
+		}
+	}
+}
+
+// TestQuantileBoundary pins the log2-histogram quantile semantics: the
+// bucket upper bound clamped to the observed max, and the exact max plus
+// the overflowed flag when the rank lands in the top (clamp) bucket.
+func TestQuantileBoundary(t *testing.T) {
+	var f flowState
+	add := func(total int64) {
+		f.count++
+		b := bucketOf(total)
+		f.hist[b]++
+		if total > f.maxTotal {
+			f.maxTotal = total
+		}
+	}
+	add(5) // bucket 3, nominal upper bound 7
+	if v, ov := f.quantile(0.5); v != 5 || ov {
+		t.Errorf("p50 = (%d, %v), want (5, false): bucket bound must clamp to max", v, ov)
+	}
+	add(6)
+	add(200) // bucket 8
+	if v, ov := f.quantile(1.0); v != 200 || ov {
+		t.Errorf("p100 = (%d, %v), want (200, false)", v, ov)
+	}
+	if v, ov := f.quantile(0.5); v != 7 || ov {
+		t.Errorf("p50 = (%d, %v), want (7, false): unclamped bucket bound", v, ov)
+	}
+	// A sample past every finite bucket lands in the clamp bucket: the
+	// quantile is the exact observed max and the overflow flag is raised.
+	add(int64(1) << 40)
+	if v, ov := f.quantile(1.0); v != int64(1)<<40 || !ov {
+		t.Errorf("overflow p100 = (%d, %v), want (2^40, true)", v, ov)
+	}
+	if v, ov := (&flowState{}).quantile(0.99); v != 0 || ov {
+		t.Errorf("empty flow quantile = (%d, %v), want (0, false)", v, ov)
+	}
+}
+
+// sinkLog records burn events for the fire/recover test.
+type sinkLog struct {
+	events []health.Event
+	flows  []string
+}
+
+func (s *sinkLog) OnSLOBurn(cycle int64, flow string, ev health.Event) {
+	s.events = append(s.events, ev)
+	s.flows = append(s.flows, flow)
+}
+
+// TestBurnFireRecover drives the burn engine by hand: a flow violating
+// its objective on every packet fires after the windows fill, the
+// verdict carries the attribution, and a clean stretch recovers it.
+func TestBurnFireRecover(t *testing.T) {
+	n := buildNet(t, 0.1, 10)
+	o, err := Attach(n, Config{Flows: FlowPair, SLO: "p99<=10", Every: 64, MinSamples: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := &sinkLog{}
+	o.SetBurnSink(sink)
+	ob := network.PacketObservation{ID: 7, Src: 0, Dst: 5, Hops: 1, Flits: 2, Birth: 1, Inject: 1}
+	deliver := func(total int64, packets int) {
+		for i := 0; i < packets; i++ {
+			ob.Arrived = ob.Birth + total
+			o.PacketDelivered(&ob)
+		}
+	}
+
+	// Every packet blows the 10-cycle target: burn = 100x on both windows
+	// as soon as the long window holds MinSamples.
+	now := int64(0)
+	for i := 0; i < 3 && o.Healthy(); i++ {
+		deliver(500, 16)
+		now += 64
+		o.phase(now)
+	}
+	if o.Healthy() {
+		t.Fatal("saturating flow never fired")
+	}
+	if len(sink.events) != 1 || sink.events[0].Healthy {
+		t.Fatalf("sink saw %+v, want one unhealthy event", sink.events)
+	}
+	if sink.flows[0] != "0->5" {
+		t.Errorf("burn attributed to flow %q, want 0->5", sink.flows[0])
+	}
+	detail := sink.events[0].Detail
+	for _, needle := range []string{"flow 0->5", "p99<=10", "T/T0", "dominant stall", "exemplar"} {
+		if !strings.Contains(detail, needle) {
+			t.Errorf("attribution lacks %q:\n%s", needle, detail)
+		}
+	}
+	if ex := o.Exemplars(5); len(ex) == 0 || ex[0] != 7 {
+		t.Errorf("exemplars = %v, want packet ID 7", ex)
+	}
+	verdicts := o.AppendVerdicts(nil)
+	if len(verdicts) != 1 || verdicts[0].Healthy || verdicts[0].Detector != "slo" {
+		t.Fatalf("verdicts = %+v", verdicts)
+	}
+	snaps := o.AppendSLOSnaps(nil)
+	if len(snaps) != 1 || snaps[0].Flow != "0->5" || snaps[0].Objective != "p99<=10" {
+		t.Fatalf("SLO snaps = %+v", snaps)
+	}
+
+	// Fast traffic until both windows drain the bad samples: recovery
+	// event, healthy verdict, no burning snaps.
+	for i := 0; i < DefaultLongWindows+1 && !o.Healthy(); i++ {
+		deliver(2, 16)
+		now += 64
+		o.phase(now)
+	}
+	if !o.Healthy() {
+		t.Fatal("flow never recovered")
+	}
+	last := sink.events[len(sink.events)-1]
+	if !last.Healthy || !strings.Contains(last.Detail, "recovered") {
+		t.Errorf("last event = %+v, want recovery", last)
+	}
+	if snaps := o.AppendSLOSnaps(nil); len(snaps) != 0 {
+		t.Errorf("recovered flow still snaps: %+v", snaps)
+	}
+	if v := o.AppendVerdicts(nil); len(v) != 1 || !v[0].Healthy {
+		t.Errorf("recovered verdicts = %+v", v)
+	}
+}
+
+// TestWarmupGateMirrorsRecorder requires the observatory's totals to
+// reconcile exactly with the run recorder's packet-latency histogram —
+// the observatory-side half of the root-package reconciliation suite,
+// here under a nonzero warmup so the birth gate is exercised.
+func TestWarmupGateMirrorsRecorder(t *testing.T) {
+	topo, err := topology.NewFoldedTorus(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := network.New(network.Config{Topo: topo, Router: router.DefaultConfig(0), Seed: 3, Warmup: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tile := 0; tile < 16; tile++ {
+		g := traffic.NewGenerator(tile, traffic.Uniform{Tiles: 16}, 0.2, 2, flit.VCMask(0xFF), 1)
+		g.StopAt = 1000
+		n.AttachClient(tile, g)
+	}
+	o, err := Attach(n, Config{Flows: FlowSrcRow})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Run(1000)
+	if !n.Drain(100000) {
+		t.Fatal("network did not drain")
+	}
+	rec := n.Recorder()
+	count, sum := o.Totals()
+	if count == 0 {
+		t.Fatal("no packets observed")
+	}
+	if count != rec.PacketLatency.Count() || sum != rec.PacketLatency.Sum() {
+		t.Errorf("observatory (count %d, sum %d) != recorder (count %d, sum %d)",
+			count, sum, rec.PacketLatency.Count(), rec.PacketLatency.Sum())
+	}
+}
+
+// bucketOf mirrors the hot path's bucket computation for tests.
+func bucketOf(total int64) int {
+	b := 0
+	for v := total; v > 0; v >>= 1 {
+		b++
+	}
+	if b >= nBuckets {
+		b = nBuckets - 1
+	}
+	return b
+}

@@ -127,6 +127,67 @@ func WriteProm(w io.Writer, s *Snapshot) error {
 		fmt.Fprintf(bw, "noc_latency_cycles_sum{series=%q} %d\n", ls.Name, ls.Sum)
 		fmt.Fprintf(bw, "noc_latency_cycles_count{series=%q} %d\n", ls.Name, ls.Count)
 	}
+	gauge("noc_latency_overflowed", "1 when the series' samples escaped the histogram's exact bucket range.")
+	for _, ls := range s.Latency {
+		fmt.Fprintf(bw, "noc_latency_overflowed{series=%q} %d\n", ls.Name, b2i(ls.Overflowed))
+	}
+
+	// Per-flow observatory rows. Cardinality is bounded by the
+	// observatory's MaxFlows top-by-count selection, and the flow set can
+	// rotate between scrapes, so every row is a gauge.
+	if len(s.Flows) > 0 {
+		fmt.Fprintf(bw, "# HELP noc_flow_latency_cycles Per-flow end-to-end latency in cycles (log2-bucket quantiles).\n# TYPE noc_flow_latency_cycles summary\n")
+		for _, fs := range s.Flows {
+			sum := fs.QueueCycles + fs.PipelineCycles + fs.SerializationCycles + fs.ContentionCycles
+			fmt.Fprintf(bw, "noc_flow_latency_cycles{flow=%q,quantile=\"0.5\"} %d\n", fs.Flow, fs.P50)
+			fmt.Fprintf(bw, "noc_flow_latency_cycles{flow=%q,quantile=\"0.99\"} %d\n", fs.Flow, fs.P99)
+			fmt.Fprintf(bw, "noc_flow_latency_cycles{flow=%q,quantile=\"1\"} %d\n", fs.Flow, fs.MaxCycles)
+			fmt.Fprintf(bw, "noc_flow_latency_cycles_sum{flow=%q} %d\n", fs.Flow, sum)
+			fmt.Fprintf(bw, "noc_flow_latency_cycles_count{flow=%q} %d\n", fs.Flow, fs.Count)
+		}
+		gauge("noc_flow_latency_overflowed", "1 when the flow saw latencies past the histogram's exact range.")
+		for _, fs := range s.Flows {
+			fmt.Fprintf(bw, "noc_flow_latency_overflowed{flow=%q} %d\n", fs.Flow, b2i(fs.Overflowed))
+		}
+		gauge("noc_flow_component_cycles", "Per-flow cumulative latency decomposition by cause; causes sum to the flow's total end-to-end cycles (contention is a signed residual).")
+		for _, fs := range s.Flows {
+			fmt.Fprintf(bw, "noc_flow_component_cycles{flow=%q,cause=\"queue\"} %d\n", fs.Flow, fs.QueueCycles)
+			fmt.Fprintf(bw, "noc_flow_component_cycles{flow=%q,cause=\"pipeline\"} %d\n", fs.Flow, fs.PipelineCycles)
+			fmt.Fprintf(bw, "noc_flow_component_cycles{flow=%q,cause=\"serialization\"} %d\n", fs.Flow, fs.SerializationCycles)
+			fmt.Fprintf(bw, "noc_flow_component_cycles{flow=%q,cause=\"contention\"} %d\n", fs.Flow, fs.ContentionCycles)
+		}
+		gauge("noc_flow_zero_load_cycles", "Per-flow mean analytical zero-load latency T0 = H*t_r + L/b.")
+		for _, fs := range s.Flows {
+			fmt.Fprintf(bw, "noc_flow_zero_load_cycles{flow=%q} %s\n", fs.Flow, f64(fs.ZeroLoadCycles))
+		}
+		gauge("noc_flow_contention_factor", "Per-flow live contention factor T/T0 (mean network latency over zero-load).")
+		for _, fs := range s.Flows {
+			fmt.Fprintf(bw, "noc_flow_contention_factor{flow=%q} %s\n", fs.Flow, f64(fs.ContentionFactor))
+		}
+		gauge("noc_flow_saturated", "1 when the flow's contention factor crossed the saturation threshold.")
+		for _, fs := range s.Flows {
+			fmt.Fprintf(bw, "noc_flow_saturated{flow=%q} %d\n", fs.Flow, b2i(fs.Saturated))
+		}
+		gauge("noc_flow_mean_hops", "Per-flow mean hop count H.")
+		for _, fs := range s.Flows {
+			fmt.Fprintf(bw, "noc_flow_mean_hops{flow=%q} %s\n", fs.Flow, f64(fs.MeanHops))
+		}
+	}
+	if len(s.SLO) > 0 {
+		gauge("noc_slo_burning", "1 for each flow-objective pair currently burning its error budget.")
+		for _, row := range s.SLO {
+			fmt.Fprintf(bw, "noc_slo_burning{flow=%q,objective=%q} 1\n", row.Flow, row.Objective)
+		}
+		gauge("noc_slo_burn_rate", "Error-budget burn-rate multiple per burning flow-objective pair and window.")
+		for _, row := range s.SLO {
+			fmt.Fprintf(bw, "noc_slo_burn_rate{flow=%q,objective=%q,window=\"short\"} %s\n", row.Flow, row.Objective, f64(row.BurnShort))
+			fmt.Fprintf(bw, "noc_slo_burn_rate{flow=%q,objective=%q,window=\"long\"} %s\n", row.Flow, row.Objective, f64(row.BurnLong))
+		}
+		gauge("noc_slo_bad_packets", "Cumulative packets over the objective's target per burning pair.")
+		for _, row := range s.SLO {
+			fmt.Fprintf(bw, "noc_slo_bad_packets{flow=%q,objective=%q} %d\n", row.Flow, row.Objective, row.Bad)
+		}
+	}
 	return bw.Flush()
 }
 
@@ -185,14 +246,18 @@ func sortStrings(s []string) {
 
 // ParseText is a strict scraper for the Prometheus text exposition
 // format, used by the serve tests and the CI smoke test. It validates
-// comment directives and sample-line syntax and returns every sample. A
-// malformed line is an error, not a skip — the point is to prove the
-// endpoint's output parses.
+// comment directives and sample-line syntax, requires every sample's
+// metric family to carry both a HELP and a TYPE directive (summary and
+// histogram samples resolve their _sum/_count/_bucket suffixes to the
+// family name first), and returns every sample. A malformed line is an
+// error, not a skip — the point is to prove the endpoint's output
+// parses.
 func ParseText(r io.Reader) ([]Metric, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
 	var out []Metric
 	types := map[string]string{}
+	helps := map[string]bool{}
 	lineNo := 0
 	for sc.Scan() {
 		lineNo++
@@ -204,6 +269,12 @@ func ParseText(r io.Reader) ([]Metric, error) {
 			fields := strings.SplitN(line, " ", 4)
 			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
 				return nil, fmt.Errorf("line %d: malformed comment directive %q", lineNo, line)
+			}
+			if fields[1] == "HELP" {
+				if len(fields) != 4 || strings.TrimSpace(fields[3]) == "" {
+					return nil, fmt.Errorf("line %d: HELP directive with no help text %q", lineNo, line)
+				}
+				helps[fields[2]] = true
 			}
 			if fields[1] == "TYPE" {
 				if len(fields) != 4 {
@@ -222,6 +293,13 @@ func ParseText(r io.Reader) ([]Metric, error) {
 		if err != nil {
 			return nil, fmt.Errorf("line %d: %v", lineNo, err)
 		}
+		family := familyName(m.Name, types)
+		if types[family] == "" {
+			return nil, fmt.Errorf("line %d: metric %s has no TYPE directive", lineNo, m.Name)
+		}
+		if !helps[family] {
+			return nil, fmt.Errorf("line %d: metric %s has no HELP directive", lineNo, m.Name)
+		}
 		out = append(out, m)
 	}
 	if err := sc.Err(); err != nil {
@@ -231,6 +309,30 @@ func ParseText(r io.Reader) ([]Metric, error) {
 		return nil, fmt.Errorf("no samples in exposition")
 	}
 	return out, nil
+}
+
+// familyName resolves a sample name to its metric family: summary
+// samples may carry _sum/_count suffixes (and histogram samples
+// _bucket too) on top of the family name the directives annotate.
+func familyName(name string, types map[string]string) string {
+	if _, ok := types[name]; ok {
+		return name
+	}
+	for _, suffix := range []string{"_sum", "_count", "_bucket"} {
+		base, found := strings.CutSuffix(name, suffix)
+		if !found {
+			continue
+		}
+		switch types[base] {
+		case "summary":
+			if suffix != "_bucket" {
+				return base
+			}
+		case "histogram":
+			return base
+		}
+	}
+	return name
 }
 
 func parseSample(line string) (Metric, error) {

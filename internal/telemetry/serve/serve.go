@@ -31,6 +31,7 @@ import (
 	"repro/internal/stats"
 	"repro/internal/telemetry"
 	"repro/internal/telemetry/health"
+	"repro/internal/telemetry/latency"
 )
 
 // Config parameterizes the collector.
@@ -48,6 +49,13 @@ type Config struct {
 	// HotLinks is how many per-window busiest channels to attribute
 	// (default 8).
 	HotLinks int
+
+	// Flows is the per-flow latency observatory to publish, when one is
+	// attached to the same network: snapshots carry its top flows and
+	// burning SLO rows, and an SLO burn degrades /healthz with the
+	// observatory's attribution. Attach the observatory before the
+	// collector so each sample sees the cycle's fresh verdicts.
+	Flows *latency.Observatory
 }
 
 // DefaultEvery is the default snapshot interval in cycles.
@@ -79,12 +87,15 @@ type Quantile struct {
 // LatencySnap is the copied summary of one latency histogram.
 type LatencySnap struct {
 	// Name identifies the series: "packet", "network", or "class<k>".
-	Name  string     `json:"name"`
-	Class int        `json:"class"` // service class; -1 for aggregates
-	Count int64      `json:"count"`
-	Sum   int64      `json:"sum"`
-	Mean  float64    `json:"mean"`
+	Name      string     `json:"name"`
+	Class     int        `json:"class"` // service class; -1 for aggregates
+	Count     int64      `json:"count"`
+	Sum       int64      `json:"sum"`
+	Mean      float64    `json:"mean"`
 	Quantiles []Quantile `json:"quantiles"`
+	// Overflowed reports that samples escaped the histogram's exact
+	// bucket range (quantiles are still exact; see stats.Hist).
+	Overflowed bool `json:"overflowed,omitempty"`
 }
 
 // LatencyFrom copies a histogram's headline figures and the exported
@@ -99,6 +110,7 @@ func LatencyFrom(name string, class int, h *stats.Hist) LatencySnap {
 	ls.Count = h.Count()
 	ls.Sum = h.Sum()
 	ls.Mean = h.Mean()
+	ls.Overflowed = h.Overflowed()
 	for _, q := range ExportedQuantiles {
 		ls.Quantiles = append(ls.Quantiles, Quantile{Q: q, V: h.Quantile(q)})
 	}
@@ -146,6 +158,12 @@ type Snapshot struct {
 	CheckpointStale     bool  `json:"checkpoint_stale,omitempty"`
 
 	Latency []LatencySnap `json:"latency"`
+
+	// Flows is the per-flow latency observatory's top flows by packet
+	// count (bounded by its MaxFlows); SLO is one row per burning
+	// flow-objective pair. Both empty when no observatory is attached.
+	Flows []latency.FlowSnap `json:"flows,omitempty"`
+	SLO   []latency.SLOSnap  `json:"slo,omitempty"`
 
 	Routers  []telemetry.RouterSnap `json:"routers"`
 	Links    []telemetry.LinkSnap   `json:"links"`
@@ -248,6 +266,11 @@ func (s *Snapshot) clone() *Snapshot {
 	out.Latency = cloneSlice(s.Latency)
 	for i := range out.Latency {
 		out.Latency[i].Quantiles = cloneSlice(out.Latency[i].Quantiles)
+	}
+	out.Flows = cloneSlice(s.Flows)
+	out.SLO = cloneSlice(s.SLO)
+	for i := range out.SLO {
+		out.SLO[i].Exemplars = cloneSlice(out.SLO[i].Exemplars)
 	}
 	out.Routers = cloneSlice(s.Routers)
 	out.Links = cloneSlice(s.Links)
@@ -423,6 +446,14 @@ func (c *Collector) sample(now int64) {
 	for _, class := range c.classBuf {
 		snap.Latency = latencyInto(snap.Latency, c.className(class), class, rec.ClassLatency(class))
 	}
+	snap.Flows = snap.Flows[:0]
+	snap.SLO = snap.SLO[:0]
+	if fl := c.cfg.Flows; fl != nil {
+		snap.Flows = fl.AppendFlowSnaps(snap.Flows)
+		snap.SLO = fl.AppendSLOSnaps(snap.SLO)
+		snap.Health = fl.AppendVerdicts(snap.Health)
+		snap.Healthy = snap.Healthy && fl.Healthy()
+	}
 	c.rawSeq++
 	// Materialise the immutable copy in-phase only for consumers that
 	// need every sample; HTTP readers build it on demand via Latest.
@@ -471,6 +502,7 @@ func latencyInto(dst []LatencySnap, name string, class int, h *stats.Hist) []Lat
 		ls.Count = h.Count()
 		ls.Sum = h.Sum()
 		ls.Mean = h.Mean()
+		ls.Overflowed = h.Overflowed()
 		for _, qq := range ExportedQuantiles {
 			ls.Quantiles = append(ls.Quantiles, Quantile{Q: qq, V: h.Quantile(qq)})
 		}

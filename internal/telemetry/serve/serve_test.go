@@ -422,11 +422,19 @@ func TestParseTextStrictness(t *testing.T) {
 		{"unknown type", "# TYPE x flavor\nx 1\n", false},
 		{"bad value", "x abc\n", false},
 		{"bad name", "9bad 1\n", false},
-		{"unquoted label", "x{l=raw} 1\n", false},
-		{"simple", "x 1\n", true},
-		{"labels", `x{a="1",b="two"} 3.5` + "\n", true},
-		{"comma in label", `x{l="a,b"} 1` + "\n", true},
+		{"unquoted label", "# HELP x y\n# TYPE x gauge\nx{l=raw} 1\n", false},
+		{"no directives", "x 1\n", false},
+		{"help only", "# HELP x y\nx 1\n", false},
+		{"type only", "# TYPE x gauge\nx 1\n", false},
+		{"empty help text", "# HELP x\n# TYPE x gauge\nx 1\n", false},
+		{"simple", "# HELP x y\n# TYPE x gauge\nx 1\n", true},
+		{"labels", "# HELP x y\n# TYPE x gauge\n" + `x{a="1",b="two"} 3.5` + "\n", true},
+		{"comma in label", "# HELP x y\n# TYPE x gauge\n" + `x{l="a,b"} 1` + "\n", true},
 		{"full directives", "# HELP x help text\n# TYPE x counter\nx 2\n", true},
+		{"summary suffixes", "# HELP x y\n# TYPE x summary\n" + `x{quantile="0.5"} 1` + "\nx_sum 2\nx_count 3\n", true},
+		{"summary bucket rejected", "# HELP x y\n# TYPE x summary\nx_bucket 1\n", false},
+		{"histogram suffixes", "# HELP x y\n# TYPE x histogram\n" + `x_bucket{le="1"} 1` + "\nx_sum 2\nx_count 3\n", true},
+		{"undirected sibling", "# HELP x y\n# TYPE x gauge\nx 1\ny 2\n", false},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -440,7 +448,7 @@ func TestParseTextStrictness(t *testing.T) {
 		})
 	}
 
-	ms, err := ParseText(strings.NewReader(`x{l="a,b",m="c"} 4` + "\n"))
+	ms, err := ParseText(strings.NewReader("# HELP x y\n# TYPE x gauge\n" + `x{l="a,b",m="c"} 4` + "\n"))
 	if err != nil {
 		t.Fatal(err)
 	}

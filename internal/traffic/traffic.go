@@ -147,6 +147,11 @@ func ByName(name string, kx, ky int) (Pattern, error) {
 		return Tornado{K: kx}, nil
 	case "neighbor":
 		return Neighbor{K: kx}, nil
+	case "hotspot":
+		// Half the traffic hammers the central tile, the rest is uniform:
+		// the canonical way to drive one destination into saturation while
+		// the other flows stay near zero-load.
+		return Hotspot{Hot: (ky/2)*kx + kx/2, Frac: 0.5, Base: Uniform{Tiles: n}}, nil
 	default:
 		return nil, fmt.Errorf("traffic: unknown pattern %q", name)
 	}

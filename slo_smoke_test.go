@@ -1,0 +1,175 @@
+package noc
+
+import (
+	"encoding/json"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry/health"
+)
+
+// The SLO burn smoke test exercises the per-flow latency observatory end
+// to end through real binaries: a nocsim run under the hotspot pattern
+// with a tight objective must degrade /healthz with a burn-rate verdict
+// that names the offending flow, its dominant stall cause, and the hot
+// links on its path; the burn must trigger a flight-recorder dump; and a
+// real nocpost binary's verdict on that dump must reconstruct the same
+// SLO transition. `make ci` runs it alongside the serve smoke.
+
+// healthzDoc mirrors the /healthz JSON shape the smoke test reads.
+type healthzDoc struct {
+	Status   string           `json:"status"`
+	Cycle    int64            `json:"cycle"`
+	Verdicts []health.Verdict `json:"verdicts"`
+}
+
+func TestSLOBurnSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI smoke test is not -short")
+	}
+	bin := buildNocsim(t)
+	dumpDir := t.TempDir()
+
+	// Hotspot traffic at 40% load saturates the central tile, so every
+	// flow into it blows a 20-cycle p99 within the first burn windows.
+	cmd := exec.Command(bin,
+		"-serve", "127.0.0.1:0",
+		"-k", "4", "-pattern", "hotspot", "-rate", "0.4",
+		"-warmup", "100", "-measure", "100000000",
+		"-flows", "pair", "-slo", "p99<=20@flows",
+		"-flightrec", "-flightrec-dir", dumpDir,
+	)
+	addr := serveAddr(t, cmd)
+	defer func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	}()
+
+	// Poll /healthz until the SLO engine fires (burn windows need a few
+	// evaluation ticks to fill).
+	var doc healthzDoc
+	var burn *health.Verdict
+	deadline := time.Now().Add(30 * time.Second)
+	for burn == nil {
+		if time.Now().After(deadline) {
+			t.Fatalf("no slo verdict fired; last /healthz: %+v", doc)
+		}
+		// A burning run answers 503 by design — the endpoint degrades —
+		// so poll without getOK's 200 filter.
+		resp, err := http.Get("http://" + addr + "/healthz")
+		if err != nil {
+			time.Sleep(100 * time.Millisecond)
+			continue
+		}
+		if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusServiceUnavailable {
+			resp.Body.Close()
+			t.Fatalf("/healthz status %d", resp.StatusCode)
+		}
+		err = json.NewDecoder(resp.Body).Decode(&doc)
+		resp.Body.Close()
+		if err != nil {
+			// The first samples can race server startup; keep polling.
+			time.Sleep(100 * time.Millisecond)
+			continue
+		}
+		for i := range doc.Verdicts {
+			v := &doc.Verdicts[i]
+			if v.Detector == "slo" && !v.Healthy {
+				burn = v
+				break
+			}
+		}
+		if burn == nil {
+			time.Sleep(100 * time.Millisecond)
+		}
+	}
+	if doc.Status != "unhealthy" {
+		t.Errorf("/healthz status = %q with a burning slo verdict", doc.Status)
+	}
+
+	// The attribution must name the offending flow into the hot tile
+	// (tile 10 on the 4x4 die), the dominant stall cause, the hottest
+	// links on the flow's path, and exemplar packets for nocpost.
+	detail := burn.Detail
+	for _, needle := range []string{
+		"->10", "p99<=20", "burn", "T/T0", "zero-load",
+		"dominant stall", "hottest path links", "exemplar pkts",
+	} {
+		if !strings.Contains(detail, needle) {
+			t.Errorf("slo attribution lacks %q:\n%s", needle, detail)
+		}
+	}
+
+	// The burn queued a flight-recorder dump tagged with the flow.
+	var dump string
+	for time.Now().Before(deadline) && dump == "" {
+		matches, err := filepath.Glob(filepath.Join(dumpDir, "*slo-burn-*.frec"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(matches) > 0 {
+			dump = matches[0]
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if dump == "" {
+		ents, _ := os.ReadDir(dumpDir)
+		t.Fatalf("no slo-burn flight-recorder dump appeared; dir holds %v", ents)
+	}
+	cmd.Process.Kill()
+	cmd.Wait()
+
+	// nocpost time-travels the dump: its verdict must replay the recorded
+	// SLO transition with the same attribution vocabulary.
+	nocpost := filepath.Join(t.TempDir(), "nocpost")
+	if out, err := exec.Command("go", "build", "-o", nocpost, "./cmd/nocpost").CombinedOutput(); err != nil {
+		t.Fatalf("go build ./cmd/nocpost: %v\n%s", err, out)
+	}
+	out, err := exec.Command(nocpost, "verdict", dump).CombinedOutput()
+	if err != nil {
+		t.Fatalf("nocpost verdict %s: %v\n%s", dump, err, out)
+	}
+	verdict := string(out)
+	for _, needle := range []string{"slo-burn-", "slo", "p99<=20", "dominant stall"} {
+		if !strings.Contains(verdict, needle) {
+			t.Errorf("nocpost verdict lacks %q:\n%s", needle, verdict)
+		}
+	}
+}
+
+// TestSLOFlagValidation extends the CLI validation smoke to the flow
+// flags: objectives and outputs without -flows are hard errors, as is an
+// unknown classification or a malformed objective.
+func TestSLOFlagValidation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI smoke test is not -short")
+	}
+	bin := buildNocsim(t)
+	for _, tc := range []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"slo without flows", []string{"-slo", "p99<=40"}, "-slo requires -flows"},
+		{"flows-out without flows", []string{"-flows-out", "f.csv"}, "-flows-out requires -flows"},
+		{"unknown flow mode", []string{"-flows", "bogus"}, "-flows must be one of"},
+		{"malformed objective", []string{"-flows", "pair", "-slo", "p98<=40"}, "-slo:"},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			out, err := exec.Command(bin, tc.args...).CombinedOutput()
+			if err == nil {
+				t.Fatalf("nocsim %v exited 0; want validation failure", tc.args)
+			}
+			if !strings.Contains(string(out), tc.want) {
+				t.Fatalf("nocsim %v output lacks %q:\n%s", tc.args, tc.want, out)
+			}
+		})
+	}
+}
